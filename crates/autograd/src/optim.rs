@@ -1,0 +1,259 @@
+//! Optimizers: SGD (with momentum and weight decay) and Adam.
+//!
+//! Optimizer steps run through the instrumented tensor engine, so profiled
+//! training includes the element-wise parameter-update kernels — Adam in
+//! particular contributes a noticeable slice of the element-wise operation
+//! time that Figure 2 of the paper attributes to training.
+
+use std::collections::HashMap;
+
+use gnnmark_tensor::Tensor;
+
+use crate::{Param, ParamSet, Result};
+
+/// Common interface of parameter-updating optimizers.
+pub trait Optimizer {
+    /// Applies one update step using the gradients accumulated in `params`,
+    /// then leaves the gradients untouched (call
+    /// [`ParamSet::zero_grad`] before the next forward pass).
+    ///
+    /// # Errors
+    /// Propagates tensor shape errors (indicating corrupted gradients).
+    fn step(&mut self, params: &ParamSet) -> Result<()>;
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            momentum,
+            ..Sgd::new(lr)
+        }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    fn update(&mut self, p: &Param, grad: &Tensor) -> Result<()> {
+        let new_value = if self.momentum > 0.0 {
+            let mut vel = self
+                .velocity
+                .remove(&p.id())
+                .unwrap_or_else(|| Tensor::zeros(grad.dims()));
+            let nv = p.value().sgd_step_fused(
+                grad,
+                Some(&mut vel),
+                self.lr,
+                self.momentum,
+                self.weight_decay,
+            )?;
+            self.velocity.insert(p.id(), vel);
+            nv
+        } else {
+            p.value()
+                .sgd_step_fused(grad, None, self.lr, 0.0, self.weight_decay)?
+        };
+        p.set_value(new_value);
+        Ok(())
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &ParamSet) -> Result<()> {
+        for p in params {
+            if let Some(grad) = p.grad() {
+                self.update(p, &grad)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: HashMap<u64, Tensor>,
+    v: HashMap<u64, Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Overrides β₁/β₂.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &ParamSet) -> Result<()> {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params {
+            let Some(grad) = p.grad() else { continue };
+            let mut m = self
+                .m
+                .remove(&p.id())
+                .unwrap_or_else(|| Tensor::zeros(grad.dims()));
+            let mut v = self
+                .v
+                .remove(&p.id())
+                .unwrap_or_else(|| Tensor::zeros(grad.dims()));
+            let new_value = p.value().adam_step_fused(
+                &grad,
+                &mut m,
+                &mut v,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            )?;
+            p.set_value(new_value);
+            self.m.insert(p.id(), m);
+            self.v.insert(p.id(), v);
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    /// Minimizes `(w - 3)²` and checks convergence.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let mut set = ParamSet::new();
+        let w = set.register(Param::new("w", Tensor::from_vec(&[1], vec![0.0]).unwrap()));
+        for _ in 0..200 {
+            set.zero_grad();
+            let tape = Tape::new();
+            let wv = tape.read(&w);
+            let loss = wv.add_scalar(-3.0).square().sum_all();
+            tape.backward(&loss).unwrap();
+            opt.step(&set).unwrap();
+        }
+        let out = w.value().as_slice()[0];
+        out
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = converges(&mut opt);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut set = ParamSet::new();
+        let w = set.register(Param::new("w", Tensor::from_vec(&[1], vec![5.0]).unwrap()));
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        for _ in 0..50 {
+            set.zero_grad();
+            let tape = Tape::new();
+            let wv = tape.read(&w);
+            // Zero data loss: only decay acts.
+            let loss = wv.mul_scalar(0.0).sum_all();
+            tape.backward(&loss).unwrap();
+            opt.step(&set).unwrap();
+        }
+        assert!(w.value().as_slice()[0].abs() < 0.5);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn step_without_grads_is_noop() {
+        let mut set = ParamSet::new();
+        let w = set.register(Param::new("w", Tensor::from_vec(&[1], vec![1.0]).unwrap()));
+        let mut opt = Adam::new(0.1);
+        opt.step(&set).unwrap();
+        assert_eq!(w.value().as_slice()[0], 1.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Trainable parameters that persist across training steps.
+
+use std::cell::{Ref, RefCell};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gnnmark_tensor::Tensor;
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+struct ParamInner {
+    id: u64,
+    name: String,
+    value: RefCell<Tensor>,
+    grad: RefCell<Option<Tensor>>,
+}
+
+/// A named, trainable tensor with an accumulated gradient slot.
+///
+/// `Param` is a cheap-to-clone handle (reference semantics, like
+/// `torch.nn.Parameter`). A model owns its `Param`s across steps; each
+/// training step reads them onto a fresh [`crate::Tape`] via
+/// [`crate::Tape::read`], and [`crate::Tape::backward`] accumulates
+/// gradients back into them.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<ParamInner>,
+}
+
+impl Param {
+    /// Creates a parameter with an initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Param {
+            inner: Rc::new(ParamInner {
+                id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+                name: name.into(),
+                value: RefCell::new(value),
+                grad: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// Globally unique id (used as optimizer state key).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The parameter's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Borrow of the current value.
+    ///
+    /// # Panics
+    /// Panics if the value is currently mutably borrowed (optimizer step in
+    /// progress).
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        self.inner.value.borrow()
+    }
+
+    /// Replaces the value (used by optimizers).
+    pub fn set_value(&self, value: Tensor) {
+        *self.inner.value.borrow_mut() = value;
+    }
+
+    /// A clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.inner.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.borrow_mut() = None;
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Errors
+    /// Returns a shape error if `g` does not match previous accumulations.
+    pub fn accumulate_grad(&self, g: Tensor) -> crate::Result<()> {
+        let mut slot = self.inner.grad.borrow_mut();
+        *slot = Some(match slot.take() {
+            None => g,
+            Some(prev) => prev.add(&g)?,
+        });
+        Ok(())
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.inner.value.borrow().numel()
+    }
+
+    /// Size in bytes (what DDP all-reduces per step).
+    pub fn byte_len(&self) -> u64 {
+        self.inner.value.borrow().byte_len()
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Param(\"{}\", {:?}, grad={})",
+            self.inner.name,
+            self.inner.value.borrow().dims(),
+            self.inner.grad.borrow().is_some()
+        )
+    }
+}
+
+/// An ordered collection of a model's parameters.
+///
+/// Provides the aggregate queries DDP and the optimizers need: total
+/// parameter count (all-reduce volume) and bulk gradient operations.
+#[derive(Debug, Clone, Default)]
+pub struct ParamSet {
+    params: Vec<Param>,
+}
+
+impl ParamSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ParamSet { params: Vec::new() }
+    }
+
+    /// Adds a parameter and returns it for convenient chaining.
+    pub fn register(&mut self, param: Param) -> Param {
+        self.params.push(param.clone());
+        param
+    }
+
+    /// Appends all parameters of another set.
+    pub fn extend(&mut self, other: &ParamSet) {
+        self.params.extend(other.params.iter().cloned());
+    }
+
+    /// Iterates over the parameters.
+    pub fn iter(&self) -> std::slice::Iter<'_, Param> {
+        self.params.iter()
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` if the set contains no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn total_scalars(&self) -> usize {
+        self.params.iter().map(Param::numel).sum()
+    }
+
+    /// Total parameter bytes (the DDP all-reduce payload).
+    pub fn total_bytes(&self) -> u64 {
+        self.params.iter().map(Param::byte_len).sum()
+    }
+
+    /// Clears every parameter's gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Global L2 norm of all gradients (0 if none are populated).
+    pub fn grad_norm(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for p in &self.params {
+            if let Some(g) = p.grad() {
+                for &v in g.as_slice() {
+                    acc += (v as f64) * (v as f64);
+                }
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Clips gradients to a maximum global L2 norm (PyTorch's
+    /// `clip_grad_norm_`). Returns the pre-clip norm.
+    ///
+    /// # Errors
+    /// Propagates tensor errors from the scaling kernels.
+    pub fn clip_grad_norm(&self, max_norm: f64) -> crate::Result<f64> {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = (max_norm / norm) as f32;
+            for p in &self.params {
+                if let Some(g) = p.grad() {
+                    p.zero_grad();
+                    p.accumulate_grad(g.mul_scalar(scale))?;
+                }
+            }
+        }
+        Ok(norm)
+    }
+}
+
+impl FromIterator<Param> for ParamSet {
+    fn from_iter<T: IntoIterator<Item = Param>>(iter: T) -> Self {
+        ParamSet {
+            params: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ParamSet {
+    type Item = &'a Param;
+    type IntoIter = std::slice::Iter<'a, Param>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.params.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_handles_share_state() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        let q = p.clone();
+        q.set_value(Tensor::ones(&[2]));
+        assert_eq!(p.value().as_slice(), &[1.0, 1.0]);
+        assert_eq!(p.id(), q.id());
+    }
+
+    #[test]
+    fn grad_accumulates() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        assert!(p.grad().is_none());
+        p.accumulate_grad(Tensor::ones(&[2])).unwrap();
+        p.accumulate_grad(Tensor::ones(&[2])).unwrap();
+        assert_eq!(p.grad().unwrap().as_slice(), &[2.0, 2.0]);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Param::new("a", Tensor::zeros(&[1]));
+        let b = Param::new("b", Tensor::zeros(&[1]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn param_set_aggregates() {
+        let mut set = ParamSet::new();
+        set.register(Param::new("a", Tensor::zeros(&[2, 3])));
+        set.register(Param::new("b", Tensor::zeros(&[4])));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_scalars(), 10);
+        assert_eq!(set.total_bytes(), 40);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut set = ParamSet::new();
+        let p = set.register(Param::new("a", Tensor::zeros(&[2])));
+        p.accumulate_grad(Tensor::from_vec(&[2], vec![3.0, 4.0]).unwrap())
+            .unwrap();
+        // Norm 5 clipped to 1 → grads scaled by 0.2.
+        let pre = set.clip_grad_norm(1.0).unwrap();
+        assert!((pre - 5.0).abs() < 1e-9);
+        let g = p.grad().unwrap();
+        assert!((g.as_slice()[0] - 0.6).abs() < 1e-6);
+        assert!((set.grad_norm() - 1.0).abs() < 1e-5);
+        // Already below the bound → untouched.
+        let pre2 = set.clip_grad_norm(10.0).unwrap();
+        assert!((pre2 - 1.0).abs() < 1e-5);
+        assert!((set.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_norm_is_euclidean() {
+        let mut set = ParamSet::new();
+        let p = set.register(Param::new("a", Tensor::zeros(&[2])));
+        p.accumulate_grad(Tensor::from_vec(&[2], vec![3.0, 4.0]).unwrap())
+            .unwrap();
+        assert!((set.grad_norm() - 5.0).abs() < 1e-9);
+    }
+}

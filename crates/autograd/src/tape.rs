@@ -1,0 +1,304 @@
+//! The autodiff tape: nodes, variables and the reverse pass.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use gnnmark_tensor::Tensor;
+
+use crate::{Param, Result};
+
+/// Gradient function of one node: maps `(upstream_grad, own_value,
+/// parent_values)` to one optional gradient contribution per parent.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Result<Vec<Option<Tensor>>>>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) grad: Option<Tensor>,
+    pub(crate) parents: Vec<usize>,
+    pub(crate) backward: Option<BackwardFn>,
+    pub(crate) param: Option<Param>,
+}
+
+#[derive(Default)]
+pub(crate) struct TapeInner {
+    pub(crate) nodes: Vec<Node>,
+}
+
+/// A single-step computation tape.
+///
+/// Create one per training step, build the forward computation with
+/// [`Var`] operations, then call [`Tape::backward`] on the (scalar) loss.
+/// The tape is intentionally `!Send`: the multi-GPU simulator runs one
+/// independent tape per modeled device thread.
+#[derive(Clone, Default)]
+pub struct Tape {
+    pub(crate) inner: Rc<RefCell<TapeInner>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// `true` if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+        param: Option<Param>,
+    ) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node {
+            value,
+            grad: None,
+            parents,
+            backward,
+            param,
+        });
+        Var {
+            id,
+            tape: Rc::clone(&self.inner),
+        }
+    }
+
+    /// Records a constant (non-differentiable) input.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, Vec::new(), None, None)
+    }
+
+    /// Records a differentiable leaf whose gradient can be inspected with
+    /// [`Var::grad`] after the backward pass.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        // A leaf participates in grad accumulation but has no parents.
+        self.push(value, Vec::new(), None, None)
+    }
+
+    /// Reads a [`Param`] onto the tape; after [`Tape::backward`] its
+    /// gradient is accumulated into the parameter.
+    pub fn read(&self, param: &Param) -> Var {
+        let value = param.value().clone();
+        self.push(value, Vec::new(), None, Some(param.clone()))
+    }
+
+    /// Runs the reverse pass from `loss`, accumulating gradients into every
+    /// node and into linked parameters.
+    ///
+    /// # Errors
+    /// Propagates tensor errors from gradient kernels (these indicate a bug
+    /// in an op's backward function, e.g. a shape mismatch).
+    ///
+    /// # Panics
+    /// Panics if `loss` belongs to a different tape.
+    pub fn backward(&self, loss: &Var) -> Result<()> {
+        assert!(
+            Rc::ptr_eq(&self.inner, &loss.tape),
+            "loss Var belongs to a different tape"
+        );
+        {
+            let mut inner = self.inner.borrow_mut();
+            let seed = Tensor::ones(inner.nodes[loss.id].value.dims());
+            inner.nodes[loss.id].grad = Some(seed);
+        }
+        for i in (0..=loss.id).rev() {
+            // Take this node's gradient out to avoid aliasing the borrow of
+            // parent values during the gradient computation.
+            let upstream = {
+                let mut inner = self.inner.borrow_mut();
+                inner.nodes[i].grad.take()
+            };
+            let Some(upstream) = upstream else { continue };
+
+            let (parents, contribs) = {
+                let inner = self.inner.borrow();
+                let node = &inner.nodes[i];
+                match &node.backward {
+                    None => (node.parents.clone(), None),
+                    Some(bf) => {
+                        let parent_vals: Vec<&Tensor> = node
+                            .parents
+                            .iter()
+                            .map(|&p| &inner.nodes[p].value)
+                            .collect();
+                        let c = bf(&upstream, &node.value, &parent_vals)?;
+                        (node.parents.clone(), Some(c))
+                    }
+                }
+            };
+
+            {
+                let mut inner = self.inner.borrow_mut();
+                if let Some(contribs) = contribs {
+                    debug_assert_eq!(contribs.len(), parents.len());
+                    for (p, c) in parents.into_iter().zip(contribs) {
+                        if let Some(c) = c {
+                            let slot = &mut inner.nodes[p].grad;
+                            *slot = Some(match slot.take() {
+                                None => c,
+                                Some(prev) => prev.add(&c)?,
+                            });
+                        }
+                    }
+                }
+                // Restore the node's grad for inspection / param flush.
+                inner.nodes[i].grad = Some(upstream);
+            }
+        }
+        // Flush gradients into linked parameters.
+        let inner = self.inner.borrow();
+        for node in &inner.nodes {
+            if let (Some(param), Some(grad)) = (&node.param, &node.grad) {
+                param.accumulate_grad(grad.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tape({} nodes)", self.len())
+    }
+}
+
+/// A handle to a value on a [`Tape`].
+///
+/// `Var` is a cheap clone (id + tape reference). All differentiable
+/// operations are defined as inherent methods (see the crate docs for an
+/// end-to-end example).
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) id: usize,
+    pub(crate) tape: Rc<RefCell<TapeInner>>,
+}
+
+impl Var {
+    /// A deep copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.tape.borrow().nodes[self.id].value.clone()
+    }
+
+    /// Applies `f` to a borrow of the value without copying.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.tape.borrow().nodes[self.id].value)
+    }
+
+    /// Dimensions of the value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.with_value(|t| t.dims().to_vec())
+    }
+
+    /// A deep copy of the accumulated gradient (populated by
+    /// [`Tape::backward`]).
+    pub fn grad(&self) -> Option<Tensor> {
+        self.tape.borrow().nodes[self.id].grad.clone()
+    }
+
+    /// Re-enters the value as a constant, cutting the gradient flow
+    /// (PyTorch's `detach`). Used by adversarial training loops.
+    pub fn detach(&self) -> Var {
+        let value = self.value();
+        self.constant_like(value)
+    }
+
+    /// Records `value` as a new constant on the same tape as `self`.
+    pub fn constant_like(&self, value: Tensor) -> Var {
+        let tape = Tape {
+            inner: Rc::clone(&self.tape),
+        };
+        tape.constant(value)
+    }
+
+    pub(crate) fn same_tape(&self, other: &Var) -> bool {
+        Rc::ptr_eq(&self.tape, &other.tape)
+    }
+
+    pub(crate) fn tape_handle(&self) -> Tape {
+        Tape {
+            inner: Rc::clone(&self.tape),
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.with_value(|t| write!(f, "Var#{} {:?}", self.id, t.dims()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_has_no_grad_flow() {
+        let tape = Tape::new();
+        let c = tape.constant(Tensor::ones(&[2]));
+        let s = c.sum_all();
+        tape.backward(&s).unwrap();
+        // Constants do receive a grad slot but flow nowhere.
+        assert!(c.grad().is_some());
+    }
+
+    #[test]
+    fn leaf_grad_of_sum_is_ones() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).unwrap());
+        let s = x.sum_all();
+        tape.backward(&s).unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn param_receives_gradient() {
+        let p = Param::new("p", Tensor::from_vec(&[2], vec![2.0, 3.0]).unwrap());
+        let tape = Tape::new();
+        let v = tape.read(&p);
+        let loss = v.square().sum_all();
+        tape.backward(&loss).unwrap();
+        // d/dx sum(x²) = 2x
+        assert_eq!(p.grad().unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_uses() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(&[1], vec![3.0]).unwrap());
+        let y = x.add(&x).unwrap(); // y = 2x
+        let loss = y.sum_all();
+        tape.backward(&loss).unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn detach_cuts_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(&[1], vec![3.0]).unwrap());
+        let d = x.detach();
+        let loss = d.square().sum_all();
+        tape.backward(&loss).unwrap();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different tape")]
+    fn cross_tape_backward_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let x = t2.leaf(Tensor::ones(&[1]));
+        let loss = x.sum_all();
+        t1.backward(&loss).unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! One Criterion bench per paper table/figure: each target measures the
+//! end-to-end cost of regenerating that result (train + profile + render)
+//! at Test scale, so regressions anywhere in the stack show up as bench
+//! deltas. `fig8`/`fig9` reuse the `fig2` pipeline plus their own
+//! rendering, so they are covered by the suite-wide target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnnmark::suite::{run_suite, run_workload_full, SuiteConfig};
+use gnnmark::{figures, WorkloadKind};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| {
+        b.iter(|| std::hint::black_box(figures::table1().to_string()))
+    });
+}
+
+fn bench_single_workload_figures(c: &mut Criterion) {
+    let cfg = SuiteConfig::test();
+    // Pre-train one workload; benchmark the figure rendering separately
+    // from the training so both costs are visible.
+    let art = run_workload_full(WorkloadKind::Tlstm, &cfg).expect("runs");
+    let profiles = vec![art.profile.clone()];
+
+    c.bench_function("fig2_time_breakdown_render", |b| {
+        b.iter(|| std::hint::black_box(figures::fig2_time_breakdown(&profiles).to_csv()))
+    });
+    c.bench_function("fig3_instruction_mix_render", |b| {
+        b.iter(|| std::hint::black_box(figures::fig3_instruction_mix(&profiles).to_csv()))
+    });
+    c.bench_function("fig4_throughput_render", |b| {
+        b.iter(|| std::hint::black_box(figures::fig4_throughput(&profiles).to_csv()))
+    });
+    c.bench_function("fig5_stalls_render", |b| {
+        b.iter(|| std::hint::black_box(figures::fig5_stalls(&profiles).to_csv()))
+    });
+    c.bench_function("fig6_caches_render", |b| {
+        b.iter(|| std::hint::black_box(figures::fig6_caches(&profiles).to_csv()))
+    });
+    c.bench_function("fig7_sparsity_render", |b| {
+        b.iter(|| std::hint::black_box(figures::fig7_sparsity(&profiles).to_csv()))
+    });
+    c.bench_function("fig8_sparsity_series_render", |b| {
+        b.iter(|| {
+            std::hint::black_box(figures::fig8_sparsity_series(&profiles[0], 24).to_csv())
+        })
+    });
+    let arts = vec![art];
+    c.bench_function("fig9_scaling_render", |b| {
+        b.iter(|| std::hint::black_box(figures::fig9_scaling(&arts).to_csv()))
+    });
+}
+
+fn bench_workload_profiling(c: &mut Criterion) {
+    // The expensive half of every figure: train + profile one epoch.
+    // One representative per graph family keeps `cargo bench` tractable.
+    let mut group = c.benchmark_group("profile_epoch");
+    group.sample_size(10);
+    for kind in [
+        WorkloadKind::PsageMvl,
+        WorkloadKind::Stgcn,
+        WorkloadKind::Dgcn,
+        WorkloadKind::ArgaCora,
+        WorkloadKind::Tlstm,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let cfg = SuiteConfig::test();
+                std::hint::black_box(run_workload_full(kind, &cfg).expect("runs"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite");
+    group.sample_size(10);
+    group.bench_function("run_suite_test_scale", |b| {
+        b.iter(|| std::hint::black_box(run_suite(&SuiteConfig::test()).expect("suite")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures_benches,
+    bench_table1,
+    bench_single_workload_figures,
+    bench_workload_profiling,
+    bench_full_suite
+);
+criterion_main!(figures_benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the substrate: tensor kernels and the GPU model's
+//! simulation cost per kernel class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnnmark_gpusim::{DeviceSpec, GpuModel};
+use gnnmark_tensor::{record, CsrMatrix, IntTensor, Tensor};
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_ops");
+    let a = Tensor::from_fn(&[256, 256], |i| (i % 17) as f32 * 0.1);
+    let b = Tensor::from_fn(&[256, 256], |i| (i % 13) as f32 * 0.1);
+    group.bench_function("gemm_256", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul(&b).unwrap()))
+    });
+
+    let triplets: Vec<(usize, usize, f32)> = (0..8192)
+        .map(|i| ((i * 37) % 1024, (i * 101) % 1024, 1.0))
+        .collect();
+    let sp = CsrMatrix::from_coo(1024, 1024, &triplets).unwrap();
+    let x = Tensor::ones(&[1024, 64]);
+    group.bench_function("spmm_1k_8knnz", |bch| {
+        bch.iter(|| std::hint::black_box(sp.spmm(&x).unwrap()))
+    });
+
+    let table = Tensor::ones(&[10_000, 64]);
+    let idx = IntTensor::from_vec(&[4096], (0..4096).map(|i| (i * 7) % 10_000).collect())
+        .unwrap();
+    group.bench_function("gather_4k_rows", |bch| {
+        bch.iter(|| std::hint::black_box(table.gather_rows(&idx).unwrap()))
+    });
+
+    let keys = Tensor::from_fn(&[16384], |i| ((i * 2654435761) % 1_000_003) as f32);
+    group.bench_function("argsort_16k", |bch| {
+        bch.iter(|| std::hint::black_box(keys.argsort().unwrap()))
+    });
+
+    let img = Tensor::ones(&[4, 16, 12, 64]);
+    let filt = Tensor::ones(&[16, 16, 3, 1]);
+    group.bench_function("conv2d_temporal", |bch| {
+        bch.iter(|| {
+            std::hint::black_box(
+                img.conv2d(&filt, gnnmark_tensor::ops::conv::Conv2dSpec::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_gpu_model(c: &mut Criterion) {
+    // The GPU model's own simulation throughput per kernel class.
+    record::start_recording();
+    let a = Tensor::ones(&[512, 512]);
+    let _ = a.matmul(&a).unwrap();
+    let table = Tensor::ones(&[50_000, 64]);
+    let idx = IntTensor::from_vec(&[8192], (0..8192).map(|i| (i * 97) % 50_000).collect())
+        .unwrap();
+    let _ = table.gather_rows(&idx).unwrap();
+    let big = Tensor::ones(&[4_000_000]);
+    let _ = big.relu();
+    let events = record::stop_recording();
+
+    let mut group = c.benchmark_group("gpu_model_simulation");
+    for (i, name) in ["gemm", "gather", "elementwise"].iter().enumerate() {
+        let ev = events[i].clone();
+        group.bench_function(format!("simulate_{name}"), |bch| {
+            bch.iter(|| {
+                let mut gpu = GpuModel::new(DeviceSpec::v100());
+                std::hint::black_box(gpu.execute(&ev))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(kernel_benches, bench_tensor_ops, bench_gpu_model);
+criterion_main!(kernel_benches);

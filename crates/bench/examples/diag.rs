@@ -1,0 +1,32 @@
+use gnnmark::suite::{run_workload, SuiteConfig};
+use gnnmark::WorkloadKind;
+use std::collections::BTreeMap;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "PSAGE-NWP".into());
+    let kind = match which.as_str() {
+        "PSAGE-MVL" => WorkloadKind::PsageMvl,
+        "PSAGE-NWP" => WorkloadKind::PsageNwp,
+        "STGCN" => WorkloadKind::Stgcn,
+        "DGCN" => WorkloadKind::Dgcn,
+        "GW" => WorkloadKind::Gw,
+        "KGNNL" => WorkloadKind::KgnnL,
+        "ARGA" => WorkloadKind::ArgaCora,
+        "TLSTM" => WorkloadKind::Tlstm,
+        _ => panic!("unknown"),
+    };
+    let p = run_workload(kind, &{let mut c = SuiteConfig::paper(); c.epochs = 1; c}).unwrap();
+    let mut by_kernel: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    for k in &p.kernels {
+        let e = by_kernel.entry(k.kernel).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += k.time_ns;
+    }
+    let mut rows: Vec<_> = by_kernel.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).unwrap());
+    let total: f64 = rows.iter().map(|r| r.1 .1).sum();
+    println!("total kernel time {:.2} ms, {} kernels", total / 1e6, p.kernels.len());
+    for (name, (n, t)) in rows.iter().take(20) {
+        println!("{name:<24} {n:>6}x {:>10.1} us  {:>5.1}%", t / 1e3, 100.0 * t / total);
+    }
+}

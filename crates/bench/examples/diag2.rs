@@ -1,0 +1,17 @@
+use gnnmark::suite::{run_workload, SuiteConfig};
+use gnnmark::WorkloadKind;
+
+fn main() {
+    let mut c = SuiteConfig::paper();
+    c.epochs = 1;
+    let p = run_workload(WorkloadKind::ArgaCora, &c).unwrap();
+    for k in &p.kernels {
+        if k.time_ns > 20_000.0 {
+            println!(
+                "{:<22} {:>10.1}us flops={:>12} threads={:>9} sms={:>3} l1={:.2} dram={:.1}MB",
+                k.kernel, k.time_ns / 1e3, k.flops, k.threads, k.sms_used,
+                k.memory.l1_hit_rate(), k.memory.dram_bytes as f64 / 1e6
+            );
+        }
+    }
+}

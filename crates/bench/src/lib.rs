@@ -1,0 +1,123 @@
+//! # gnnmark-bench
+//!
+//! The benchmark harness of the GNNMark reproduction:
+//!
+//! * the `gnnmark` CLI binary regenerates every table and figure of the
+//!   paper (`gnnmark all`, `gnnmark fig2`, …) as text tables and CSV;
+//! * the Criterion benches (`cargo bench`) time one regeneration target
+//!   per table/figure so regressions in the substrate show up as bench
+//!   deltas.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use gnnmark::suite::{run_suite_parallel, RunArtifacts, SuiteConfig};
+use gnnmark::{figures, Result, Table, WorkloadKind};
+
+/// Every figure target the CLI and benches expose.
+pub const TARGETS: [&str; 15] = [
+    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "roofline", "convergence", "summary", "ablations", "all", "list",
+];
+
+/// Runs the suite once and renders one figure target into tables.
+///
+/// `suite_cache` lets callers reuse one suite run across several targets.
+///
+/// # Errors
+/// Propagates workload failures.
+pub fn render_target(
+    target: &str,
+    cfg: &SuiteConfig,
+    suite_cache: &mut Option<Vec<RunArtifacts>>,
+) -> Result<Vec<Table>> {
+    // Table 1 needs no training.
+    if target == "table1" {
+        return Ok(vec![figures::table1()]);
+    }
+    if suite_cache.is_none() {
+        *suite_cache = Some(run_suite_parallel(cfg)?);
+    }
+    let runs = suite_cache.as_ref().expect("cache populated");
+    let profiles: Vec<_> = runs.iter().map(|r| r.profile.clone()).collect();
+    Ok(match target {
+        "fig2" => vec![figures::fig2_time_breakdown(&profiles)],
+        "fig3" => vec![figures::fig3_instruction_mix(&profiles)],
+        "fig4" => vec![
+            figures::fig4_throughput(&profiles),
+            figures::fig4_per_op_throughput(&profiles),
+        ],
+        "fig5" => vec![
+            figures::fig5_stalls(&profiles),
+            figures::fig5_per_op_stalls(&profiles),
+        ],
+        "fig6" => vec![
+            figures::fig6_caches(&profiles),
+            figures::fig6_per_op_caches(&profiles),
+        ],
+        "fig7" => vec![figures::fig7_sparsity(&profiles)],
+        "fig8" => {
+            // The paper plots representative workloads; show one dense and
+            // one sparse-transfer workload.
+            let arga = profiles
+                .iter()
+                .find(|p| p.name.starts_with("ARGA"))
+                .expect("ARGA in suite");
+            let psage = profiles
+                .iter()
+                .find(|p| p.name.starts_with("PSAGE"))
+                .expect("PSAGE in suite");
+            vec![
+                figures::fig8_sparsity_series(psage, 24),
+                figures::fig8_sparsity_series(arga, 24),
+            ]
+        }
+        "fig9" => vec![figures::fig9_scaling(runs)],
+        "roofline" => vec![figures::fig_roofline(&profiles)],
+        "summary" => vec![figures::suite_summary(runs)],
+        "convergence" => vec![figures::fig_convergence(runs)],
+        other => {
+            return Err(gnnmark_tensor::TensorError::InvalidArgument {
+                op: "render_target",
+                reason: format!("unknown target `{other}`"),
+            })
+        }
+    })
+}
+
+/// Renders the four ablation studies.
+///
+/// # Errors
+/// Propagates workload failures.
+pub fn render_ablations(cfg: &SuiteConfig) -> Result<Vec<Table>> {
+    Ok(vec![
+        gnnmark::ablations::ablation_l1_size(WorkloadKind::ArgaCora, cfg)?,
+        gnnmark::ablations::ablation_feature_width(cfg.seed)?,
+        gnnmark::ablations::ablation_nvlink_bandwidth(cfg)?,
+        gnnmark::ablations::ablation_half_precision(WorkloadKind::ArgaCora, cfg)?,
+        gnnmark::ablations::ablation_inference_vs_training(cfg.seed)?,
+        gnnmark::ablations::ablation_weak_scaling(cfg)?,
+        gnnmark::ablations::ablation_arga_datasets(&SuiteConfig::test())?,
+        gnnmark::ablations::ablation_sparsity_compression(cfg)?,
+        gnnmark::ablations::ablation_device_comparison(WorkloadKind::Dgcn, cfg)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_needs_no_suite() {
+        let mut cache = None;
+        let t = render_target("table1", &SuiteConfig::test(), &mut cache).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(cache.is_none());
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        let mut cache = None;
+        assert!(render_target("fig99", &SuiteConfig::test(), &mut cache).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! The `gnnmark` CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] [--csv DIR]
+//!
+//! targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!          roofline convergence summary ablations all list
+//! ```
+
+use std::io::Write as _;
+
+use gnnmark::suite::SuiteConfig;
+use gnnmark::{Scale, Table};
+use gnnmark_bench::{render_ablations, render_target, TARGETS};
+
+struct Args {
+    target: String,
+    cfg: SuiteConfig,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let target = args.next().unwrap_or_else(|| "list".to_string());
+    let mut cfg = SuiteConfig::small();
+    let mut csv_dir = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                cfg.scale = match v.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--epochs" => {
+                cfg.epochs = args
+                    .next()
+                    .ok_or("--epochs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad epoch count: {e}"))?;
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().ok_or("--csv needs a directory")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        target,
+        cfg,
+        csv_dir,
+    })
+}
+
+fn emit(tables: &[Table], csv_dir: Option<&str>) -> std::io::Result<()> {
+    for t in tables {
+        println!("{t}");
+        println!();
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir)?;
+            let slug: String = t
+                .title()
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+                .split('_')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("_");
+            let path = format!("{dir}/{slug}.csv");
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(t.to_csv().as_bytes())?;
+            eprintln!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] [--csv DIR]");
+            std::process::exit(2);
+        }
+    };
+    if args.target == "list" {
+        println!("targets:");
+        for t in TARGETS {
+            println!("  {t}");
+        }
+        return;
+    }
+    let started = std::time::Instant::now();
+    let mut cache = None;
+    let result = (|| -> gnnmark::Result<Vec<Table>> {
+        match args.target.as_str() {
+            "all" => {
+                let mut tables = Vec::new();
+                for target in [
+                    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                    "fig9", "roofline", "convergence", "summary",
+                ] {
+                    tables.extend(render_target(target, &args.cfg, &mut cache)?);
+                }
+                tables.extend(render_ablations(&args.cfg)?);
+                Ok(tables)
+            }
+            "ablations" => render_ablations(&args.cfg),
+            target => render_target(target, &args.cfg, &mut cache),
+        }
+    })();
+    match result {
+        Ok(tables) => {
+            if let Err(e) = emit(&tables, args.csv_dir.as_deref()) {
+                eprintln!("error writing output: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "done: {} table(s) in {:.1}s",
+                tables.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end tests of the `gnnmark` CLI binary.
+
+use std::process::Command;
+
+fn gnnmark() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gnnmark"))
+}
+
+#[test]
+fn list_prints_all_targets() {
+    let out = gnnmark().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for target in gnnmark_bench::TARGETS {
+        assert!(stdout.contains(target), "missing `{target}` in list output");
+    }
+}
+
+#[test]
+fn table1_renders_without_training() {
+    let out = gnnmark().arg("table1").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PinSAGE"));
+    assert!(stdout.contains("Tree-LSTM"));
+    assert!(stdout.contains("DGL"));
+}
+
+#[test]
+fn unknown_target_fails_cleanly() {
+    let out = gnnmark().arg("fig99").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fig99"));
+}
+
+#[test]
+fn bad_flag_shows_usage() {
+    let out = gnnmark()
+        .args(["fig2", "--bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn fig9_runs_at_test_scale_and_writes_csv() {
+    let dir = std::env::temp_dir().join(format!("gnnmark_cli_test_{}", std::process::id()));
+    let out = gnnmark()
+        .args([
+            "fig9",
+            "--scale",
+            "test",
+            "--epochs",
+            "1",
+            "--csv",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("excluded"), "ARGA row missing");
+    // CSV file landed.
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("csv dir exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert!(
+        entries.iter().any(|f| f.contains("figure_9") && f.ends_with(".csv")),
+        "{entries:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,37 @@
+//! # gnnmark
+//!
+//! The facade crate of the GNNMark reproduction: run the full benchmark
+//! suite on the modeled V100, and regenerate every table and figure of
+//! the paper (Baruah et al., *GNNMark: A Benchmark Suite to Characterize
+//! Graph Neural Network Training on GPUs*, ISPASS 2021).
+//!
+//! * [`suite`] — run workloads under a profiling session.
+//! * [`figures`] — Table I and Figures 2–9 as text tables / CSV.
+//! * [`ablations`] — the design-space sweeps DESIGN.md calls out
+//!   (L1 capacity, feature width, NVLink bandwidth, half precision).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gnnmark::suite::{run_workload, SuiteConfig};
+//! use gnnmark::WorkloadKind;
+//!
+//! let cfg = SuiteConfig::test();
+//! let profile = run_workload(WorkloadKind::ArgaCora, &cfg).unwrap();
+//! assert!(profile.kernels.len() > 10);
+//! println!("{}", gnnmark::figures::fig4_throughput(&[profile]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod figures;
+pub mod suite;
+
+pub use gnnmark_gpusim::DeviceSpec;
+pub use gnnmark_profiler::{ProfileSession, Table, WorkloadProfile};
+pub use gnnmark_workloads::{Scale, Workload, WorkloadKind};
+
+/// Result alias re-used from the tensor crate.
+pub type Result<T> = gnnmark_tensor::Result<T>;

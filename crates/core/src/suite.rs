@@ -1,0 +1,231 @@
+//! Suite execution: build workloads, train them under profiling sessions.
+
+use gnnmark_gpusim::DeviceSpec;
+use gnnmark_profiler::{ProfileSession, WorkloadProfile};
+use gnnmark_workloads::{Scale, WorkloadKind};
+
+use crate::Result;
+
+/// Configuration of a suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Problem size.
+    pub scale: Scale,
+    /// Training epochs profiled per workload.
+    pub epochs: usize,
+    /// Dataset / initialization seed.
+    pub seed: u64,
+    /// The modeled device.
+    pub device: DeviceSpec,
+}
+
+impl SuiteConfig {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        SuiteConfig {
+            scale: Scale::Test,
+            epochs: 1,
+            seed: 42,
+            device: DeviceSpec::v100(),
+        }
+    }
+
+    /// Default figure-generation configuration (matches the paper's
+    /// methodology of profiling a bounded window of training).
+    pub fn small() -> Self {
+        SuiteConfig {
+            scale: Scale::Small,
+            epochs: 2,
+            seed: 42,
+            device: DeviceSpec::v100(),
+        }
+    }
+
+    /// The largest configuration the CPU substrate sustains.
+    pub fn paper() -> Self {
+        SuiteConfig {
+            scale: Scale::Paper,
+            epochs: 1,
+            seed: 42,
+            device: DeviceSpec::v100(),
+        }
+    }
+
+    /// Replaces the device (ablations).
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+}
+
+/// Extra results captured alongside a profile.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The profile itself.
+    pub profile: WorkloadProfile,
+    /// Per-epoch mean training losses.
+    pub losses: Vec<f64>,
+    /// Optimizer steps per epoch (DDP all-reduces).
+    pub steps_per_epoch: u64,
+    /// Gradient payload per step, bytes.
+    pub grad_bytes: u64,
+    /// How the workload scales under DDP (`None` = excluded).
+    pub scaling: Option<gnnmark_gpusim::ScalingBehavior>,
+    /// Task-quality metric after training, if the workload defines one.
+    pub quality: Option<(&'static str, f64)>,
+}
+
+/// Trains and profiles one workload, returning its profile.
+///
+/// # Errors
+/// Propagates workload construction or training errors.
+pub fn run_workload(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<WorkloadProfile> {
+    Ok(run_workload_full(kind, cfg)?.profile)
+}
+
+/// Trains and profiles one workload, returning the profile plus training
+/// metadata needed by the scaling model.
+///
+/// # Errors
+/// Propagates workload construction or training errors.
+pub fn run_workload_full(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunArtifacts> {
+    let mut w = kind.build(cfg.scale, cfg.seed)?;
+    let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        losses.push(w.run_epoch(&mut session)?);
+    }
+    let quality = w.quality()?;
+    Ok(RunArtifacts {
+        profile: session.finish(),
+        losses,
+        steps_per_epoch: w.steps_per_epoch(),
+        grad_bytes: w.params().total_bytes(),
+        scaling: w.scaling_behavior(),
+        quality,
+    })
+}
+
+/// Runs the whole suite (every workload of the paper's figures) and
+/// returns the artifacts in [`WorkloadKind::ALL`] order.
+///
+/// # Errors
+/// Propagates the first workload failure.
+pub fn run_suite(cfg: &SuiteConfig) -> Result<Vec<RunArtifacts>> {
+    WorkloadKind::ALL
+        .iter()
+        .map(|&k| run_workload_full(k, cfg))
+        .collect()
+}
+
+/// Runs the whole suite with one OS thread per workload (op recording is
+/// thread-local, so runs are fully independent); results come back in
+/// [`WorkloadKind::ALL`] order and are bit-identical to [`run_suite`].
+///
+/// # Errors
+/// Propagates the first workload failure.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn run_suite_parallel(cfg: &SuiteConfig) -> Result<Vec<RunArtifacts>> {
+    let results: Vec<Result<RunArtifacts>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = WorkloadKind::ALL
+            .iter()
+            .map(|&kind| {
+                let cfg = cfg.clone();
+                scope.spawn(move |_| run_workload_full(kind, &cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload thread panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+    results.into_iter().collect()
+}
+
+/// Result of a time-to-train measurement (the MLPerf-style metric the
+/// paper plans to adopt in its future work, §VII).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeToTrain {
+    /// Epochs needed to reach the target (`None` if never reached).
+    pub epochs: Option<usize>,
+    /// Modeled GPU time spent, nanoseconds (up to the reaching epoch, or
+    /// all of `max_epochs` when the target was missed).
+    pub modeled_ns: f64,
+    /// The loss trajectory that was observed.
+    pub losses: Vec<f64>,
+}
+
+/// Trains a workload until its epoch loss falls below `target_loss` (or
+/// `max_epochs` elapse) and reports the modeled time to get there — the
+/// "time-to-train" metric of MLPerf that the paper lists as future work.
+///
+/// # Errors
+/// Propagates workload failures.
+pub fn time_to_target(
+    kind: WorkloadKind,
+    cfg: &SuiteConfig,
+    target_loss: f64,
+    max_epochs: usize,
+) -> Result<TimeToTrain> {
+    let mut w = kind.build(cfg.scale, cfg.seed)?;
+    let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
+    let mut losses = Vec::new();
+    let mut reached = None;
+    for epoch in 0..max_epochs {
+        let loss = w.run_epoch(&mut session)?;
+        losses.push(loss);
+        if loss <= target_loss {
+            reached = Some(epoch + 1);
+            break;
+        }
+    }
+    let profile = session.finish();
+    Ok(TimeToTrain {
+        epochs: reached,
+        modeled_ns: profile.total_time_ns(),
+        losses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_workload_produces_profile() {
+        let cfg = SuiteConfig::test();
+        let art = run_workload_full(WorkloadKind::Tlstm, &cfg).unwrap();
+        assert_eq!(art.losses.len(), 1);
+        assert!(art.profile.kernels.len() > 10);
+        assert!(art.grad_bytes > 0);
+        assert!(art.steps_per_epoch > 0);
+        assert!(art.scaling.is_some());
+    }
+
+    #[test]
+    fn time_to_target_reports_epochs_or_miss() {
+        let cfg = SuiteConfig::test();
+        // An absurdly high target is hit on epoch 1.
+        let easy = time_to_target(WorkloadKind::Tlstm, &cfg, 1e9, 4).unwrap();
+        assert_eq!(easy.epochs, Some(1));
+        assert_eq!(easy.losses.len(), 1);
+        assert!(easy.modeled_ns > 0.0);
+        // An impossible target runs out the budget.
+        let hard = time_to_target(WorkloadKind::Tlstm, &cfg, -1.0, 2).unwrap();
+        assert_eq!(hard.epochs, None);
+        assert_eq!(hard.losses.len(), 2);
+        assert!(hard.modeled_ns > easy.modeled_ns);
+    }
+
+    #[test]
+    fn configs_differ_in_scale() {
+        assert_eq!(SuiteConfig::test().scale, Scale::Test);
+        assert_eq!(SuiteConfig::small().scale, Scale::Small);
+        assert_eq!(SuiteConfig::paper().scale, Scale::Paper);
+        let custom = SuiteConfig::test().with_device(DeviceSpec::v100().with_half_precision());
+        assert_eq!(custom.device.elem_bytes, 2);
+    }
+}

@@ -1,0 +1,612 @@
+//! Set-associative cache simulation and warp-divergence analysis.
+//!
+//! Address streams are synthesized from the access descriptors tensor ops
+//! emit — including the *actual* index arrays of gathers, scatters, SpMM
+//! and sorts — coalesced into per-warp line accesses, then driven through
+//! an L1 → L2 hierarchy. Long streams are sampled with a recorded scale
+//! factor.
+
+use gnnmark_tensor::AccessDesc;
+
+use crate::device::DeviceSpec;
+
+/// Maximum line accesses simulated per kernel (streams beyond this are
+/// stride-sampled; counts are rescaled).
+const SAMPLE_CAP: usize = 1 << 16;
+
+/// A set-associative, LRU, write-allocate cache model.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    sets: usize,
+    ways: usize,
+    line_bytes: u64,
+    /// tags[set * ways + way]; LRU order maintained per set (front = MRU).
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    accesses: u64,
+    hits: u64,
+}
+
+impl CacheSim {
+    /// Creates a cache of `capacity_bytes` with the given associativity.
+    ///
+    /// # Panics
+    /// Panics if capacity is smaller than one way of lines.
+    pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        let lines = (capacity_bytes / line_bytes) as usize;
+        let sets = (lines / ways).max(1);
+        CacheSim {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![0; sets * ways],
+            valid: vec![false; sets * ways],
+            accesses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Accesses a byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line as usize) % self.sets;
+        let base = set * self.ways;
+        self.accesses += 1;
+        // Search ways (MRU order).
+        for w in 0..self.ways {
+            if self.valid[base + w] && self.tags[base + w] == line {
+                // Move to MRU.
+                for k in (1..=w).rev() {
+                    self.tags.swap(base + k, base + k - 1);
+                    self.valid.swap(base + k, base + k - 1);
+                }
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Miss: evict LRU (last way), insert at MRU.
+        for k in (1..self.ways).rev() {
+            self.tags.swap(base + k, base + k - 1);
+            self.valid.swap(base + k, base + k - 1);
+        }
+        self.tags[base] = line;
+        self.valid[base] = true;
+        false
+    }
+
+    /// Lifetime accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Resets counters (contents persist).
+    pub fn reset_counters(&mut self) {
+        self.accesses = 0;
+        self.hits = 0;
+    }
+}
+
+/// The memory behavior of one kernel, measured by simulation.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTrace {
+    /// Warp-level line accesses observed at L1 (after sampling rescale).
+    pub l1_accesses: u64,
+    /// L1 hits (rescaled).
+    pub l1_hits: u64,
+    /// L2 accesses (L1 misses, rescaled).
+    pub l2_accesses: u64,
+    /// L2 hits (rescaled).
+    pub l2_hits: u64,
+    /// DRAM bytes transferred (L2 misses × line size).
+    pub dram_bytes: u64,
+    /// Global load/store warp instructions that were divergent
+    /// (touched >1 line), rescaled.
+    pub divergent_warp_ops: u64,
+    /// Total warp-level load/store instructions, rescaled.
+    pub warp_ops: u64,
+}
+
+impl MemoryTrace {
+    /// L1 hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Fraction of warp memory instructions that were divergent.
+    pub fn divergence(&self) -> f64 {
+        if self.warp_ops == 0 {
+            0.0
+        } else {
+            self.divergent_warp_ops as f64 / self.warp_ops as f64
+        }
+    }
+
+    fn merge(&mut self, other: &MemoryTrace) {
+        self.l1_accesses += other.l1_accesses;
+        self.l1_hits += other.l1_hits;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.dram_bytes += other.dram_bytes;
+        self.divergent_warp_ops += other.divergent_warp_ops;
+        self.warp_ops += other.warp_ops;
+    }
+}
+
+/// One warp-level memory operation: the set of distinct lines its 32 lanes
+/// touch (1 = fully coalesced). Inline storage for the dominant 1–2-line
+/// cases keeps the simulator allocation-free on coalesced streams.
+enum WarpOp {
+    /// Fully coalesced: a single line.
+    One(u64),
+    /// Two lines (e.g. a misaligned row chunk).
+    Two([u64; 2]),
+    /// A divergent access touching many lines.
+    Many(Vec<u64>),
+}
+
+impl WarpOp {
+    fn from_lines(mut lines: Vec<u64>) -> WarpOp {
+        match lines.len() {
+            1 => WarpOp::One(lines[0]),
+            2 => WarpOp::Two([lines[0], lines[1]]),
+            _ => {
+                lines.shrink_to_fit();
+                WarpOp::Many(lines)
+            }
+        }
+    }
+
+    fn lines(&self) -> &[u64] {
+        match self {
+            WarpOp::One(l) => std::slice::from_ref(l),
+            WarpOp::Two(ls) => ls,
+            WarpOp::Many(v) => v,
+        }
+    }
+
+    fn is_divergent(&self) -> bool {
+        !matches!(self, WarpOp::One(_))
+    }
+}
+
+/// Simulates one kernel's access streams through the cache hierarchy.
+///
+/// `region_base` addresses are assigned per descriptor so distinct tensors
+/// do not alias. Returns the rescaled memory trace.
+pub fn simulate_kernel(
+    spec: &DeviceSpec,
+    l1: &mut CacheSim,
+    l2: &mut CacheSim,
+    reads: &[AccessDesc],
+    writes: &[AccessDesc],
+) -> MemoryTrace {
+    let mut trace = MemoryTrace::default();
+    // Distinct address spaces per descriptor; 256 MB apart.
+    let mut region = 0x1000_0000u64;
+    for desc in reads.iter().chain(writes) {
+        let warp_ops = synthesize_warp_ops(spec, desc, region);
+        region += 0x1000_0000;
+        let t = drive(spec, l1, l2, &warp_ops, total_warp_ops(spec, desc));
+        trace.merge(&t);
+    }
+    trace
+}
+
+/// Exact number of warp-level ops a descriptor implies (before sampling).
+fn total_warp_ops(spec: &DeviceSpec, desc: &AccessDesc) -> u64 {
+    let line = spec.line_bytes;
+    match desc {
+        AccessDesc::Sequential { bytes } => bytes.div_ceil(line),
+        AccessDesc::Strided { accesses, .. } => accesses.div_ceil(32).max(1),
+        AccessDesc::Indexed { indices, row_bytes, .. } => {
+            let lanes_per_row = (row_bytes / 4).clamp(1, 32);
+            let rows_per_warp = (32 / lanes_per_row).max(1);
+            // Wide rows need several warp ops per row.
+            let ops_per_row = row_bytes.div_ceil(line).max(1);
+            if *row_bytes >= 128 {
+                indices.len() as u64 * ops_per_row
+            } else {
+                (indices.len() as u64).div_ceil(rows_per_warp)
+            }
+        }
+        AccessDesc::Random { accesses, .. } => accesses.div_ceil(32).max(1),
+    }
+}
+
+/// Builds a (possibly sampled) sequence of warp ops for a descriptor.
+fn synthesize_warp_ops(spec: &DeviceSpec, desc: &AccessDesc, base: u64) -> Vec<WarpOp> {
+    let line = spec.line_bytes;
+    let mut ops = Vec::new();
+    match desc {
+        AccessDesc::Sequential { bytes } => {
+            // Fully coalesced: one line per warp op.
+            let total_lines = bytes.div_ceil(line);
+            let step = (total_lines as usize / SAMPLE_CAP).max(1) as u64;
+            let mut l = 0;
+            while l < total_lines && ops.len() < SAMPLE_CAP {
+                ops.push(WarpOp::One(base / line + l));
+                l += step;
+            }
+        }
+        AccessDesc::Strided {
+            stride_bytes,
+            accesses,
+            access_bytes,
+        } => {
+            let per_warp = 32u64;
+            let warps = accesses.div_ceil(per_warp).max(1);
+            let step = (warps as usize / SAMPLE_CAP).max(1) as u64;
+            let mut w = 0;
+            while w < warps && ops.len() < SAMPLE_CAP {
+                let mut lines: Vec<u64> = (0..per_warp.min(accesses - w * per_warp).max(1))
+                    .map(|lane| {
+                        (base + (w * per_warp + lane) * stride_bytes) / line
+                    })
+                    .collect();
+                lines.dedup();
+                let _ = access_bytes;
+                ops.push(WarpOp::from_lines(lines));
+                w += step;
+            }
+        }
+        AccessDesc::Indexed {
+            indices,
+            row_bytes,
+            table_bytes,
+        } => {
+            let table_lines = table_bytes / line;
+            if *row_bytes >= 128 {
+                // Each row is ≥1 full line; warps read within a row
+                // (coalesced), consecutive warps follow the index array.
+                let ops_per_row = row_bytes.div_ceil(line);
+                let total = indices.len() as u64 * ops_per_row;
+                let row_step = ((total as usize / SAMPLE_CAP).max(1) as u64)
+                    .div_ceil(ops_per_row)
+                    .max(1);
+                let mut i = 0usize;
+                while i < indices.len() && ops.len() < SAMPLE_CAP {
+                    let row_off = indices[i] as u64 * row_bytes;
+                    for o in 0..ops_per_row {
+                        if ops.len() >= SAMPLE_CAP {
+                            break;
+                        }
+                        // A 128-byte warp access starting mid-line spans two
+                        // lines — rows whose byte width is not a multiple of
+                        // the line size (e.g. Cora's 1433 features) make
+                        // every access divergent, as NVBit observes.
+                        let start = row_off + o * line;
+                        let l0 = (start / line) % table_lines.max(1);
+                        let l1 = start.div_ceil(line) % table_lines.max(1);
+                        if l1 != l0 {
+                            ops.push(WarpOp::Two([base / line + l0, base / line + l1]));
+                        } else {
+                            ops.push(WarpOp::One(base / line + l0));
+                        }
+                    }
+                    i += row_step as usize;
+                }
+            } else {
+                // Narrow rows: one warp covers several rows → divergence
+                // determined by the actual indices.
+                let lanes_per_row = (row_bytes / 4).clamp(1, 32);
+                let rows_per_warp = (32 / lanes_per_row).max(1) as usize;
+                let warps = indices.len().div_ceil(rows_per_warp);
+                let step = (warps / SAMPLE_CAP).max(1);
+                let mut w = 0usize;
+                while w < warps && ops.len() < SAMPLE_CAP {
+                    let start = w * rows_per_warp;
+                    let end = (start + rows_per_warp).min(indices.len());
+                    let mut lines: Vec<u64> = indices[start..end]
+                        .iter()
+                        .map(|&idx| (base + idx as u64 * row_bytes) / line)
+                        .collect();
+                    lines.sort_unstable();
+                    lines.dedup();
+                    ops.push(WarpOp::from_lines(lines));
+                    w += step;
+                }
+            }
+        }
+        AccessDesc::Random {
+            accesses,
+            access_bytes,
+            region_bytes,
+        } => {
+            let per_warp = 32u64;
+            let warps = accesses.div_ceil(per_warp).max(1);
+            let step = (warps as usize / SAMPLE_CAP).max(1) as u64;
+            let region_lines = (region_bytes / line).max(1);
+            // Deterministic LCG so runs are reproducible.
+            let mut state = 0x9e3779b97f4a7c15u64 ^ *accesses;
+            let mut w = 0;
+            while w < warps && ops.len() < SAMPLE_CAP {
+                let mut lines: Vec<u64> = (0..per_warp)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        base / line + (state >> 16) % region_lines
+                    })
+                    .collect();
+                lines.sort_unstable();
+                lines.dedup();
+                let _ = access_bytes;
+                ops.push(WarpOp::from_lines(lines));
+                w += step;
+            }
+        }
+    }
+    ops
+}
+
+/// Drives sampled warp ops through L1→L2 and rescales counters to the
+/// exact totals.
+fn drive(
+    spec: &DeviceSpec,
+    l1: &mut CacheSim,
+    l2: &mut CacheSim,
+    ops: &[WarpOp],
+    exact_warp_ops: u64,
+) -> MemoryTrace {
+    let line = spec.line_bytes;
+    let mut sampled = MemoryTrace::default();
+    for op in ops {
+        sampled.warp_ops += 1;
+        if op.is_divergent() {
+            sampled.divergent_warp_ops += 1;
+        }
+        for &l in op.lines() {
+            sampled.l1_accesses += 1;
+            if l1.access(l * line) {
+                sampled.l1_hits += 1;
+            } else {
+                sampled.l2_accesses += 1;
+                if l2.access(l * line) {
+                    sampled.l2_hits += 1;
+                } else {
+                    sampled.dram_bytes += line;
+                }
+            }
+        }
+    }
+    // Rescale to the exact op count.
+    let scale = if sampled.warp_ops == 0 {
+        0.0
+    } else {
+        exact_warp_ops as f64 / sampled.warp_ops as f64
+    };
+    let s = |v: u64| (v as f64 * scale).round() as u64;
+    MemoryTrace {
+        l1_accesses: s(sampled.l1_accesses),
+        l1_hits: s(sampled.l1_hits),
+        l2_accesses: s(sampled.l2_accesses),
+        l2_hits: s(sampled.l2_hits),
+        dram_bytes: s(sampled.dram_bytes),
+        divergent_warp_ops: s(sampled.divergent_warp_ops),
+        warp_ops: exact_warp_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::v100()
+    }
+
+    fn caches(s: &DeviceSpec) -> (CacheSim, CacheSim) {
+        (
+            CacheSim::new(s.l1_bytes, 4, s.line_bytes),
+            CacheSim::new(s.l2_bytes, 16, s.line_bytes),
+        )
+    }
+
+    #[test]
+    fn cache_hits_on_rereference() {
+        let mut c = CacheSim::new(1024, 2, 128);
+        assert!(!c.access(0));
+        assert!(c.access(64)); // same line
+        assert!(!c.access(128));
+        assert_eq!(c.accesses(), 3);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2 sets × 2 ways of 128B lines = 512B.
+        let mut c = CacheSim::new(512, 2, 128);
+        // Lines 0, 2, 4 map to set 0 (even lines).
+        assert!(!c.access(0));
+        assert!(!c.access(2 * 128));
+        assert!(!c.access(4 * 128)); // evicts line 0
+        assert!(!c.access(0)); // miss again
+        assert!(c.access(4 * 128)); // still resident
+    }
+
+    #[test]
+    fn sequential_stream_has_no_reuse_or_divergence() {
+        let s = spec();
+        let (mut l1, mut l2) = caches(&s);
+        let t = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[AccessDesc::Sequential { bytes: 1 << 20 }],
+            &[],
+        );
+        assert_eq!(t.l1_hits, 0);
+        assert_eq!(t.divergent_warp_ops, 0);
+        assert!(t.warp_ops > 0);
+    }
+
+    #[test]
+    fn repeated_indices_hit_and_skewed_beats_uniform() {
+        let s = spec();
+        // Hot indices: all rows the same → high hit rate after warm-up.
+        let hot: Vec<u32> = vec![7; 10_000];
+        let (mut l1, mut l2) = caches(&s);
+        let t_hot = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[AccessDesc::Indexed {
+                indices: Arc::new(hot),
+                row_bytes: 256,
+                table_bytes: 1 << 24,
+            }],
+            &[],
+        );
+        assert!(t_hot.l1_hit_rate() > 0.9, "hot rate {}", t_hot.l1_hit_rate());
+
+        // Uniform random over a table much larger than L1.
+        let uniform: Vec<u32> =
+            (0..10_000u64).map(|i| ((i * 2654435761) % 60_000) as u32).collect();
+        let (mut l1, mut l2) = caches(&s);
+        let t_uni = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[AccessDesc::Indexed {
+                indices: Arc::new(uniform),
+                row_bytes: 256,
+                table_bytes: 60_000 * 256,
+            }],
+            &[],
+        );
+        assert!(t_uni.l1_hit_rate() < t_hot.l1_hit_rate());
+    }
+
+    #[test]
+    fn narrow_rows_cause_divergence() {
+        let s = spec();
+        let scattered: Vec<u32> = (0..4096u32).map(|i| (i * 97) % 50_000).collect();
+        let (mut l1, mut l2) = caches(&s);
+        let t = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[AccessDesc::Indexed {
+                indices: Arc::new(scattered),
+                row_bytes: 4,
+                table_bytes: 50_000 * 4,
+            }],
+            &[],
+        );
+        assert!(t.divergence() > 0.9, "divergence {}", t.divergence());
+    }
+
+    #[test]
+    fn wide_rows_are_coalesced() {
+        let s = spec();
+        let idx: Vec<u32> = (0..1000u32).map(|i| (i * 13) % 5000).collect();
+        let (mut l1, mut l2) = caches(&s);
+        let t = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[AccessDesc::Indexed {
+                indices: Arc::new(idx),
+                row_bytes: 512,
+                table_bytes: 5000 * 512,
+            }],
+            &[],
+        );
+        assert_eq!(t.divergent_warp_ops, 0);
+    }
+
+    #[test]
+    fn random_streams_are_divergent_and_low_hit() {
+        let s = spec();
+        let (mut l1, mut l2) = caches(&s);
+        let t = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[AccessDesc::Random {
+                accesses: 100_000,
+                access_bytes: 4,
+                region_bytes: 1 << 26,
+            }],
+            &[],
+        );
+        assert!(t.divergence() > 0.95);
+        assert!(t.l1_hit_rate() < 0.2);
+    }
+
+    #[test]
+    fn table_fitting_in_l2_hits_l2() {
+        let s = spec();
+        let idx: Vec<u32> = (0..50_000u32).map(|i| (i * 7919) % 4000).collect();
+        let (mut l1, mut l2) = caches(&s);
+        // 4000 rows × 256 B = 1 MB table: fits L2, not L1.
+        let t = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[AccessDesc::Indexed {
+                indices: Arc::new(idx),
+                row_bytes: 256,
+                table_bytes: 4000 * 256,
+            }],
+            &[],
+        );
+        assert!(
+            t.l2_hit_rate() > 0.5,
+            "l2 rate {} (accesses {})",
+            t.l2_hit_rate(),
+            t.l2_accesses
+        );
+    }
+
+    #[test]
+    fn hits_never_exceed_accesses() {
+        let s = spec();
+        let (mut l1, mut l2) = caches(&s);
+        let t = simulate_kernel(
+            &s,
+            &mut l1,
+            &mut l2,
+            &[
+                AccessDesc::Sequential { bytes: 4096 },
+                AccessDesc::Random {
+                    accesses: 1000,
+                    access_bytes: 4,
+                    region_bytes: 1 << 20,
+                },
+            ],
+            &[AccessDesc::Sequential { bytes: 4096 }],
+        );
+        assert!(t.l1_hits <= t.l1_accesses);
+        assert!(t.l2_hits <= t.l2_accesses);
+        assert!(t.divergent_warp_ops <= t.warp_ops);
+    }
+}

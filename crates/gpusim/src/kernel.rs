@@ -1,0 +1,147 @@
+//! Per-kernel metrics produced by the GPU model.
+
+use gnnmark_tensor::OpClass;
+
+use crate::cache::MemoryTrace;
+use crate::stall::StallBreakdown;
+
+/// Dynamic instruction counts of one kernel (thread-level, like nvprof's
+/// `inst_fp_32` / `inst_integer` / `ldst_executed` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstructionMix {
+    /// Executed fp32 arithmetic instructions (an FMA counts once).
+    pub fp32: u64,
+    /// Executed int32 arithmetic instructions.
+    pub int32: u64,
+    /// Executed load/store instructions.
+    pub ldst: u64,
+    /// Control / predicate / misc instructions.
+    pub control: u64,
+}
+
+impl InstructionMix {
+    /// Total executed instructions.
+    pub fn total(&self) -> u64 {
+        self.fp32 + self.int32 + self.ldst + self.control
+    }
+
+    /// Share of int32 among *arithmetic* instructions (fp32 + int32 +
+    /// control), the basis the paper's Figure 3 uses.
+    pub fn int_share(&self) -> f64 {
+        let arith = self.fp32 + self.int32 + self.control;
+        if arith == 0 {
+            0.0
+        } else {
+            self.int32 as f64 / arith as f64
+        }
+    }
+
+    /// Share of fp32 among arithmetic instructions.
+    pub fn fp_share(&self) -> f64 {
+        let arith = self.fp32 + self.int32 + self.control;
+        if arith == 0 {
+            0.0
+        } else {
+            self.fp32 as f64 / arith as f64
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &InstructionMix) {
+        self.fp32 += other.fp32;
+        self.int32 += other.int32;
+        self.ldst += other.ldst;
+        self.control += other.control;
+    }
+}
+
+/// Everything the model derives about one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelMetrics {
+    /// Operation class (the paper's taxonomy).
+    pub class: OpClass,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Modeled wall-clock time, nanoseconds (includes launch overhead).
+    pub time_ns: f64,
+    /// Modeled execution cycles (excludes launch overhead).
+    pub cycles: f64,
+    /// Cycles the kernel actively issued (excludes fill/drain tails).
+    pub active_cycles: f64,
+    /// fp32 floating-point operations performed (FMA = 2).
+    pub flops: u64,
+    /// int32 operations performed.
+    pub iops: u64,
+    /// Dynamic instruction mix.
+    pub instr: InstructionMix,
+    /// Warp-level instructions issued.
+    pub warp_instrs: u64,
+    /// Logical threads launched.
+    pub threads: u64,
+    /// SMs the launch could occupy.
+    pub sms_used: u32,
+    /// Simulated memory behavior.
+    pub memory: MemoryTrace,
+    /// Attributed stall breakdown.
+    pub stalls: StallBreakdown,
+}
+
+impl KernelMetrics {
+    /// Achieved GFLOPS (fp32).
+    pub fn gflops(&self) -> f64 {
+        if self.time_ns <= 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / self.time_ns
+        }
+    }
+
+    /// Achieved GIOPS (int32).
+    pub fn giops(&self) -> f64 {
+        if self.time_ns <= 0.0 {
+            0.0
+        } else {
+            self.iops as f64 / self.time_ns
+        }
+    }
+
+    /// Per-SM IPC over the SMs the launch occupied (warp instructions per
+    /// active cycle per active SM) — nvprof's `ipc`, which peaks at the
+    /// scheduler count.
+    pub fn ipc(&self) -> f64 {
+        if self.active_cycles <= 0.0 {
+            0.0
+        } else {
+            self.warp_instrs as f64 / (self.active_cycles * self.sms_used as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_shares() {
+        let m = InstructionMix {
+            fp32: 30,
+            int32: 60,
+            ldst: 100,
+            control: 10,
+        };
+        assert_eq!(m.total(), 200);
+        assert!((m.int_share() - 0.6).abs() < 1e-12);
+        assert!((m.fp_share() - 0.3).abs() < 1e-12);
+        let mut acc = InstructionMix::default();
+        acc.add(&m);
+        acc.add(&m);
+        assert_eq!(acc.total(), 400);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_shares() {
+        let m = InstructionMix::default();
+        assert_eq!(m.int_share(), 0.0);
+        assert_eq!(m.fp_share(), 0.0);
+    }
+}

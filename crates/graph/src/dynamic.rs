@@ -1,0 +1,206 @@
+//! Dynamic / spatio-temporal graphs.
+//!
+//! Two flavors appear in the suite:
+//!
+//! * [`SpatioTemporal`] — a fixed spatial graph whose node *signals* evolve
+//!   over time (traffic sensor networks; STGCN's input), sampled as sliding
+//!   windows.
+//! * [`DynamicGraph`] — a sequence of timestamped snapshots whose edge
+//!   structure itself evolves (social/communication networks).
+
+use gnnmark_tensor::{Tensor, TensorError};
+
+use crate::{Graph, Result};
+
+/// A fixed graph with a time series of node signals.
+///
+/// `signal[t]` is the `[nodes, channels]` observation at timestep `t`.
+#[derive(Debug, Clone)]
+pub struct SpatioTemporal {
+    graph: Graph,
+    signal: Vec<Tensor>,
+}
+
+impl SpatioTemporal {
+    /// Builds a spatio-temporal dataset.
+    ///
+    /// # Errors
+    /// Returns an error if any timestep's signal does not match the graph's
+    /// node count or if timesteps disagree on channel width.
+    pub fn new(graph: Graph, signal: Vec<Tensor>) -> Result<Self> {
+        let channels = signal.first().map(|t| t.dim(1));
+        for (t, s) in signal.iter().enumerate() {
+            if s.rank() != 2 || s.dim(0) != graph.num_nodes() || Some(s.dim(1)) != channels {
+                return Err(TensorError::InvalidArgument {
+                    op: "SpatioTemporal::new",
+                    reason: format!("signal at t={t} has shape {:?}", s.dims()),
+                });
+            }
+        }
+        Ok(SpatioTemporal { graph, signal })
+    }
+
+    /// The (static) spatial graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of timesteps.
+    pub fn num_steps(&self) -> usize {
+        self.signal.len()
+    }
+
+    /// Signal channels per node.
+    pub fn channels(&self) -> usize {
+        self.signal.first().map_or(0, |t| t.dim(1))
+    }
+
+    /// Signal at a timestep.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn signal(&self, t: usize) -> &Tensor {
+        &self.signal[t]
+    }
+
+    /// Extracts a training window: input of `history` steps and target of
+    /// the following `horizon` steps, both as `[steps, nodes, channels]`
+    /// stacked tensors flattened to `[steps, nodes*channels]`.
+    ///
+    /// # Errors
+    /// Returns an error if the window does not fit the series.
+    pub fn window(&self, start: usize, history: usize, horizon: usize) -> Result<(Tensor, Tensor)> {
+        let end = start + history + horizon;
+        if end > self.num_steps() {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "SpatioTemporal::window",
+                index: end,
+                bound: self.num_steps(),
+            });
+        }
+        let stack = |lo: usize, hi: usize| -> Result<Tensor> {
+            let parts: Vec<Tensor> = (lo..hi)
+                .map(|t| {
+                    let s = &self.signal[t];
+                    s.reshape(&[1, s.numel()])
+                })
+                .collect::<Result<_>>()?;
+            let refs: Vec<&Tensor> = parts.iter().collect();
+            Tensor::concat_rows(&refs)
+        };
+        Ok((
+            stack(start, start + history)?,
+            stack(start + history, end)?,
+        ))
+    }
+
+    /// Number of distinct `(history, horizon)` windows available.
+    pub fn num_windows(&self, history: usize, horizon: usize) -> usize {
+        self.num_steps().saturating_sub(history + horizon) + 1
+    }
+}
+
+/// A timestamped snapshot of an evolving graph.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Time index of this snapshot.
+    pub time: usize,
+    /// Graph structure and features at this time.
+    pub graph: Graph,
+}
+
+/// A dynamic graph: an ordered sequence of structural snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    snapshots: Vec<Snapshot>,
+}
+
+impl DynamicGraph {
+    /// Creates an empty dynamic graph.
+    pub fn new() -> Self {
+        DynamicGraph::default()
+    }
+
+    /// Appends a snapshot (times must be non-decreasing).
+    ///
+    /// # Errors
+    /// Returns an error if `time` precedes the last snapshot.
+    pub fn push(&mut self, time: usize, graph: Graph) -> Result<()> {
+        if let Some(last) = self.snapshots.last() {
+            if time < last.time {
+                return Err(TensorError::InvalidArgument {
+                    op: "DynamicGraph::push",
+                    reason: format!("time {time} precedes {}", last.time),
+                });
+            }
+        }
+        self.snapshots.push(Snapshot { time, graph });
+        Ok(())
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` if there are no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The snapshots in time order.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_st() -> SpatioTemporal {
+        let g =
+            Graph::from_undirected_edges(2, &[(0, 1)], Tensor::ones(&[2, 1])).unwrap();
+        let signal = (0..10)
+            .map(|t| Tensor::full(&[2, 1], t as f32))
+            .collect();
+        SpatioTemporal::new(g, signal).unwrap()
+    }
+
+    #[test]
+    fn windows() {
+        let st = tiny_st();
+        assert_eq!(st.num_steps(), 10);
+        assert_eq!(st.channels(), 1);
+        let (x, y) = st.window(2, 3, 2).unwrap();
+        assert_eq!(x.dims(), &[3, 2]);
+        assert_eq!(y.dims(), &[2, 2]);
+        assert_eq!(x.get(&[0, 0]), 2.0);
+        assert_eq!(y.get(&[0, 0]), 5.0);
+        assert_eq!(st.num_windows(3, 2), 6);
+        assert!(st.window(8, 3, 2).is_err());
+    }
+
+    #[test]
+    fn signal_shape_validated() {
+        let g =
+            Graph::from_undirected_edges(2, &[(0, 1)], Tensor::ones(&[2, 1])).unwrap();
+        let bad = vec![Tensor::ones(&[3, 1])];
+        assert!(SpatioTemporal::new(g.clone(), bad).is_err());
+        let mixed = vec![Tensor::ones(&[2, 1]), Tensor::ones(&[2, 2])];
+        assert!(SpatioTemporal::new(g, mixed).is_err());
+    }
+
+    #[test]
+    fn dynamic_graph_time_ordering() {
+        let g =
+            Graph::from_undirected_edges(2, &[(0, 1)], Tensor::ones(&[2, 1])).unwrap();
+        let mut d = DynamicGraph::new();
+        d.push(0, g.clone()).unwrap();
+        d.push(5, g.clone()).unwrap();
+        assert!(d.push(3, g).is_err());
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.snapshots()[1].time, 5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Minibatch, neighbor and random-walk samplers.
+//!
+//! PinSAGE's defining trick (paper §III) is random-walk importance
+//! sampling: instead of using all neighbors, short random walks from each
+//! target node rank its neighborhood by visit count, and only the top-T
+//! most-visited nodes aggregate — letting training scale beyond GPU memory.
+
+use gnnmark_tensor::{IntTensor, TensorError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, Result};
+
+/// Yields shuffled minibatches of node ids.
+#[derive(Debug, Clone)]
+pub struct MinibatchSampler {
+    order: Vec<i64>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl MinibatchSampler {
+    /// Creates a sampler over `0..num_items` with the given batch size.
+    ///
+    /// # Errors
+    /// Returns an error if `batch_size` is 0 or there are no items.
+    pub fn new<R: Rng + ?Sized>(
+        num_items: usize,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if batch_size == 0 || num_items == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "MinibatchSampler::new",
+                reason: "batch_size and num_items must be positive".to_string(),
+            });
+        }
+        let mut order: Vec<i64> = (0..num_items as i64).collect();
+        order.shuffle(rng);
+        Ok(MinibatchSampler {
+            order,
+            batch_size,
+            cursor: 0,
+        })
+    }
+
+    /// Number of batches per epoch.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// The next batch, or `None` at epoch end.
+    pub fn next_batch(&mut self) -> Option<IntTensor> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let ids = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        let n = ids.len();
+        Some(IntTensor::from_vec(&[n], ids).expect("lengths agree"))
+    }
+
+    /// Restarts the epoch with a fresh shuffle.
+    pub fn reset<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.order.shuffle(rng);
+        self.cursor = 0;
+    }
+}
+
+/// Uniformly samples up to `fanout` neighbors per seed node.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborSampler {
+    fanout: usize,
+}
+
+impl NeighborSampler {
+    /// Creates a sampler with the given fanout.
+    pub fn new(fanout: usize) -> Self {
+        NeighborSampler { fanout }
+    }
+
+    /// For each seed, samples up to `fanout` neighbors (with replacement if
+    /// the neighborhood is smaller). Returns parallel `(src, dst)` arrays
+    /// where `src[i]` is the seed and `dst[i]` a sampled neighbor;
+    /// isolated seeds self-loop.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        seeds: &IntTensor,
+        rng: &mut R,
+    ) -> (IntTensor, IntTensor) {
+        let mut src = Vec::with_capacity(seeds.numel() * self.fanout);
+        let mut dst = Vec::with_capacity(seeds.numel() * self.fanout);
+        for &s in seeds.as_slice() {
+            let neigh = graph.neighbors(s as usize);
+            for _ in 0..self.fanout {
+                let pick = if neigh.is_empty() {
+                    s
+                } else {
+                    neigh[rng.gen_range(0..neigh.len())] as i64
+                };
+                src.push(s);
+                dst.push(pick);
+            }
+        }
+        let n = src.len();
+        (
+            IntTensor::from_vec(&[n], src).expect("lengths agree"),
+            IntTensor::from_vec(&[n], dst).expect("lengths agree"),
+        )
+    }
+}
+
+/// PinSAGE random-walk importance sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWalkSampler {
+    /// Number of walks started per seed.
+    pub num_walks: usize,
+    /// Length of each walk.
+    pub walk_length: usize,
+    /// Number of top-visited neighbors kept per seed.
+    pub top_t: usize,
+}
+
+/// The importance-weighted neighborhood of one seed node.
+#[derive(Debug, Clone)]
+pub struct ImportanceNeighborhood {
+    /// Seed node id.
+    pub seed: i64,
+    /// Selected important neighbors (≤ `top_t`).
+    pub neighbors: Vec<i64>,
+    /// Normalized visit counts aligned with `neighbors` (sums to 1).
+    pub weights: Vec<f32>,
+}
+
+impl RandomWalkSampler {
+    /// Creates a sampler; PinSAGE defaults in the paper's DGL
+    /// implementation are short walks with small `top_t`.
+    pub fn new(num_walks: usize, walk_length: usize, top_t: usize) -> Self {
+        RandomWalkSampler {
+            num_walks,
+            walk_length,
+            top_t,
+        }
+    }
+
+    /// Runs random walks from each seed and returns its top-T visited
+    /// nodes with normalized importance weights.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        seeds: &IntTensor,
+        rng: &mut R,
+    ) -> Vec<ImportanceNeighborhood> {
+        seeds
+            .as_slice()
+            .iter()
+            .map(|&seed| {
+                let mut visits: std::collections::HashMap<i64, u32> =
+                    std::collections::HashMap::new();
+                for _ in 0..self.num_walks {
+                    let mut cur = seed as usize;
+                    for _ in 0..self.walk_length {
+                        let neigh = graph.neighbors(cur);
+                        if neigh.is_empty() {
+                            break;
+                        }
+                        cur = neigh[rng.gen_range(0..neigh.len())];
+                        if cur as i64 != seed {
+                            *visits.entry(cur as i64).or_insert(0) += 1;
+                        }
+                    }
+                }
+                let mut ranked: Vec<(i64, u32)> = visits.into_iter().collect();
+                ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                ranked.truncate(self.top_t);
+                if ranked.is_empty() {
+                    ranked.push((seed, 1));
+                }
+                let total: u32 = ranked.iter().map(|(_, c)| *c).sum();
+                ImportanceNeighborhood {
+                    seed,
+                    neighbors: ranked.iter().map(|(n, _)| *n).collect(),
+                    weights: ranked
+                        .iter()
+                        .map(|(_, c)| *c as f32 / total as f32)
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmark_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::from_undirected_edges(n, &edges, Tensor::ones(&[n, 2])).unwrap()
+    }
+
+    #[test]
+    fn minibatch_covers_everything_once() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut s = MinibatchSampler::new(10, 3, &mut rng).unwrap();
+        assert_eq!(s.num_batches(), 4);
+        let mut seen = Vec::new();
+        while let Some(b) = s.next_batch() {
+            seen.extend_from_slice(b.as_slice());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<i64>>());
+        assert!(s.next_batch().is_none());
+        s.reset(&mut rng);
+        assert!(s.next_batch().is_some());
+    }
+
+    #[test]
+    fn minibatch_validates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(MinibatchSampler::new(0, 2, &mut rng).is_err());
+        assert!(MinibatchSampler::new(5, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn neighbor_sampler_respects_fanout() {
+        let g = ring(6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let seeds = IntTensor::from_vec(&[2], vec![0, 3]).unwrap();
+        let (src, dst) = NeighborSampler::new(4).sample(&g, &seeds, &mut rng);
+        assert_eq!(src.numel(), 8);
+        assert_eq!(dst.numel(), 8);
+        // All sampled dsts are true neighbors.
+        for (&s, &d) in src.as_slice().iter().zip(dst.as_slice()) {
+            assert!(g.neighbors(s as usize).contains(&(d as usize)));
+        }
+    }
+
+    #[test]
+    fn random_walks_rank_near_nodes_higher() {
+        let g = ring(20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let seeds = IntTensor::from_vec(&[1], vec![0]).unwrap();
+        let hoods = RandomWalkSampler::new(64, 3, 4).sample(&g, &seeds, &mut rng);
+        assert_eq!(hoods.len(), 1);
+        let h = &hoods[0];
+        assert!(h.neighbors.len() <= 4);
+        // Weights normalized.
+        let total: f32 = h.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        // Ring: immediate neighbors 1 and 19 are most visited.
+        assert!(h.neighbors.contains(&1) || h.neighbors.contains(&19));
+    }
+
+    #[test]
+    fn isolated_seed_falls_back_to_self() {
+        let g = Graph::from_undirected_edges(3, &[(1, 2)], Tensor::ones(&[3, 1])).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let seeds = IntTensor::from_vec(&[1], vec![0]).unwrap();
+        let hoods = RandomWalkSampler::new(4, 2, 2).sample(&g, &seeds, &mut rng);
+        assert_eq!(hoods[0].neighbors, vec![0]);
+    }
+}

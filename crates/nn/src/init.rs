@@ -1,0 +1,50 @@
+//! Weight initializers.
+
+use gnnmark_tensor::Tensor;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization for a `[fan_in, fan_out]` weight.
+pub fn glorot<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(&[fan_in, fan_out], -limit, limit, rng)
+}
+
+/// Glorot uniform for an arbitrary-shaped tensor with explicit fans
+/// (used by convolution filters).
+pub fn glorot_shaped<R: Rng + ?Sized>(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(dims, -limit, limit, rng)
+}
+
+/// Small-normal initialization (σ = 0.01·scale) for embeddings.
+pub fn small_normal<R: Rng + ?Sized>(dims: &[usize], scale: f32, rng: &mut R) -> Tensor {
+    Tensor::randn(dims, 0.01 * scale, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let w = glorot(100, 50, &mut rng);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        // Not degenerate.
+        assert!(w.as_slice().iter().any(|v| v.abs() > limit * 0.5));
+    }
+
+    #[test]
+    fn shaped_matches_dims() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let w = glorot_shaped(&[4, 2, 3, 3], 18, 36, &mut rng);
+        assert_eq!(w.dims(), &[4, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,18 @@
+//! The [`Module`] trait: anything that owns trainable parameters.
+
+use gnnmark_autograd::ParamSet;
+
+/// A component with trainable parameters.
+///
+/// Layers and whole models implement `Module`; [`Module::params`] feeds the
+/// optimizer and determines the DDP all-reduce volume in the multi-GPU
+/// model.
+pub trait Module {
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> ParamSet;
+
+    /// Total scalar parameter count.
+    fn num_parameters(&self) -> usize {
+        self.params().total_scalars()
+    }
+}

@@ -1,0 +1,156 @@
+//! Profiling sessions wrapping a training run.
+
+use gnnmark_gpusim::{DeviceSpec, GpuModel, KernelMetrics, TransferEngine};
+use gnnmark_tensor::{record, CsrMatrix, IntTensor, Tensor};
+
+use crate::profile::WorkloadProfile;
+
+/// Captures the op stream of a training run and lowers it onto the GPU
+/// model.
+///
+/// Usage per training step: [`ProfileSession::begin_step`] → run forward /
+/// backward / optimizer through the tensor engine → [`ProfileSession::end_step`].
+/// Host→device copies go through the `upload*` methods so their sparsity
+/// is measured, as the paper does by instrumenting PyTorch.
+#[derive(Debug)]
+pub struct ProfileSession {
+    name: String,
+    gpu: GpuModel,
+    transfers: TransferEngine,
+    kernels: Vec<KernelMetrics>,
+    steps: u64,
+    in_step: bool,
+}
+
+impl ProfileSession {
+    /// Creates a session for a named workload on a device.
+    pub fn new(name: impl Into<String>, spec: DeviceSpec) -> Self {
+        let transfers = TransferEngine::new(&spec);
+        ProfileSession {
+            name: name.into(),
+            gpu: GpuModel::new(spec),
+            transfers,
+            kernels: Vec::new(),
+            steps: 0,
+            in_step: false,
+        }
+    }
+
+    /// Starts capturing ops on this thread.
+    ///
+    /// # Panics
+    /// Panics if a step is already open.
+    pub fn begin_step(&mut self) {
+        assert!(!self.in_step, "begin_step called twice");
+        self.in_step = true;
+        record::start_recording();
+    }
+
+    /// Stops capturing, simulates the captured kernels, and accumulates
+    /// their metrics.
+    ///
+    /// # Panics
+    /// Panics if no step is open.
+    pub fn end_step(&mut self) {
+        assert!(self.in_step, "end_step without begin_step");
+        self.in_step = false;
+        self.steps += 1;
+        let events = record::stop_recording();
+        self.kernels.reserve(events.len());
+        for e in &events {
+            self.kernels.push(self.gpu.execute(e));
+        }
+    }
+
+    /// Records a host→device upload of a dense tensor (sparsity measured).
+    pub fn upload(&mut self, t: &Tensor) {
+        self.transfers.upload(t);
+    }
+
+    /// Records a host→device upload of an index tensor.
+    pub fn upload_int(&mut self, t: &IntTensor) {
+        self.transfers.upload_int(t);
+    }
+
+    /// Records a host→device upload of a sparse matrix.
+    pub fn upload_csr(&mut self, m: &CsrMatrix) {
+        self.transfers.upload_csr(m);
+    }
+
+    /// Records a device→host download.
+    pub fn download(&mut self, t: &Tensor) {
+        self.transfers.download(t);
+    }
+
+    /// Steps profiled so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Kernels captured so far.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The device spec in use.
+    pub fn spec(&self) -> &DeviceSpec {
+        self.gpu.spec()
+    }
+
+    /// Finishes the session and builds the aggregate profile.
+    ///
+    /// # Panics
+    /// Panics if a step is still open.
+    pub fn finish(self) -> WorkloadProfile {
+        assert!(!self.in_step, "finish inside an open step");
+        WorkloadProfile::build(
+            self.name,
+            self.gpu.spec().clone(),
+            self.kernels,
+            self.transfers,
+            self.steps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_kernels_per_step() {
+        let mut s = ProfileSession::new("t", DeviceSpec::v100());
+        s.begin_step();
+        let x = Tensor::ones(&[16, 16]);
+        let _ = x.relu();
+        let _ = x.matmul(&x).unwrap();
+        s.end_step();
+        assert_eq!(s.kernel_count(), 2);
+        assert_eq!(s.steps(), 1);
+        s.begin_step();
+        let _ = x.sigmoid();
+        s.end_step();
+        assert_eq!(s.kernel_count(), 3);
+        let p = s.finish();
+        assert_eq!(p.kernels.len(), 3);
+        assert_eq!(p.steps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step called twice")]
+    fn double_begin_panics() {
+        let mut s = ProfileSession::new("t", DeviceSpec::v100());
+        s.begin_step();
+        s.begin_step();
+    }
+
+    #[test]
+    fn uploads_recorded_with_sparsity() {
+        let mut s = ProfileSession::new("t", DeviceSpec::v100());
+        s.upload(&Tensor::zeros(&[100]));
+        s.upload(&Tensor::ones(&[100]));
+        let p = s.finish();
+        assert!((p.mean_sparsity - 0.5).abs() < 1e-12);
+        assert_eq!(p.sparsity_series.len(), 2);
+    }
+}

@@ -1,0 +1,315 @@
+use std::fmt;
+
+use rand::Rng;
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major, contiguous `f32` tensor of arbitrary rank.
+///
+/// `Tensor` is the workhorse value type of the suite: every GNN layer's
+/// activations, weights and gradients are `Tensor`s. Operations are defined
+/// in [`crate::ops`] as inherent methods and free functions; each one
+/// executes on CPU and emits an instrumentation event when recording is
+/// enabled (see [`crate::record`]).
+///
+/// # Example
+///
+/// ```
+/// use gnnmark_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(t.get(&[1, 0]), 3.0);
+/// assert_eq!(t.numel(), 4);
+/// # Ok::<(), gnnmark_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] if `data.len()` does not
+    /// match the number of elements implied by `dims`.
+    pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.numel() != data.len() {
+            return Err(TensorError::InvalidArgument {
+                op: "from_vec",
+                reason: format!(
+                    "shape {shape} implies {} elements, data has {}",
+                    shape.numel(),
+                    data.len()
+                ),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a tensor whose elements are produced by `f(flat_index)`.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(&mut f).collect();
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor of i.i.d. normal samples with the given std-dev.
+    pub fn randn<R: Rng + ?Sized>(dims: &[usize], std: f32, rng: &mut R) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        // Box–Muller transform; draws pairs of uniforms.
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen::<f32>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn uniform<R: Rng + ?Sized>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis` is out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.shape.dim(axis)
+    }
+
+    /// Read-only view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if the index is out of bounds; use [`Shape::offset`] via
+    /// [`Tensor::shape`] for a fallible variant.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        let off = self.shape.offset(index).expect("index out of bounds");
+        self.data[off]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index).expect("index out of bounds");
+        self.data[off] = value;
+    }
+
+    /// The single element of a one-element tensor.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] if the tensor has more than
+    /// one element.
+    pub fn item(&self) -> Result<f32> {
+        if self.numel() != 1 {
+            return Err(TensorError::InvalidArgument {
+                op: "item",
+                reason: format!("tensor has {} elements", self.numel()),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    /// Returns a tensor with the same data viewed under a new shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let new_shape = Shape::new(dims);
+        if new_shape.numel() != self.numel() {
+            return Err(TensorError::ShapeMismatch {
+                op: "reshape",
+                lhs: self.dims().to_vec(),
+                rhs: dims.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: new_shape,
+        })
+    }
+
+    /// Fraction of elements that are exactly zero.
+    ///
+    /// This is the quantity the paper measures for CPU→GPU transfer
+    /// sparsity (Figures 7 and 8).
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|v| **v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Size of the tensor's data in bytes.
+    pub fn byte_len(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, … ; {} elems]",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 3]).numel(), 6);
+        assert_eq!(Tensor::ones(&[3]).as_slice(), &[1.0, 1.0, 1.0]);
+        assert_eq!(Tensor::full(&[2], 7.0).as_slice(), &[7.0, 7.0]);
+        assert_eq!(Tensor::scalar(2.5).item().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[3, 4]);
+        t.set(&[2, 1], 9.0);
+        assert_eq!(t.get(&[2, 1]), 9.0);
+        assert_eq!(t.as_slice()[2 * 4 + 1], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(&[2, 6], |i| i as f32);
+        let r = t.reshape(&[3, 4]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn randn_is_deterministic_and_roughly_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::randn(&[10_000], 1.0, &mut rng);
+        let mean: f32 = t.as_slice().iter().sum::<f32>() / 10_000.0;
+        let var: f32 =
+            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let t2 = Tensor::randn(&[10_000], 1.0, &mut rng2);
+        assert_eq!(t.as_slice(), t2.as_slice());
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        let t = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+        assert!((t.sparsity() - 0.5).abs() < 1e-9);
+        assert_eq!(Tensor::zeros(&[5]).sparsity(), 1.0);
+    }
+
+    #[test]
+    fn item_requires_single_element() {
+        assert!(Tensor::zeros(&[2]).item().is_err());
+    }
+}

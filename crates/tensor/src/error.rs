@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Error type returned by fallible tensor operations.
+///
+/// Every public operation that can fail (shape mismatch, bad index, invalid
+/// sparse structure, …) returns `Result<T, TensorError>` rather than
+/// panicking, so callers can surface precise diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (or be compatible) do not.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand / first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand / second operand.
+        rhs: Vec<usize>,
+    },
+    /// The tensor rank (number of dimensions) is not what the op requires.
+    RankMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank that was provided.
+        actual: usize,
+    },
+    /// An index (element, row, or axis) is out of bounds.
+    IndexOutOfBounds {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Offending index value.
+        index: usize,
+        /// Exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// A sparse matrix failed structural validation.
+    InvalidSparse {
+        /// Description of the structural violation.
+        reason: String,
+    },
+    /// A numeric argument was invalid (e.g. zero-sized dimension, p∉(0,1)).
+    InvalidArgument {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Description of why the argument is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "rank mismatch in `{op}`: expected {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "index {index} out of bounds ({bound}) in `{op}`")
+            }
+            TensorError::InvalidSparse { reason } => {
+                write!(f, "invalid sparse structure: {reason}")
+            }
+            TensorError::InvalidArgument { op, reason } => {
+                write!(f, "invalid argument to `{op}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,99 @@
+//! Embedding-table lookups.
+//!
+//! Heterogeneous-graph models (PinSAGE, GraphWriter) learn embeddings per
+//! node/token id; the forward lookup is a wide gather over a large table
+//! and the backward is a scatter-add of gradients into it.
+
+use std::sync::Arc;
+
+use super::emit_op;
+use crate::cost::INT_PER_EMBED_ELEM;
+use crate::instrument::{AccessDesc, OpClass};
+use crate::{IntTensor, Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Looks up rows of an embedding table (`self`, `[vocab, d]`) by id.
+    ///
+    /// Semantically identical to [`Tensor::gather_rows`] but emitted as the
+    /// embedding op class, which profiles like the dedicated embedding
+    /// kernels of DL frameworks.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2, or
+    /// [`TensorError::IndexOutOfBounds`] for out-of-vocabulary ids.
+    pub fn embedding_lookup(&self, ids: &IntTensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "embedding_lookup",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (vocab, d) = (self.dim(0), self.dim(1));
+        ids.check_bounds(vocab, "embedding_lookup")?;
+        let n = ids.numel();
+        let mut data = Vec::with_capacity(n * d);
+        let table = self.as_slice();
+        for &i in ids.as_slice() {
+            let r = i as usize;
+            data.extend_from_slice(&table[r * d..(r + 1) * d]);
+        }
+        let out = Tensor::from_vec(&[n, d], data)?;
+
+        let total = (n * d) as u64;
+        let idx = ids.to_u32_vec();
+        let row_bytes = (d * 4) as u64;
+        let table_bytes = self.byte_len();
+        emit_op(
+            OpClass::Embedding,
+            "embedding_lookup",
+            0,
+            total * INT_PER_EMBED_ELEM,
+            total * 4 + n as u64 * 8,
+            total * 4,
+            total,
+            move || {
+                vec![AccessDesc::Indexed {
+                    indices: Arc::new(idx),
+                    row_bytes,
+                    table_bytes,
+                }]
+            },
+            move || vec![AccessDesc::Sequential { bytes: total * 4 }],
+        );
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+
+    #[test]
+    fn lookup_extracts_rows() {
+        let table = Tensor::from_fn(&[4, 2], |i| i as f32);
+        let ids = IntTensor::from_vec(&[3], vec![1, 1, 3]).unwrap();
+        let e = table.embedding_lookup(&ids).unwrap();
+        assert_eq!(e.dims(), &[3, 2]);
+        assert_eq!(e.as_slice(), &[2.0, 3.0, 2.0, 3.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn out_of_vocab_rejected() {
+        let table = Tensor::zeros(&[2, 2]);
+        let ids = IntTensor::from_vec(&[1], vec![2]).unwrap();
+        assert!(table.embedding_lookup(&ids).is_err());
+    }
+
+    #[test]
+    fn embedding_event_class() {
+        record::start_recording();
+        let table = Tensor::zeros(&[8, 4]);
+        let ids = IntTensor::from_vec(&[2], vec![0, 7]).unwrap();
+        let _ = table.embedding_lookup(&ids).unwrap();
+        let events = record::stop_recording();
+        assert_eq!(events[0].class, OpClass::Embedding);
+        assert_eq!(events[0].flops, 0);
+    }
+}

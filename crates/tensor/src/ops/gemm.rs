@@ -1,0 +1,371 @@
+//! Dense matrix multiplication: GEMM, GEMV and batched GEMM.
+//!
+//! GEMM feeds the *update* phase of every GNN layer. The paper finds that
+//! GEMM + SpMM together account for only ~25 % of GNN training time — far
+//! below their share in DNN training — but GEMM still posts the highest
+//! per-kernel GFLOPS (mid-300s on the V100).
+
+use super::emit_sequential;
+use crate::cost;
+use crate::instrument::OpClass;
+use crate::{Result, Tensor, TensorError};
+
+/// Cache-blocking tile edge for the CPU GEMM implementation.
+const TILE: usize = 64;
+
+impl Tensor {
+    /// Matrix product of `self` (`[m, k]`) with `other` (`[k, n]`).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2,
+    /// or [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+            });
+        }
+        if self.dim(1) != other.dim(0) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let (m, k) = (self.dim(0), self.dim(1));
+        let n = other.dim(1);
+        let mut out = vec![0.0f32; m * n];
+        gemm_blocked(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        let result = Tensor::from_vec(&[m, n], out)?;
+
+        let macs = (m * k * n) as u64;
+        emit_sequential(
+            OpClass::Gemm,
+            "sgemm",
+            2 * macs,
+            cost::gemm_iops(m, k, n),
+            ((m * k) + (k * n)) as u64 * 4,
+            (m * n) as u64 * 4,
+            (m * n) as u64,
+        );
+        Ok(result)
+    }
+
+    /// Matrix-vector product of `self` (`[m, k]`) with `v` (`[k]`).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+    /// on malformed operands.
+    pub fn gemv(&self, v: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "gemv",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if v.rank() != 1 || v.dim(0) != self.dim(1) {
+            return Err(TensorError::ShapeMismatch {
+                op: "gemv",
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
+        let (m, k) = (self.dim(0), self.dim(1));
+        let vv = v.as_slice();
+        let mut out = Vec::with_capacity(m);
+        for row in self.as_slice().chunks_exact(k) {
+            out.push(row.iter().zip(vv).map(|(&a, &b)| a * b).sum());
+        }
+        let result = Tensor::from_vec(&[m], out)?;
+        emit_sequential(
+            OpClass::Gemv,
+            "sgemv",
+            2 * (m * k) as u64,
+            cost::gemv_iops(m, k),
+            ((m * k) + k) as u64 * 4,
+            m as u64 * 4,
+            m as u64,
+        );
+        Ok(result)
+    }
+
+    /// Matrix product with a transposed right operand:
+    /// `self` (`[m, k]`) × `otherᵀ` where `other` is `[n, k]`.
+    ///
+    /// Real BLAS libraries provide this as a layout flag (`gemm_nt`), so no
+    /// transpose kernel runs — backward passes and attention use it.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+    /// on malformed operands.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_nt",
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+            });
+        }
+        if self.dim(1) != other.dim(1) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let (m, k) = (self.dim(0), self.dim(1));
+        let n = other.dim(0);
+        let a = self.as_slice();
+        let bt = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &bt[j * k..(j + 1) * k];
+                out[i * n + j] = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        let result = Tensor::from_vec(&[m, n], out)?;
+        let macs = (m * k * n) as u64;
+        emit_sequential(
+            OpClass::Gemm,
+            "sgemm_nt",
+            2 * macs,
+            cost::gemm_iops(m, k, n),
+            ((m * k) + (n * k)) as u64 * 4,
+            (m * n) as u64 * 4,
+            (m * n) as u64,
+        );
+        Ok(result)
+    }
+
+    /// Matrix product with a transposed left operand:
+    /// `selfᵀ` (`self` is `[k, m]`) × `other` (`[k, n]`).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+    /// on malformed operands.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul_tn",
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+            });
+        }
+        if self.dim(0) != other.dim(0) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let (k, m) = (self.dim(0), self.dim(1));
+        let n = other.dim(1);
+        let at = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let a_row = &at[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for i in 0..m {
+                let aik = a_row[i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let o = &mut out[i * n..(i + 1) * n];
+                for (oj, &bj) in o.iter_mut().zip(b_row) {
+                    *oj += aik * bj;
+                }
+            }
+        }
+        let result = Tensor::from_vec(&[m, n], out)?;
+        let macs = (m * k * n) as u64;
+        emit_sequential(
+            OpClass::Gemm,
+            "sgemm_tn",
+            2 * macs,
+            cost::gemm_iops(m, k, n),
+            ((k * m) + (k * n)) as u64 * 4,
+            (m * n) as u64 * 4,
+            (m * n) as u64,
+        );
+        Ok(result)
+    }
+
+    /// Batched matrix product: `self` (`[b, m, k]`) × `other` (`[b, k, n]`).
+    ///
+    /// Emits a single GEMM event covering the whole batch, mirroring how
+    /// cuBLAS batches these launches.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`]
+    /// on malformed operands.
+    pub fn bmm(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 3 || other.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "bmm",
+                expected: 3,
+                actual: if self.rank() != 3 { self.rank() } else { other.rank() },
+            });
+        }
+        if self.dim(0) != other.dim(0) || self.dim(2) != other.dim(1) {
+            return Err(TensorError::ShapeMismatch {
+                op: "bmm",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let n = other.dim(2);
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            gemm_blocked(
+                &self.as_slice()[i * m * k..(i + 1) * m * k],
+                &other.as_slice()[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        let result = Tensor::from_vec(&[b, m, n], out)?;
+        let macs = (b * m * k * n) as u64;
+        emit_sequential(
+            OpClass::Gemm,
+            "sgemm_batched",
+            2 * macs,
+            cost::gemm_iops(b * m, k, n),
+            (b * (m * k + k * n)) as u64 * 4,
+            (b * m * n) as u64 * 4,
+            (b * m * n) as u64,
+        );
+        Ok(result)
+    }
+}
+
+/// Cache-blocked `C += A·B` over row-major slices.
+fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        for k0 in (0..k).step_by(TILE) {
+            let k1 = (k0 + TILE).min(k);
+            for i in i0..i1 {
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a.as_slice()[i * k + kk] * b.as_slice()[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let a = Tensor::randn(&[67, 129], 1.0, &mut rng);
+        let b = Tensor::randn(&[129, 43], 1.0, &mut rng);
+        let c = a.matmul(&b).unwrap();
+        let expect = naive_matmul(&a, &b);
+        for (x, y) in c.as_slice().iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(a.matmul(&i).unwrap().as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_and_tn_match_explicit_transpose() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let a = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 7], 1.0, &mut rng);
+        let nt = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose2d().unwrap()).unwrap();
+        for (x, y) in nt.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        let c = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let d = Tensor::randn(&[7, 3], 1.0, &mut rng);
+        let tn = c.matmul_tn(&d).unwrap();
+        let explicit = c.transpose2d().unwrap().matmul(&d).unwrap();
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert!(a.matmul_nt(&c).is_err());
+        assert!(a.matmul_tn(&b).is_err());
+    }
+
+    #[test]
+    fn gemv_matches_matmul() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let v = Tensor::from_vec(&[3], vec![1.0, 0.0, -1.0]).unwrap();
+        let y = a.gemv(&v).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn bmm_per_batch() {
+        let a = Tensor::from_vec(&[2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(&[2, 2, 1], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let c = a.bmm(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 1, 1]);
+        assert_eq!(c.as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn gemm_event_flop_count() {
+        record::start_recording();
+        let a = Tensor::ones(&[4, 8]);
+        let b = Tensor::ones(&[8, 2]);
+        let _ = a.matmul(&b).unwrap();
+        let events = record::stop_recording();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].class, OpClass::Gemm);
+        assert_eq!(events[0].flops, 2 * 4 * 8 * 2);
+        assert!(events[0].flops > events[0].iops, "GEMM must be fp-dominant");
+    }
+
+    use crate::instrument::OpClass;
+}

@@ -1,0 +1,204 @@
+//! Reductions: full and per-axis sums, means and maxima.
+//!
+//! Tree reductions have long dependency chains and little data reuse — the
+//! paper reports ~100 GFLOPS-class throughput and high execution-dependency
+//! stalls for them.
+
+use super::emit_sequential;
+use crate::cost::INT_PER_REDUCE_ELEM;
+use crate::instrument::OpClass;
+use crate::{IntTensor, Result, Tensor, TensorError};
+
+impl Tensor {
+    fn emit_reduce(&self, kernel: &'static str, out_elems: u64) {
+        let n = self.numel() as u64;
+        emit_sequential(
+            OpClass::Reduction,
+            kernel,
+            n,
+            n * INT_PER_REDUCE_ELEM,
+            n * 4,
+            out_elems * 4,
+            n,
+        );
+    }
+
+    /// Sum of all elements, as a scalar tensor.
+    pub fn sum_all(&self) -> Tensor {
+        let s: f32 = self.as_slice().iter().sum();
+        self.emit_reduce("reduce_sum", 1);
+        Tensor::scalar(s)
+    }
+
+    /// Mean of all elements, as a scalar tensor.
+    pub fn mean_all(&self) -> Tensor {
+        let s: f32 = self.as_slice().iter().sum();
+        self.emit_reduce("reduce_mean", 1);
+        Tensor::scalar(s / self.numel() as f32)
+    }
+
+    /// Maximum element, as a scalar tensor.
+    pub fn max_all(&self) -> Tensor {
+        let m = self
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        self.emit_reduce("reduce_max", 1);
+        Tensor::scalar(m)
+    }
+
+    /// Row-wise sum of a `[n, d]` matrix, yielding `[n]`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        self.reduce_rows("reduce_sum_rows", |row| row.iter().sum())
+    }
+
+    /// Row-wise mean of a `[n, d]` matrix, yielding `[n]`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn mean_rows(&self) -> Result<Tensor> {
+        let d = if self.rank() == 2 { self.dim(1) as f32 } else { 1.0 };
+        self.reduce_rows("reduce_mean_rows", move |row| {
+            row.iter().sum::<f32>() / d
+        })
+    }
+
+    /// Row-wise maximum of a `[n, d]` matrix, yielding `[n]`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn max_rows(&self) -> Result<Tensor> {
+        self.reduce_rows("reduce_max_rows", |row| {
+            row.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        })
+    }
+
+    fn reduce_rows(&self, kernel: &'static str, f: impl Fn(&[f32]) -> f32) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: kernel,
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (n, d) = (self.dim(0), self.dim(1));
+        let out: Vec<f32> = self.as_slice().chunks_exact(d).map(&f).collect();
+        self.emit_reduce(kernel, n as u64);
+        Tensor::from_vec(&[n], out)
+    }
+
+    /// Column-wise sum of a `[n, d]` matrix, yielding `[d]`.
+    ///
+    /// This is the backward of bias broadcast and of row-broadcasting ops.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn sum_cols(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "reduce_sum_cols",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (n, d) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; d];
+        for row in self.as_slice().chunks_exact(d) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        self.emit_reduce("reduce_sum_cols", d as u64);
+        let _ = n;
+        Tensor::from_vec(&[d], out)
+    }
+
+    /// Row-wise argmax of a `[n, d]` matrix, yielding `[n]` indices.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
+    pub fn argmax_rows(&self) -> Result<IntTensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "argmax_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (n, d) = (self.dim(0), self.dim(1));
+        let mut out = Vec::with_capacity(n);
+        for row in self.as_slice().chunks_exact(d) {
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best as i64);
+        }
+        self.emit_reduce("argmax_rows", n as u64);
+        IntTensor::from_vec(&[n], out)
+    }
+
+    /// Euclidean (L2) norm of all elements, as a scalar tensor.
+    pub fn norm_l2(&self) -> Tensor {
+        let s: f32 = self.as_slice().iter().map(|&v| v * v).sum();
+        let n = self.numel() as u64;
+        emit_sequential(
+            OpClass::Reduction,
+            "reduce_l2norm",
+            2 * n,
+            n * INT_PER_REDUCE_ELEM,
+            n * 4,
+            4,
+            n,
+        );
+        Tensor::scalar(s.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+
+    #[test]
+    fn full_reductions() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.sum_all().item().unwrap(), 10.0);
+        assert_eq!(t.mean_all().item().unwrap(), 2.5);
+        assert_eq!(t.max_all().item().unwrap(), 4.0);
+        assert!((t.norm_l2().item().unwrap() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(t.sum_rows().unwrap().as_slice(), &[6.0, 15.0]);
+        assert_eq!(t.mean_rows().unwrap().as_slice(), &[2.0, 5.0]);
+        assert_eq!(t.max_rows().unwrap().as_slice(), &[3.0, 6.0]);
+        assert_eq!(t.sum_cols().unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn argmax() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.0, 0.3, 0.2, 0.5]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap().as_slice(), &[1, 2]);
+        assert!(Tensor::zeros(&[3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn reduction_events() {
+        record::start_recording();
+        let t = Tensor::ones(&[100]);
+        let _ = t.sum_all();
+        let events = record::stop_recording();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].class, OpClass::Reduction);
+        assert_eq!(events[0].flops, 100);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the tensor engine's algebraic invariants.
+
+use gnnmark_tensor::{CsrMatrix, IntTensor, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..12, 1usize..12)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(&[rows, cols], v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn gemm_matches_naive((m, k) in small_dims(), n in 1usize..12, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_fn(&[m, k], |_| rng.gen_range(-2.0..2.0));
+        let b = Tensor::from_fn(&[k, n], |_| rng.gen_range(-2.0..2.0));
+        let c = a.matmul(&b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]) * b.get(&[kk, j]);
+                }
+                prop_assert!((c.get(&[i, j]) - acc).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn add_is_commutative((m, n) in small_dims(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_fn(&[m, n], |_| rng.gen_range(-5.0..5.0));
+        let b = Tensor::from_fn(&[m, n], |_| rng.gen_range(-5.0..5.0));
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(v in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec(&[n], v).unwrap();
+        let r = t.relu();
+        prop_assert!(r.as_slice().iter().all(|&x| x >= 0.0));
+        let rr = r.relu();
+        prop_assert_eq!(rr.as_slice(), r.as_slice());
+    }
+
+    #[test]
+    fn spmm_equals_dense_matmul(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        n in 1usize..8,
+        entries in proptest::collection::vec((0usize..10, 0usize..10, -3.0f32..3.0), 0..30),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let triplets: Vec<(usize, usize, f32)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % rows, c % cols, v))
+            .collect();
+        let sp = CsrMatrix::from_coo(rows, cols, &triplets).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::from_fn(&[cols, n], |_| rng.gen_range(-2.0..2.0));
+        let sparse = sp.spmm(&x).unwrap();
+        let dense = sp.to_dense().matmul(&x).unwrap();
+        for (a, b) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_for_permutations(n in 1usize..32, d in 1usize..8, seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::from_fn(&[n, d], |i| i as f32);
+        let mut perm: Vec<i64> = (0..n as i64).collect();
+        perm.shuffle(&mut rng);
+        let idx = IntTensor::from_vec(&[n], perm).unwrap();
+        let gathered = t.gather_rows(&idx).unwrap();
+        let restored = gathered.scatter_add_rows(&idx, n).unwrap();
+        prop_assert_eq!(restored.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn argsort_yields_sorted_permutation(v in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec(&[n], v.clone()).unwrap();
+        let perm = t.argsort().unwrap();
+        // valid permutation
+        let mut sorted_perm = perm.as_slice().to_vec();
+        sorted_perm.sort_unstable();
+        prop_assert_eq!(sorted_perm, (0..n as i64).collect::<Vec<_>>());
+        // actually sorted
+        let vals: Vec<f32> = perm.as_slice().iter().map(|&i| v[i as usize]).collect();
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions((m, n) in small_dims(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::from_fn(&[m, n], |_| rng.gen_range(-10.0..10.0));
+        let s = t.softmax_rows().unwrap();
+        for row in s.as_slice().chunks_exact(n) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(t in small_dims().prop_flat_map(|(m, n)| matrix(m, n))) {
+        let tt = t.transpose2d().unwrap().transpose2d().unwrap();
+        prop_assert_eq!(tt.as_slice(), t.as_slice());
+        prop_assert_eq!(tt.dims(), t.dims());
+    }
+
+    #[test]
+    fn csr_transpose_is_involutive(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        entries in proptest::collection::vec((0usize..10, 0usize..10, 0.5f32..3.0), 0..30),
+    ) {
+        let triplets: Vec<(usize, usize, f32)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % rows, c % cols, v))
+            .collect();
+        let sp = CsrMatrix::from_coo(rows, cols, &triplets).unwrap();
+        let back = sp.transpose().transpose();
+        prop_assert_eq!(back, sp);
+    }
+
+    #[test]
+    fn sum_rows_plus_sum_cols_agree_on_total((m, n) in small_dims(), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::from_fn(&[m, n], |_| rng.gen_range(-5.0..5.0));
+        let by_rows: f32 = t.sum_rows().unwrap().as_slice().iter().sum();
+        let by_cols: f32 = t.sum_cols().unwrap().as_slice().iter().sum();
+        let total = t.sum_all().item().unwrap();
+        prop_assert!((by_rows - total).abs() < 1e-2 * (1.0 + total.abs()));
+        prop_assert!((by_cols - total).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn sparsity_in_unit_interval(v in proptest::collection::vec(prop_oneof![Just(0.0f32), -5.0f32..5.0], 1..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec(&[n], v.clone()).unwrap();
+        let s = t.sparsity();
+        prop_assert!((0.0..=1.0).contains(&s));
+        let zeros = v.iter().filter(|x| **x == 0.0).count();
+        prop_assert!((s - zeros as f64 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedding_lookup_matches_gather(n in 1usize..16, d in 1usize..8, ids in proptest::collection::vec(0i64..16, 1..20)) {
+        let ids: Vec<i64> = ids.into_iter().map(|i| i % n as i64).collect();
+        let len = ids.len();
+        let table = Tensor::from_fn(&[n, d], |i| (i * 3) as f32);
+        let idx = IntTensor::from_vec(&[len], ids).unwrap();
+        let e = table.embedding_lookup(&idx).unwrap();
+        let g = table.gather_rows(&idx).unwrap();
+        prop_assert_eq!(e.as_slice(), g.as_slice());
+    }
+}

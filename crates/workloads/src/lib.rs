@@ -1,0 +1,277 @@
+//! # gnnmark-workloads
+//!
+//! The eight GNN training workloads of the GNNMark suite (Table I of the
+//! paper), built end-to-end on the instrumented tensor/autograd/graph
+//! stack:
+//!
+//! | Abbrev | Model | Graph type | Task |
+//! |---|---|---|---|
+//! | `PSAGE` | PinSAGE | heterogeneous (bipartite) | recommendation (MVL & NWP datasets) |
+//! | `STGCN` | Spatio-Temporal GCN | dynamic / spatio-temporal | traffic forecasting |
+//! | `DGCN`  | DeepGCN (GENConv residual blocks) | batched molecules | graph property prediction |
+//! | `GW`    | GraphWriter | knowledge graph | graph-to-text generation |
+//! | `KGNNL` | k-GNN (k = 2) | batched proteins | graph classification |
+//! | `KGNNH` | hierarchical k-GNN (k = 2 + 3) | batched proteins | graph classification |
+//! | `ARGA`  | Adversarially Regularized Graph Autoencoder | homogeneous citation | node clustering / embedding |
+//! | `TLSTM` | child-sum Tree-LSTM | batched trees | sentiment classification |
+//!
+//! Each workload implements [`Workload`]: it owns its dataset, model and
+//! optimizer, and `run_epoch` drives real training through a
+//! [`ProfileSession`] so every kernel and transfer is captured.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arga;
+pub mod dgcn;
+pub mod gw;
+pub mod kgnn;
+pub mod psage;
+pub mod stgcn;
+pub mod tlstm;
+
+use gnnmark_autograd::ParamSet;
+use gnnmark_gpusim::ScalingBehavior;
+use gnnmark_profiler::ProfileSession;
+
+/// Result alias re-used from the tensor crate.
+pub type Result<T> = gnnmark_tensor::Result<T>;
+
+/// Problem size of a workload instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny — for unit tests (sub-second epochs in debug builds).
+    Test,
+    /// Default figure-generation size (seconds per epoch in release).
+    Small,
+    /// Closest to the paper's dataset scales this CPU substrate sustains.
+    Paper,
+}
+
+/// Static description of a workload (one row of Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadInfo {
+    /// Paper abbreviation (e.g. `"PSAGE"`).
+    pub abbrev: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Framework the paper's implementation uses (`DGL` or `PyG`).
+    pub framework: &'static str,
+    /// Application domain.
+    pub domain: &'static str,
+    /// Dataset (synthetic equivalent in this reproduction).
+    pub dataset: &'static str,
+    /// Graph family (homogeneous / heterogeneous / dynamic / trees).
+    pub graph_type: &'static str,
+}
+
+/// A trainable, profileable GNNMark workload.
+pub trait Workload {
+    /// Display name including the dataset (e.g. `"PSAGE-MVL"`).
+    fn name(&self) -> String;
+
+    /// Table I row for this workload.
+    fn info(&self) -> WorkloadInfo;
+
+    /// All trainable parameters (the DDP gradient payload).
+    fn params(&self) -> ParamSet;
+
+    /// Optimizer steps per epoch (each pays one DDP all-reduce).
+    fn steps_per_epoch(&self) -> u64;
+
+    /// How the workload's structure interacts with multi-GPU DDP
+    /// (Figure 9); `None` means the workload is excluded, as ARGA is.
+    fn scaling_behavior(&self) -> Option<ScalingBehavior>;
+
+    /// Runs one training epoch through the session (uploads + kernels are
+    /// captured) and returns the mean training loss of the epoch.
+    ///
+    /// # Errors
+    /// Propagates tensor-engine errors (these indicate workload bugs).
+    fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64>;
+
+    /// Evaluates a task-quality metric on held-aside/training data
+    /// (accuracy, RMSE, score margin, …) without touching the optimizer.
+    /// Returns `(metric name, value)`; `None` when the workload defines no
+    /// quick metric.
+    ///
+    /// # Errors
+    /// Propagates tensor-engine errors.
+    fn quality(&mut self) -> Result<Option<(&'static str, f64)>> {
+        Ok(None)
+    }
+}
+
+/// Identifier of every workload instance used in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// PinSAGE on the MovieLens-like dataset.
+    PsageMvl,
+    /// PinSAGE on the Nowplaying-like dataset (10× wider item features).
+    PsageNwp,
+    /// Spatio-temporal GCN on traffic data.
+    Stgcn,
+    /// DeepGCN on molecule batches.
+    Dgcn,
+    /// GraphWriter on knowledge graphs.
+    Gw,
+    /// k-GNN, low order (k = 2).
+    KgnnL,
+    /// k-GNN, hierarchical higher order (k = 2 + 3).
+    KgnnH,
+    /// ARGA on the Cora-like citation graph.
+    ArgaCora,
+    /// Tree-LSTM on sentiment trees.
+    Tlstm,
+}
+
+impl WorkloadKind {
+    /// The workload set the paper's figures iterate over.
+    pub const ALL: [WorkloadKind; 9] = [
+        WorkloadKind::PsageMvl,
+        WorkloadKind::PsageNwp,
+        WorkloadKind::Stgcn,
+        WorkloadKind::Dgcn,
+        WorkloadKind::Gw,
+        WorkloadKind::KgnnL,
+        WorkloadKind::KgnnH,
+        WorkloadKind::ArgaCora,
+        WorkloadKind::Tlstm,
+    ];
+
+    /// Display name used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::PsageMvl => "PSAGE-MVL",
+            WorkloadKind::PsageNwp => "PSAGE-NWP",
+            WorkloadKind::Stgcn => "STGCN",
+            WorkloadKind::Dgcn => "DGCN",
+            WorkloadKind::Gw => "GW",
+            WorkloadKind::KgnnL => "KGNNL",
+            WorkloadKind::KgnnH => "KGNNH",
+            WorkloadKind::ArgaCora => "ARGA",
+            WorkloadKind::Tlstm => "TLSTM",
+        }
+    }
+
+    /// Builds the workload at a scale with a deterministic seed.
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn build(self, scale: Scale, seed: u64) -> Result<Box<dyn Workload>> {
+        Ok(match self {
+            WorkloadKind::PsageMvl => {
+                Box::new(psage::Psage::new(psage::PsageDataset::MovieLens, scale, seed)?)
+            }
+            WorkloadKind::PsageNwp => {
+                Box::new(psage::Psage::new(psage::PsageDataset::Nowplaying, scale, seed)?)
+            }
+            WorkloadKind::Stgcn => Box::new(stgcn::Stgcn::new(scale, seed)?),
+            WorkloadKind::Dgcn => Box::new(dgcn::Dgcn::new(scale, seed)?),
+            WorkloadKind::Gw => Box::new(gw::GraphWriter::new(scale, seed)?),
+            WorkloadKind::KgnnL => Box::new(kgnn::Kgnn::new(kgnn::KgnnOrder::Low, scale, seed)?),
+            WorkloadKind::KgnnH => Box::new(kgnn::Kgnn::new(kgnn::KgnnOrder::High, scale, seed)?),
+            WorkloadKind::ArgaCora => Box::new(arga::Arga::new(
+                gnnmark_graph::datasets::CitationKind::Cora,
+                scale,
+                seed,
+            )?),
+            WorkloadKind::Tlstm => Box::new(tlstm::TreeLstm::new(scale, seed)?),
+        })
+    }
+}
+
+/// The full Table I of the paper (one row per workload).
+pub fn table_one() -> Vec<WorkloadInfo> {
+    vec![
+        WorkloadInfo {
+            abbrev: "PSAGE",
+            model: "PinSAGE",
+            framework: "DGL",
+            domain: "Recommendation systems",
+            dataset: "MovieLens-like (MVL), Nowplaying-like (NWP)",
+            graph_type: "Heterogeneous (bipartite user-item)",
+        },
+        WorkloadInfo {
+            abbrev: "STGCN",
+            model: "Spatio-Temporal GCN",
+            framework: "PyG",
+            domain: "Traffic forecasting",
+            dataset: "METR-LA-like sensor network",
+            graph_type: "Dynamic / spatio-temporal",
+        },
+        WorkloadInfo {
+            abbrev: "DGCN",
+            model: "DeepGCN (GENConv + residual)",
+            framework: "PyG",
+            domain: "Molecular property prediction",
+            dataset: "ogbg-molhiv-like molecules",
+            graph_type: "Homogeneous (batched small graphs)",
+        },
+        WorkloadInfo {
+            abbrev: "GW",
+            model: "GraphWriter (graph transformer)",
+            framework: "PyG",
+            domain: "Knowledge-graph-to-text generation",
+            dataset: "AGENDA-like documents",
+            graph_type: "Heterogeneous knowledge graph",
+        },
+        WorkloadInfo {
+            abbrev: "KGNNL",
+            model: "k-GNN (k = 2)",
+            framework: "PyG",
+            domain: "Protein classification",
+            dataset: "PROTEINS-like",
+            graph_type: "Homogeneous (batched small graphs)",
+        },
+        WorkloadInfo {
+            abbrev: "KGNNH",
+            model: "Hierarchical k-GNN (k = 2 + 3)",
+            framework: "PyG",
+            domain: "Protein classification",
+            dataset: "PROTEINS-like",
+            graph_type: "Homogeneous (batched small graphs)",
+        },
+        WorkloadInfo {
+            abbrev: "ARGA",
+            model: "Adversarially Regularized Graph Autoencoder",
+            framework: "PyG",
+            domain: "Node clustering / graph embedding",
+            dataset: "Cora/CiteSeer/PubMed-like citation graphs",
+            graph_type: "Homogeneous",
+        },
+        WorkloadInfo {
+            abbrev: "TLSTM",
+            model: "Child-sum Tree-LSTM",
+            framework: "DGL",
+            domain: "Sentiment classification (NLP)",
+            dataset: "SST-like sentiment trees",
+            graph_type: "Trees (batched)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_has_eight_models() {
+        let t = table_one();
+        assert_eq!(t.len(), 8);
+        let abbrevs: Vec<_> = t.iter().map(|r| r.abbrev).collect();
+        assert!(abbrevs.contains(&"PSAGE"));
+        assert!(abbrevs.contains(&"TLSTM"));
+        // Both frameworks represented, as in the paper.
+        assert!(t.iter().any(|r| r.framework == "DGL"));
+        assert!(t.iter().any(|r| r.framework == "PyG"));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = WorkloadKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), WorkloadKind::ALL.len());
+    }
+}

@@ -1,0 +1,362 @@
+//! PSAGE: the PinSAGE recommendation workload (Ying et al., KDD 2018).
+//!
+//! Trains item embeddings on a bipartite user–item interaction graph with
+//! random-walk importance sampling and a max-margin triplet loss, as in
+//! the DGL reference implementation the paper profiles. Each step
+//! follows DGL's minibatch pipeline: random walks sampled on the host,
+//! walk traces and node ids sorted/compacted on the device, features of
+//! the *sampled* nodes gathered and normalized, then aggregation,
+//! projection and the triplet loss.
+//!
+//! The two datasets (MovieLens-like and Nowplaying-like) differ mainly in
+//! item feature width — 10× wider for NWP — which flips the workload's
+//! operation mix from sort-heavy (MVL) toward element-wise kernels (NWP),
+//! the paper's headline data-dependence observation.
+
+use std::collections::HashMap;
+
+use gnnmark_autograd::{Adam, Optimizer, ParamSet, Tape, Var};
+use gnnmark_gpusim::ScalingBehavior;
+use gnnmark_graph::datasets::{movielens_like, nowplaying_like, Recommendation};
+use gnnmark_graph::sampler::{ImportanceNeighborhood, RandomWalkSampler};
+use gnnmark_nn::{Module, PinSageConv};
+use gnnmark_profiler::ProfileSession;
+use gnnmark_tensor::IntTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Result, Scale, Workload, WorkloadInfo};
+
+/// Which recommendation dataset PSAGE trains on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsageDataset {
+    /// MovieLens-like (60-wide item features).
+    MovieLens,
+    /// Nowplaying-like (600-wide item features).
+    Nowplaying,
+}
+
+impl PsageDataset {
+    /// Short label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PsageDataset::MovieLens => "MVL",
+            PsageDataset::Nowplaying => "NWP",
+        }
+    }
+}
+
+/// One sampled triplet minibatch, with the global ids of every node it
+/// touches plus the raw walk traces the device-side sampler sorts.
+struct Minibatch {
+    touched: IntTensor,
+    walk_trace: IntTensor,
+    seeds: Vec<ImportanceNeighborhood>,
+    positives: Vec<ImportanceNeighborhood>,
+    negatives: Vec<ImportanceNeighborhood>,
+}
+
+/// The PSAGE workload.
+pub struct Psage {
+    dataset: PsageDataset,
+    data: Recommendation,
+    conv: PinSageConv,
+    sampler: RandomWalkSampler,
+    opt: Adam,
+    rng: StdRng,
+    batch_size: usize,
+    batches_per_epoch: usize,
+    margin: f32,
+}
+
+impl Psage {
+    /// Builds PSAGE on one of its two datasets.
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn new(dataset: PsageDataset, scale: Scale, seed: u64) -> Result<Self> {
+        let (data_scale, batch_size, batches) = match scale {
+            Scale::Test => (0.01, 8, 2),
+            Scale::Small => (0.20, 64, 6),
+            Scale::Paper => (0.50, 128, 10),
+        };
+        let data = match dataset {
+            PsageDataset::MovieLens => movielens_like(data_scale, seed)?,
+            PsageDataset::Nowplaying => nowplaying_like(data_scale, seed)?,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x95a6e);
+        let feat_dim = data.graph.features(data.items).dim(1);
+        let conv = PinSageConv::new("psage.conv", feat_dim, 60, &mut rng)?;
+        Ok(Psage {
+            dataset,
+            data,
+            conv,
+            sampler: RandomWalkSampler::new(16, 3, 6),
+            opt: Adam::new(1e-3),
+            rng,
+            batch_size,
+            batches_per_epoch: batches,
+            margin: 0.4,
+        })
+    }
+
+    fn num_items(&self) -> usize {
+        self.data.item_item.num_nodes()
+    }
+
+    /// Samples one minibatch on the host (walks, positives, negatives) and
+    /// compacts it, mirroring DGL's `PinSAGESampler`.
+    fn sample_minibatch(&mut self, deterministic: Option<u64>) -> Result<Minibatch> {
+        let n_items = self.num_items();
+        let b = self.batch_size.min(n_items);
+        let mut local_rng;
+        let rng: &mut StdRng = match deterministic {
+            Some(seed) => {
+                local_rng = StdRng::seed_from_u64(seed);
+                &mut local_rng
+            }
+            None => &mut self.rng,
+        };
+        let seed_ids: Vec<i64> = match deterministic {
+            Some(_) => (0..b).map(|i| (i * 3 % n_items) as i64).collect(),
+            None => (0..b).map(|_| rng.gen_range(0..n_items as i64)).collect(),
+        };
+        let seed_ids = IntTensor::from_vec(&[b], seed_ids)?;
+        let seeds = self.sampler.sample(&self.data.item_item, &seed_ids, rng);
+        let pos_ids: Vec<i64> = seeds.iter().map(|h| h.neighbors[0]).collect();
+        let neg_ids: Vec<i64> = match deterministic {
+            Some(_) => (0..b).map(|i| ((i * 7 + 5) % n_items) as i64).collect(),
+            None => (0..b).map(|_| rng.gen_range(0..n_items as i64)).collect(),
+        };
+        let pos_ids = IntTensor::from_vec(&[b], pos_ids)?;
+        let neg_ids = IntTensor::from_vec(&[b], neg_ids)?;
+        let positives = self.sampler.sample(&self.data.item_item, &pos_ids, rng);
+        let negatives = self.sampler.sample(&self.data.item_item, &neg_ids, rng);
+
+        // Walk traces: the raw visit stream the device-side sampler sorts
+        // to build importance neighborhoods (DGL sorts these per batch).
+        let mut trace = Vec::new();
+        for h in seeds.iter().chain(&positives).chain(&negatives) {
+            trace.push(h.seed);
+            for (rank, &nb) in h.neighbors.iter().enumerate() {
+                // Visit counts across the whole walk set (walks × length).
+                let visits = (h.weights[rank]
+                    * (self.sampler.num_walks * self.sampler.walk_length) as f32)
+                    .ceil() as usize;
+                for _ in 0..visits.max(1) {
+                    trace.push(nb);
+                }
+            }
+        }
+        let trace_len = trace.len();
+        let walk_trace = IntTensor::from_vec(&[trace_len], trace)?;
+
+        let mut touched: Vec<i64> = Vec::new();
+        touched.extend_from_slice(seed_ids.as_slice());
+        touched.extend_from_slice(pos_ids.as_slice());
+        touched.extend_from_slice(neg_ids.as_slice());
+        for h in seeds.iter().chain(&positives).chain(&negatives) {
+            touched.extend_from_slice(&h.neighbors);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let m = touched.len();
+        Ok(Minibatch {
+            touched: IntTensor::from_vec(&[m], touched)?,
+            walk_trace,
+            seeds,
+            positives,
+            negatives,
+        })
+    }
+
+    /// Remaps a neighborhood list into the batch-local id space.
+    fn localize(
+        hoods: &[ImportanceNeighborhood],
+        remap: &HashMap<i64, i64>,
+    ) -> Vec<ImportanceNeighborhood> {
+        hoods
+            .iter()
+            .map(|h| ImportanceNeighborhood {
+                seed: remap[&h.seed],
+                neighbors: h.neighbors.iter().map(|n| remap[n]).collect(),
+                weights: h.weights.clone(),
+            })
+            .collect()
+    }
+
+    /// Device-side computation of one minibatch, returning the loss.
+    fn batch_forward(&mut self, batch: &Minibatch, tape: &Tape, train: bool) -> Result<Var> {
+        let m = batch.touched.numel();
+        let remap: HashMap<i64, i64> = batch
+            .touched
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| (global, local as i64))
+            .collect();
+        let seeds_l = Self::localize(&batch.seeds, &remap);
+        let pos_l = Self::localize(&batch.positives, &remap);
+        let neg_l = Self::localize(&batch.negatives, &remap);
+
+        // Device-side sampler compaction, as DGL's PinSAGESampler does:
+        // sort the visit stream by node id, re-sort the compacted counts
+        // by frequency, and sort the batch's unique node ids.
+        let (sorted_trace, _) = batch.walk_trace.sort_with_indices()?;
+        let (_, _) = sorted_trace.sort_with_indices()?;
+        let (_, _) = batch.touched.sort_with_indices()?;
+
+        // Gather the sampled nodes' features and normalize them — the
+        // element-wise stage whose cost scales with feature width.
+        let all_feats = tape.constant(self.data.item_item.features().clone());
+        let feats = all_feats.gather_rows(&batch.touched)?;
+        let feats = if train {
+            feats.dropout(0.1, &mut self.rng)?
+        } else {
+            feats
+        };
+        let norm = feats.square().sum_rows()?.add_scalar(1e-12).sqrt().recip();
+        let feats = feats.scale_rows(&norm)?;
+
+        let (a_s, a_s_t, i_s) = PinSageConv::build_batch(&seeds_l, m)?;
+        let (a_p, a_p_t, i_p) = PinSageConv::build_batch(&pos_l, m)?;
+        let (a_n, a_n_t, i_n) = PinSageConv::build_batch(&neg_l, m)?;
+        let emb_s = self.conv.forward(tape, &feats, &a_s, &a_s_t, &i_s)?;
+        let emb_p = self.conv.forward(tape, &feats, &a_p, &a_p_t, &i_p)?;
+        let emb_n = self.conv.forward(tape, &feats, &a_n, &a_n_t, &i_n)?;
+
+        let pos_score = emb_s.mul(&emb_p)?.sum_rows()?;
+        let neg_score = emb_s.mul(&emb_n)?.sum_rows()?;
+        let hinge = neg_score.sub(&pos_score)?.add_scalar(self.margin).relu();
+        Ok(hinge.mean_all())
+    }
+
+    /// Margin loss on a fixed, deterministic probe batch — a noise-free
+    /// progress measure for tests and convergence tracking.
+    ///
+    /// # Errors
+    /// Propagates tensor-engine errors.
+    pub fn eval_loss(&mut self) -> Result<f64> {
+        let batch = self.sample_minibatch(Some(0xea71))?;
+        let tape = Tape::new();
+        let loss = self.batch_forward(&batch, &tape, false)?;
+        Ok(loss.value().item()? as f64)
+    }
+}
+
+impl Workload for Psage {
+    fn name(&self) -> String {
+        format!("PSAGE-{}", self.dataset.label())
+    }
+
+    fn info(&self) -> WorkloadInfo {
+        crate::table_one()
+            .into_iter()
+            .find(|r| r.abbrev == "PSAGE")
+            .expect("PSAGE row present")
+    }
+
+    fn params(&self) -> ParamSet {
+        self.conv.params()
+    }
+
+    fn steps_per_epoch(&self) -> u64 {
+        self.batches_per_epoch as u64
+    }
+
+    fn scaling_behavior(&self) -> Option<ScalingBehavior> {
+        // DGL's PinSAGE batch sampler is incompatible with DDP: training
+        // data replicates across devices, so multi-GPU runs *degrade*.
+        Some(ScalingBehavior::ReplicatedSampling { redundancy: 0.18 })
+    }
+
+    fn quality(&mut self) -> Result<Option<(&'static str, f64)>> {
+        Ok(Some(("probe margin loss", self.eval_loss()?)))
+    }
+
+    fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
+        let features = self.data.item_item.features().clone();
+        let mut epoch_loss = 0.0f64;
+        for _ in 0..self.batches_per_epoch {
+            let batch = self.sample_minibatch(None)?;
+            // The minibatch's features ship to the device (the paper's
+            // sparsity instrumentation hooks exactly this copy).
+            let batch_feats = features.gather_rows(&batch.touched)?;
+            session.upload(&batch_feats);
+            session.upload_int(&batch.touched);
+            session.upload_int(&batch.walk_trace);
+
+            self.params().zero_grad();
+            session.begin_step();
+            let tape = Tape::new();
+            let loss = self.batch_forward(&batch, &tape, true)?;
+            tape.backward(&loss)?;
+            self.opt.step(&self.conv.params())?;
+            session.end_step();
+            epoch_loss += loss.value().item()? as f64;
+        }
+        Ok(epoch_loss / self.batches_per_epoch as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmark_gpusim::DeviceSpec;
+
+    #[test]
+    fn psage_mvl_trains() {
+        let mut w = Psage::new(PsageDataset::MovieLens, Scale::Test, 3).unwrap();
+        let mut session = ProfileSession::new("psage", DeviceSpec::v100());
+        let before = w.eval_loss().unwrap();
+        for _ in 0..8 {
+            let _ = w.run_epoch(&mut session).unwrap();
+        }
+        let after = w.eval_loss().unwrap();
+        assert!(after < before, "probe loss {before} → {after}");
+        let p = session.finish();
+        // Sorting kernels present (walk bookkeeping).
+        assert!(p
+            .per_class
+            .contains_key(&gnnmark_profiler::FigureCategory::Sort));
+        assert!(p.mean_sparsity > 0.0);
+    }
+
+    #[test]
+    fn nwp_features_are_10x_wider_than_mvl() {
+        let mvl = Psage::new(PsageDataset::MovieLens, Scale::Test, 3).unwrap();
+        let nwp = Psage::new(PsageDataset::Nowplaying, Scale::Test, 3).unwrap();
+        assert_eq!(
+            nwp.data.item_item.feature_dim(),
+            10 * mvl.data.item_item.feature_dim()
+        );
+        assert!(matches!(
+            mvl.scaling_behavior(),
+            Some(ScalingBehavior::ReplicatedSampling { .. })
+        ));
+        assert_eq!(mvl.name(), "PSAGE-MVL");
+        assert_eq!(nwp.name(), "PSAGE-NWP");
+    }
+
+    #[test]
+    fn nwp_spends_relatively_more_time_elementwise_than_mvl() {
+        use gnnmark_profiler::FigureCategory;
+        // Needs realistic tensor sizes — tiny Test tensors are launch-bound
+        // and hide the width effect.
+        let run = |ds| {
+            let mut w = Psage::new(ds, Scale::Small, 3).unwrap();
+            let mut s = ProfileSession::new("psage", DeviceSpec::v100());
+            let _ = w.run_epoch(&mut s).unwrap();
+            s.finish()
+        };
+        let mvl = run(PsageDataset::MovieLens);
+        let nwp = run(PsageDataset::Nowplaying);
+        assert!(
+            nwp.time_share(FigureCategory::ElementWise)
+                > mvl.time_share(FigureCategory::ElementWise),
+            "NWP {} vs MVL {}",
+            nwp.time_share(FigureCategory::ElementWise),
+            mvl.time_share(FigureCategory::ElementWise)
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Training on a *dynamic* graph (the third graph family of the paper's
+//! taxonomy, §II-B): a social network whose membership and friendships
+//! evolve across snapshots. A GCN link-scorer is fine-tuned
+//! incrementally on each snapshot — warm-starting from the previous
+//! one — and evaluated on how well it separates present edges from
+//! random non-edges as the structure drifts.
+//!
+//! ```text
+//! cargo run --release --example evolving_graph
+//! ```
+
+use gnnmark_autograd::{Adam, Optimizer, Tape};
+use gnnmark_graph::datasets::social_snapshots_like;
+use gnnmark_graph::Graph;
+use gnnmark_nn::gcn::NormAdj;
+use gnnmark_nn::{losses, GcnConv, Module};
+use gnnmark_tensor::{IntTensor, Tensor};
+use rand::{Rng, SeedableRng};
+
+/// Scores candidate edges by embedding dot products and returns BCE loss
+/// inputs (logits for positives followed by sampled negatives).
+fn edge_logits(
+    tape: &Tape,
+    conv: &GcnConv,
+    graph: &Graph,
+    rng: &mut rand::rngs::StdRng,
+) -> gnnmark::Result<(gnnmark_autograd::Var, Tensor)> {
+    let adj = NormAdj::new_symmetric(graph.normalized_adjacency()?);
+    let x = tape.constant(graph.features().clone());
+    let z = conv.forward(tape, &adj, &x)?.tanh();
+
+    // Positive pairs: existing edges; negatives: random pairs.
+    let n = graph.num_nodes();
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut labels = Vec::new();
+    for a in 0..n {
+        for &b in graph.neighbors(a) {
+            if a < b && src.len() < 256 {
+                src.push(a as i64);
+                dst.push(b as i64);
+                labels.push(1.0f32);
+            }
+        }
+    }
+    let positives = src.len();
+    for _ in 0..positives {
+        src.push(rng.gen_range(0..n as i64));
+        dst.push(rng.gen_range(0..n as i64));
+        labels.push(0.0);
+    }
+    let m = src.len();
+    let zs = z.gather_rows(&IntTensor::from_vec(&[m], src)?)?;
+    let zd = z.gather_rows(&IntTensor::from_vec(&[m], dst)?)?;
+    let logits = zs.mul(&zd)?.sum_rows()?;
+    Ok((logits, Tensor::from_vec(&[m], labels)?))
+}
+
+fn main() -> gnnmark::Result<()> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let dynamic = social_snapshots_like(60, 6, 77)?;
+    println!(
+        "dynamic social graph: {} snapshots, {} node slots",
+        dynamic.len(),
+        dynamic.snapshots()[0].graph.num_nodes()
+    );
+
+    let first = &dynamic.snapshots()[0].graph;
+    let conv = GcnConv::new("link", first.feature_dim(), 16, &mut rng)?;
+    let mut opt = Adam::new(1e-2);
+
+    for snap in dynamic.snapshots() {
+        // Incremental fine-tuning: a few steps per snapshot, warm-started.
+        let mut last_loss = 0.0;
+        for _ in 0..6 {
+            conv.params().zero_grad();
+            let tape = Tape::new();
+            let (logits, labels) = edge_logits(&tape, &conv, &snap.graph, &mut rng)?;
+            let loss = losses::bce_with_logits(&logits, &labels)?;
+            tape.backward(&loss)?;
+            opt.step(&conv.params())?;
+            last_loss = loss.value().item()? as f64;
+        }
+        // Evaluation: fraction of positive edges scored above negatives.
+        let tape = Tape::new();
+        let (logits, labels) = edge_logits(&tape, &conv, &snap.graph, &mut rng)?;
+        let lv = logits.value();
+        let half = labels.numel() / 2;
+        let pos_mean: f32 =
+            lv.as_slice()[..half].iter().sum::<f32>() / half.max(1) as f32;
+        let neg_mean: f32 =
+            lv.as_slice()[half..].iter().sum::<f32>() / half.max(1) as f32;
+        println!(
+            "t={}: {} edges | fine-tune loss {last_loss:.4} | edge-score margin {:+.3}",
+            snap.time,
+            snap.graph.num_edges() / 2,
+            pos_mean - neg_mean
+        );
+    }
+    println!();
+    println!("the link scorer keeps separating edges from non-edges as the graph drifts");
+    Ok(())
+}

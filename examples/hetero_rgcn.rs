@@ -1,0 +1,81 @@
+//! Heterogeneous-graph learning with an R-GCN: classify items of a
+//! MovieLens-like bipartite user–item graph into popularity buckets using
+//! relation-typed convolutions (users→items and items→users get separate
+//! learned projections).
+//!
+//! ```text
+//! cargo run --release --example hetero_rgcn
+//! ```
+
+use std::collections::BTreeMap;
+
+use gnnmark_autograd::{Adam, Optimizer, Tape};
+use gnnmark_graph::datasets::movielens_like;
+use gnnmark_graph::hetero::NodeTypeId;
+use gnnmark_nn::{losses, Linear, Module, RelationAdj, RgcnConv};
+use gnnmark_tensor::IntTensor;
+use rand::SeedableRng;
+
+fn main() -> gnnmark::Result<()> {
+    let data = movielens_like(0.05, 21)?;
+    let g = &data.graph;
+    println!(
+        "heterogeneous graph: {} users, {} items, {} typed edges across {} relations",
+        g.num_nodes(data.users),
+        g.num_nodes(data.items),
+        g.total_edges(),
+        g.num_relations()
+    );
+
+    // Labels: item popularity buckets from the item→user relation degree.
+    let rel = g.relation("interacted_by").expect("relation exists");
+    let n_items = g.num_nodes(data.items);
+    let degrees: Vec<usize> = (0..n_items).map(|i| rel.edges().row_nnz(i)).collect();
+    let median = {
+        let mut d = degrees.clone();
+        d.sort_unstable();
+        d[d.len() / 2]
+    };
+    let labels = IntTensor::from_vec(
+        &[n_items],
+        degrees.iter().map(|&d| i64::from(d > median)).collect(),
+    )?;
+
+    let adjs: Vec<RelationAdj> = g
+        .relations()
+        .iter()
+        .map(RelationAdj::from_relation)
+        .collect::<gnnmark::Result<_>>()?;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let conv = RgcnConv::new("rgcn", g, 16, &mut rng)?;
+    let head = Linear::new("head", 16, 2, &mut rng)?;
+    let mut params = conv.params();
+    params.extend(&head.params());
+    let mut opt = Adam::new(1e-2);
+
+    for epoch in 0..20 {
+        params.zero_grad();
+        let tape = Tape::new();
+        let mut feats = BTreeMap::new();
+        for t in 0..g.num_node_types() {
+            let ty = NodeTypeId(t);
+            feats.insert(ty, tape.constant(g.features(ty).clone()));
+        }
+        let out = conv.forward(&tape, &adjs, &feats)?;
+        let item_h = &out[&data.items];
+        let logits = head.forward(&tape, item_h)?;
+        let loss = losses::cross_entropy(&logits, &labels)?;
+        tape.backward(&loss)?;
+        opt.step(&params)?;
+        if epoch % 4 == 0 || epoch == 19 {
+            let acc = losses::accuracy(&logits.value(), &labels)?;
+            println!(
+                "epoch {epoch:>2}  loss {:.4}  popularity-bucket acc {:.1}%",
+                loss.value().item()?,
+                acc * 100.0
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! # gnnmark-suite
+//!
+//! Umbrella crate of the GNNMark reproduction: re-exports the public API
+//! of every member crate and hosts the repository-level runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start from [`gnnmark`] (the facade crate) for the suite runner and
+//! figure generators, or from the layer crates directly:
+//!
+//! * [`gnnmark_tensor`] — instrumented tensor engine
+//! * [`gnnmark_autograd`] — tape autodiff + optimizers
+//! * [`gnnmark_graph`] — graph substrates + synthetic datasets
+//! * [`gnnmark_nn`] — layers and GNN convolutions
+//! * [`gnnmark_gpusim`] — the analytical V100 model
+//! * [`gnnmark_profiler`] — profiling sessions and reports
+//! * [`gnnmark_workloads`] — the eight GNNMark workloads
+
+#![warn(missing_docs)]
+
+pub use gnnmark;
+pub use gnnmark_autograd;
+pub use gnnmark_gpusim;
+pub use gnnmark_graph;
+pub use gnnmark_nn;
+pub use gnnmark_profiler;
+pub use gnnmark_tensor;
+pub use gnnmark_workloads;
