@@ -37,7 +37,7 @@ mod param;
 mod tape;
 mod var_ops;
 
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{set_thread_grad_clip, thread_grad_clip, Adam, Optimizer, Sgd};
 pub use param::{Param, ParamSet};
 pub use tape::{Tape, Var};
 

@@ -5,11 +5,34 @@
 //! particular contributes a noticeable slice of the element-wise operation
 //! time that Figure 2 of the paper attributes to training.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use gnnmark_tensor::Tensor;
 
 use crate::{Param, ParamSet, Result};
+
+thread_local! {
+    static GRAD_CLIP: Cell<Option<f64>> = const { Cell::new(None) };
+}
+
+/// Enables (or disables, with `None`) gradient clipping for every optimizer
+/// step on the *current thread*: before updating parameters, [`Sgd::step`]
+/// and [`Adam::step`] rescale gradients so their global L2 norm does not
+/// exceed `max_norm` (see [`ParamSet::clip_grad_norm`]).
+///
+/// Thread-local on purpose: the resilient suite runner executes each
+/// workload on its own worker thread and enables clipping only for the
+/// fallback retry of a workload that diverged, without perturbing
+/// concurrently training workloads.
+pub fn set_thread_grad_clip(max_norm: Option<f64>) {
+    GRAD_CLIP.with(|c| c.set(max_norm));
+}
+
+/// The current thread's gradient-clipping threshold, if any.
+pub fn thread_grad_clip() -> Option<f64> {
+    GRAD_CLIP.with(Cell::get)
+}
 
 /// Common interface of parameter-updating optimizers.
 pub trait Optimizer {
@@ -88,6 +111,9 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &ParamSet) -> Result<()> {
+        if let Some(max_norm) = thread_grad_clip() {
+            params.clip_grad_norm(max_norm)?;
+        }
         for p in params {
             if let Some(grad) = p.grad() {
                 self.update(p, &grad)?;
@@ -141,6 +167,9 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &ParamSet) -> Result<()> {
+        if let Some(max_norm) = thread_grad_clip() {
+            params.clip_grad_norm(max_norm)?;
+        }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -246,6 +275,30 @@ mod tests {
         assert_eq!(opt.learning_rate(), 0.1);
         opt.set_learning_rate(0.01);
         assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn thread_grad_clip_caps_update_magnitude() {
+        let run = |clip: Option<f64>| -> f32 {
+            let mut set = ParamSet::new();
+            let w = set.register(Param::new("w", Tensor::from_vec(&[1], vec![0.0]).unwrap()));
+            let tape = Tape::new();
+            let wv = tape.read(&w);
+            // d(loss)/dw = 100 at w = 0: an exploding gradient.
+            let loss = wv.mul_scalar(100.0).sum_all();
+            tape.backward(&loss).unwrap();
+            set_thread_grad_clip(clip);
+            let mut opt = Sgd::new(1.0);
+            opt.step(&set).unwrap();
+            set_thread_grad_clip(None);
+            let out = w.value().as_slice()[0];
+            out
+        };
+        let unclipped = run(None);
+        let clipped = run(Some(1.0));
+        assert!((unclipped + 100.0).abs() < 1e-3, "w = {unclipped}");
+        assert!((clipped + 1.0).abs() < 1e-3, "w = {clipped}");
+        assert_eq!(thread_grad_clip(), None, "clip leaked out of the test");
     }
 
     #[test]

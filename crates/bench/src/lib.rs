@@ -4,6 +4,10 @@
 //!
 //! * the `gnnmark` CLI binary regenerates every table and figure of the
 //!   paper (`gnnmark all`, `gnnmark fig2`, …) as text tables and CSV;
+//! * suite-backed targets run under the resilience layer
+//!   ([`gnnmark::resilience`]): per-workload panic isolation, deadlines,
+//!   retries, checkpoint/resume — with `--keep-going`, figures degrade
+//!   gracefully and missing workloads render as explicit `—` rows;
 //! * the Criterion benches (`cargo bench`) time one regeneration target
 //!   per table/figure so regressions in the substrate show up as bench
 //!   deltas.
@@ -11,7 +15,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use gnnmark::suite::{run_suite_parallel, RunArtifacts, SuiteConfig};
+use gnnmark::resilience::{run_suite_resilient, ResilienceConfig, SuiteReport};
+use gnnmark::suite::{RunArtifacts, SuiteConfig};
 use gnnmark::{figures, Result, Table, WorkloadKind};
 
 /// Every figure target the CLI and benches expose.
@@ -20,27 +25,20 @@ pub const TARGETS: [&str; 15] = [
     "roofline", "convergence", "summary", "ablations", "all", "list",
 ];
 
-/// Runs the suite once and renders one figure target into tables.
-///
-/// `suite_cache` lets callers reuse one suite run across several targets.
+/// Renders one figure target from whatever artifacts are available.
+/// Workloads in `missing` appear as explicit `—` rows in workload-keyed
+/// tables (see [`figures::append_missing_rows`]).
 ///
 /// # Errors
-/// Propagates workload failures.
-pub fn render_target(
+/// Returns an error only for an unknown target name.
+pub fn render_tables(
     target: &str,
-    cfg: &SuiteConfig,
-    suite_cache: &mut Option<Vec<RunArtifacts>>,
+    runs: &[RunArtifacts],
+    missing: &[WorkloadKind],
 ) -> Result<Vec<Table>> {
-    // Table 1 needs no training.
-    if target == "table1" {
-        return Ok(vec![figures::table1()]);
-    }
-    if suite_cache.is_none() {
-        *suite_cache = Some(run_suite_parallel(cfg)?);
-    }
-    let runs = suite_cache.as_ref().expect("cache populated");
     let profiles: Vec<_> = runs.iter().map(|r| r.profile.clone()).collect();
-    Ok(match target {
+    let mut tables = match target {
+        "table1" => vec![figures::table1()],
         "fig2" => vec![figures::fig2_time_breakdown(&profiles)],
         "fig3" => vec![figures::fig3_instruction_mix(&profiles)],
         "fig4" => vec![
@@ -58,19 +56,23 @@ pub fn render_target(
         "fig7" => vec![figures::fig7_sparsity(&profiles)],
         "fig8" => {
             // The paper plots representative workloads; show one dense and
-            // one sparse-transfer workload.
-            let arga = profiles
-                .iter()
-                .find(|p| p.name.starts_with("ARGA"))
-                .expect("ARGA in suite");
-            let psage = profiles
-                .iter()
-                .find(|p| p.name.starts_with("PSAGE"))
-                .expect("PSAGE in suite");
-            vec![
-                figures::fig8_sparsity_series(psage, 24),
-                figures::fig8_sparsity_series(arga, 24),
-            ]
+            // one sparse-transfer workload. Either may be missing from a
+            // degraded run — render the ones that are present.
+            let mut series = Vec::new();
+            for prefix in ["PSAGE", "ARGA"] {
+                match profiles.iter().find(|p| p.name.starts_with(prefix)) {
+                    Some(p) => series.push(figures::fig8_sparsity_series(p, 24)),
+                    None => {
+                        let mut t = Table::new(format!(
+                            "Figure 8 — transfer sparsity over time ({prefix}: unavailable)"
+                        ));
+                        t.header(["Transfer #", "Sparsity (%)", ""]);
+                        t.row([figures::MISSING_MARKER; 3]);
+                        series.push(t);
+                    }
+                }
+            }
+            series
         }
         "fig9" => vec![figures::fig9_scaling(runs)],
         "roofline" => vec![figures::fig_roofline(&profiles)],
@@ -78,11 +80,80 @@ pub fn render_target(
         "convergence" => vec![figures::fig_convergence(runs)],
         other => {
             return Err(gnnmark_tensor::TensorError::InvalidArgument {
-                op: "render_target",
+                op: "render_tables",
                 reason: format!("unknown target `{other}`"),
             })
         }
-    })
+    };
+    for t in &mut tables {
+        figures::append_missing_rows(t, missing);
+    }
+    Ok(tables)
+}
+
+/// Runs the suite once and renders one figure target into tables,
+/// propagating the first workload failure (fail-fast semantics).
+///
+/// `suite_cache` lets callers reuse one suite run across several targets.
+///
+/// # Errors
+/// Propagates workload failures (annotated with the workload label).
+pub fn render_target(
+    target: &str,
+    cfg: &SuiteConfig,
+    suite_cache: &mut Option<Vec<RunArtifacts>>,
+) -> Result<Vec<Table>> {
+    // Table 1 needs no training.
+    if target == "table1" {
+        return render_tables(target, &[], &[]);
+    }
+    if suite_cache.is_none() {
+        *suite_cache = Some(gnnmark::suite::run_suite_parallel(cfg)?);
+    }
+    let runs = suite_cache.as_ref().expect("cache populated");
+    render_tables(target, runs, &[])
+}
+
+/// Runs the suite once under the resilience layer and renders one figure
+/// target. The suite always completes; what happens to failures depends on
+/// `keep_going`:
+///
+/// * `keep_going == true` — failed/timed-out/panicked workloads render as
+///   explicit `—` rows and the call succeeds with partial figures;
+/// * `keep_going == false` — the first failure is returned as an error
+///   (same contract as [`render_target`]), but retries, deadlines and
+///   checkpointing still apply.
+///
+/// `report_cache` lets callers reuse one resilient suite run (and its
+/// per-workload status) across several targets.
+///
+/// # Errors
+/// Unknown targets; workload failures when `keep_going` is off.
+pub fn render_target_resilient(
+    target: &str,
+    cfg: &SuiteConfig,
+    rcfg: &ResilienceConfig,
+    keep_going: bool,
+    report_cache: &mut Option<SuiteReport>,
+) -> Result<Vec<Table>> {
+    if target == "table1" {
+        return render_tables(target, &[], &[]);
+    }
+    if report_cache.is_none() {
+        *report_cache = Some(run_suite_resilient(cfg, rcfg));
+    }
+    let report = report_cache.as_ref().expect("cache populated");
+    if !keep_going {
+        if let Some(error) = report.first_failure() {
+            return Err(error);
+        }
+    }
+    let runs: Vec<RunArtifacts> = report
+        .artifacts()
+        .into_iter()
+        .map(|(_, a)| a.clone())
+        .collect();
+    render_tables(target, &runs, &report.missing())
 }
 
 /// Renders the four ablation studies.
@@ -106,6 +177,7 @@ pub fn render_ablations(cfg: &SuiteConfig) -> Result<Vec<Table>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gnnmark::resilience::{Fault, FaultPlan};
 
     #[test]
     fn table1_needs_no_suite() {
@@ -119,5 +191,29 @@ mod tests {
     fn unknown_target_is_an_error() {
         let mut cache = None;
         assert!(render_target("fig99", &SuiteConfig::test(), &mut cache).is_err());
+    }
+
+    #[test]
+    fn resilient_render_degrades_gracefully() {
+        let cfg = SuiteConfig::test();
+        let rcfg = ResilienceConfig::default()
+            .with_faults(FaultPlan::none().inject("GW", Fault::Panic));
+        let mut cache = None;
+        // Fail-fast mode surfaces the injected failure.
+        let err = render_target_resilient("fig4", &cfg, &rcfg, false, &mut cache)
+            .expect_err("fault must surface without --keep-going");
+        assert!(err.to_string().starts_with("GW: "), "{err}");
+        // Keep-going mode renders the other workloads plus a `—` row.
+        let tables = render_target_resilient("fig4", &cfg, &rcfg, true, &mut cache)
+            .expect("keep-going renders");
+        let s = tables[0].to_string();
+        assert!(s.contains("TLSTM"), "{s}");
+        assert!(s.contains(gnnmark::figures::MISSING_MARKER), "{s}");
+        // 8 completed workloads + the MEAN row + one `—` row for GW.
+        assert_eq!(
+            tables[0].num_rows(),
+            WorkloadKind::ALL.len() + 1,
+            "every workload gets a row"
+        );
     }
 }

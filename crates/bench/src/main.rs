@@ -2,21 +2,40 @@
 //!
 //! ```text
 //! gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] [--csv DIR]
+//!                  [--parallel] [--keep-going] [--timeout SECS] [--retries N]
+//!                  [--checkpoint DIR]
 //!
 //! targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          roofline convergence summary ablations all list
 //! ```
+//!
+//! Suite-backed targets run under the resilience layer: every workload is
+//! panic-isolated on its own thread, optionally deadline-bounded
+//! (`--timeout`) and retried (`--retries`). With `--keep-going`, one
+//! failing workload no longer aborts the run — its figures render as `—`
+//! rows and a per-workload status table (plus a JSON summary on stderr) is
+//! appended. `--checkpoint DIR` saves each completed workload so an
+//! interrupted run resumes without re-training. The `GNNMARK_FAULT`
+//! environment variable (e.g. `panic:TLSTM`, `nan:GW@0`, `stall:DGCN@500ms`)
+//! injects deterministic faults for drills and tests.
 
 use std::io::Write as _;
+use std::time::Duration;
 
+use gnnmark::resilience::{FaultPlan, ResilienceConfig, SuiteReport};
 use gnnmark::suite::SuiteConfig;
 use gnnmark::{Scale, Table};
-use gnnmark_bench::{render_ablations, render_target, TARGETS};
+use gnnmark_bench::{render_ablations, render_target_resilient, TARGETS};
+
+const USAGE: &str = "usage: gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] \
+[--csv DIR] [--parallel] [--keep-going] [--timeout SECS] [--retries N] [--checkpoint DIR]";
 
 struct Args {
     target: String,
     cfg: SuiteConfig,
     csv_dir: Option<String>,
+    rcfg: ResilienceConfig,
+    keep_going: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -24,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
     let target = args.next().unwrap_or_else(|| "list".to_string());
     let mut cfg = SuiteConfig::small();
     let mut csv_dir = None;
+    let mut rcfg = ResilienceConfig::default();
+    let mut keep_going = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -52,13 +73,43 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => {
                 csv_dir = Some(args.next().ok_or("--csv needs a directory")?);
             }
+            "--parallel" => rcfg.parallel = true,
+            "--keep-going" => keep_going = true,
+            "--timeout" => {
+                let secs: f64 = args
+                    .next()
+                    .ok_or("--timeout needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad timeout: {e}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--timeout must be a positive number of seconds".to_string());
+                }
+                rcfg.timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                rcfg.retry.max_retries = args
+                    .next()
+                    .ok_or("--retries needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad retry count: {e}"))?;
+            }
+            "--checkpoint" => {
+                rcfg.checkpoint_dir =
+                    Some(args.next().ok_or("--checkpoint needs a directory")?.into());
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    // Diverged workloads get one clipped retry by default; the threshold is
+    // generous enough to be inert on healthy runs.
+    rcfg.grad_clip_fallback = Some(10.0);
+    rcfg.faults = FaultPlan::from_env();
     Ok(Args {
         target,
         cfg,
         csv_dir,
+        rcfg,
+        keep_going,
     })
 }
 
@@ -91,7 +142,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] [--csv DIR]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
@@ -102,8 +153,13 @@ fn main() {
         }
         return;
     }
+    if !TARGETS.contains(&args.target.as_str()) {
+        eprintln!("error: unknown target `{}`", args.target);
+        eprintln!("valid targets: {}", TARGETS.join(" "));
+        std::process::exit(2);
+    }
     let started = std::time::Instant::now();
-    let mut cache = None;
+    let mut report: Option<SuiteReport> = None;
     let result = (|| -> gnnmark::Result<Vec<Table>> {
         match args.target.as_str() {
             "all" => {
@@ -112,15 +168,35 @@ fn main() {
                     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
                     "fig9", "roofline", "convergence", "summary",
                 ] {
-                    tables.extend(render_target(target, &args.cfg, &mut cache)?);
+                    tables.extend(render_target_resilient(
+                        target,
+                        &args.cfg,
+                        &args.rcfg,
+                        args.keep_going,
+                        &mut report,
+                    )?);
                 }
                 tables.extend(render_ablations(&args.cfg)?);
                 Ok(tables)
             }
             "ablations" => render_ablations(&args.cfg),
-            target => render_target(target, &args.cfg, &mut cache),
+            target => render_target_resilient(
+                target,
+                &args.cfg,
+                &args.rcfg,
+                args.keep_going,
+                &mut report,
+            ),
         }
     })();
+    // Per-workload status, whenever a suite actually ran: the table when
+    // anything is notable (non-completed workloads), the JSON line always.
+    if let Some(report) = &report {
+        if !report.all_succeeded() || report.outcomes.iter().any(|o| o.attempts > 1) {
+            eprintln!("{}", report.status_table());
+        }
+        eprintln!("suite status: {}", report.to_json());
+    }
     match result {
         Ok(tables) => {
             if let Err(e) = emit(&tables, args.csv_dir.as_deref()) {

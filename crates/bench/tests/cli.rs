@@ -29,9 +29,48 @@ fn table1_renders_without_training() {
 #[test]
 fn unknown_target_fails_cleanly() {
     let out = gnnmark().arg("fig99").output().expect("binary runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("fig99"));
+    // The error names every valid target so the user can self-correct.
+    for target in gnnmark_bench::TARGETS {
+        assert!(stderr.contains(target), "missing `{target}` in {stderr}");
+    }
+}
+
+#[test]
+fn injected_fault_with_keep_going_degrades_gracefully() {
+    let out = gnnmark()
+        .args(["fig4", "--scale", "test", "--epochs", "1", "--keep-going"])
+        .env("GNNMARK_FAULT", "panic:GW")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The healthy workloads rendered; the faulted one is an explicit dash.
+    assert!(stdout.contains("TLSTM"), "{stdout}");
+    assert!(stdout.contains("—"), "no missing-row marker:\n{stdout}");
+    // Per-workload status is reported, including the panic.
+    assert!(stderr.contains("panicked"), "{stderr}");
+    assert!(stderr.contains("\"workload\":\"GW\""), "{stderr}");
+}
+
+#[test]
+fn injected_fault_without_keep_going_fails_naming_the_workload() {
+    let out = gnnmark()
+        .args(["fig4", "--scale", "test", "--epochs", "1"])
+        .env("GNNMARK_FAULT", "panic:GW")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("GW"), "{stderr}");
+    assert!(stderr.contains("panic"), "{stderr}");
 }
 
 #[test]

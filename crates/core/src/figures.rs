@@ -417,6 +417,30 @@ pub fn suite_summary(runs: &[RunArtifacts]) -> Table {
     t
 }
 
+/// Marker used for workloads absent from a figure (failed, timed out, or
+/// restored from checkpoint without a profile).
+pub const MISSING_MARKER: &str = "—";
+
+/// Appends one explicit `—` row per missing workload to a workload-keyed
+/// table (first header cell `"Workload"`), so degraded suite runs render
+/// every workload rather than silently dropping rows. Tables keyed by
+/// anything else (per-operation breakdowns, sparsity series) are left
+/// untouched.
+pub fn append_missing_rows(t: &mut Table, missing: &[gnnmark_workloads::WorkloadKind]) {
+    if t.header_cells().first().map(String::as_str) != Some("Workload") {
+        return;
+    }
+    let cols = t.num_cols();
+    for kind in missing {
+        let mut row = vec![kind.label().to_string()];
+        row.extend(std::iter::repeat_n(
+            MISSING_MARKER.to_string(),
+            cols.saturating_sub(1),
+        ));
+        t.row(row);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +453,23 @@ mod tests {
             run_workload_full(WorkloadKind::Tlstm, &cfg).unwrap(),
             run_workload_full(WorkloadKind::ArgaCora, &cfg).unwrap(),
         ]
+    }
+
+    #[test]
+    fn missing_rows_are_explicit_dashes() {
+        let runs = sample_profiles();
+        let profiles: Vec<_> = runs.iter().map(|r| r.profile.clone()).collect();
+        let mut t = fig4_throughput(&profiles);
+        let before = t.num_rows();
+        append_missing_rows(&mut t, &[WorkloadKind::Gw, WorkloadKind::Dgcn]);
+        assert_eq!(t.num_rows(), before + 2);
+        let s = t.to_string();
+        assert!(s.contains("GW") && s.contains(MISSING_MARKER), "{s}");
+        // Non-workload-keyed tables are untouched.
+        let mut per_op = fig4_per_op_throughput(&profiles);
+        let before = per_op.num_rows();
+        append_missing_rows(&mut per_op, &[WorkloadKind::Gw]);
+        assert_eq!(per_op.num_rows(), before);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! Graph Neural Network Training on GPUs*, ISPASS 2021).
 //!
 //! * [`suite`] — run workloads under a profiling session.
+//! * [`resilience`] — fault-isolated suite execution: deadlines, retries,
+//!   numeric-anomaly guards, fault injection, and checkpoint/resume.
 //! * [`figures`] — Table I and Figures 2–9 as text tables / CSV.
 //! * [`ablations`] — the design-space sweeps DESIGN.md calls out
 //!   (L1 capacity, feature width, NVLink bandwidth, half precision).
@@ -27,6 +29,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod resilience;
 pub mod suite;
 
 pub use gnnmark_gpusim::DeviceSpec;

@@ -87,8 +87,13 @@ pub fn run_workload(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<WorkloadPro
 /// metadata needed by the scaling model.
 ///
 /// # Errors
-/// Propagates workload construction or training errors.
+/// Propagates workload construction or training errors, annotated with the
+/// workload label (see [`gnnmark_tensor::TensorError::InWorkload`]).
 pub fn run_workload_full(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunArtifacts> {
+    run_workload_full_inner(kind, cfg).map_err(|e| e.in_workload(kind.label()))
+}
+
+fn run_workload_full_inner(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunArtifacts> {
     let mut w = kind.build(cfg.scale, cfg.seed)?;
     let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
     let mut losses = Vec::with_capacity(cfg.epochs);
@@ -118,30 +123,50 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<Vec<RunArtifacts>> {
         .collect()
 }
 
+/// Renders a panic payload (the `Box<dyn Any>` from a joined thread) as the
+/// panic message when it is a string, or a placeholder otherwise.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs the whole suite with one OS thread per workload (op recording is
 /// thread-local, so runs are fully independent); results come back in
 /// [`WorkloadKind::ALL`] order and are bit-identical to [`run_suite`].
 ///
 /// # Errors
-/// Propagates the first workload failure.
-///
-/// # Panics
-/// Panics if a worker thread panics.
+/// Propagates the first workload failure. A panicking worker becomes an
+/// `Err` naming the panicking workload — it never takes down the caller.
+/// For a run that *always* completes and reports per-workload status
+/// instead, see [`crate::resilience::run_suite_resilient`].
 pub fn run_suite_parallel(cfg: &SuiteConfig) -> Result<Vec<RunArtifacts>> {
-    let results: Vec<Result<RunArtifacts>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<RunArtifacts>> = std::thread::scope(|scope| {
         let handles: Vec<_> = WorkloadKind::ALL
             .iter()
             .map(|&kind| {
                 let cfg = cfg.clone();
-                scope.spawn(move |_| run_workload_full(kind, &cfg))
+                scope.spawn(move || run_workload_full(kind, &cfg))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("workload thread panicked"))
+        WorkloadKind::ALL
+            .iter()
+            .zip(handles)
+            .map(|(&kind, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(gnnmark_tensor::TensorError::InvalidArgument {
+                        op: "run_suite_parallel",
+                        reason: format!("worker panicked: {}", panic_message(payload.as_ref())),
+                    }
+                    .in_workload(kind.label()))
+                })
+            })
             .collect()
-    })
-    .expect("thread scope");
+    });
     results.into_iter().collect()
 }
 

@@ -323,7 +323,7 @@ mod tests {
     #[test]
     fn gcn_training_reduces_loss() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let (adj, g) = ring_adj(8);
+        let (adj, _g) = ring_adj(8);
         let conv = GcnConv::new("c", 4, 2, &mut rng).unwrap();
         let labels =
             gnnmark_tensor::IntTensor::from_vec(&[8], (0..8).map(|i| i % 2).collect())

@@ -111,6 +111,22 @@ impl ProfileSession {
             self.steps,
         )
     }
+
+    /// Finishes the session even if a step is still open — the aborted
+    /// step's captured kernels are included but it does not count toward
+    /// [`ProfileSession::steps`]. For error paths (a workload failing
+    /// mid-step) where [`ProfileSession::finish`] would panic.
+    pub fn finish_partial(mut self) -> WorkloadProfile {
+        if self.in_step {
+            self.in_step = false;
+            let events = record::stop_recording();
+            self.kernels.reserve(events.len());
+            for e in &events {
+                self.kernels.push(self.gpu.execute(e));
+            }
+        }
+        self.finish()
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +158,21 @@ mod tests {
         let mut s = ProfileSession::new("t", DeviceSpec::v100());
         s.begin_step();
         s.begin_step();
+    }
+
+    #[test]
+    fn finish_partial_salvages_an_open_step() {
+        let mut s = ProfileSession::new("t", DeviceSpec::v100());
+        s.begin_step();
+        let x = Tensor::ones(&[8, 8]);
+        let _ = x.relu();
+        s.end_step();
+        s.begin_step();
+        let _ = x.sigmoid();
+        // Simulated mid-step failure: no end_step. finish() would panic.
+        let p = s.finish_partial();
+        assert_eq!(p.kernels.len(), 2, "aborted step's kernels salvaged");
+        assert_eq!(p.steps, 1, "aborted step not counted");
     }
 
     #[test]

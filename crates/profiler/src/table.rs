@@ -45,6 +45,18 @@ impl Table {
         self.rows.len()
     }
 
+    /// The header cells (empty slice when no header was set).
+    pub fn header_cells(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Number of columns (widest of header and data rows).
+    pub fn num_cols(&self) -> usize {
+        self.header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0))
+    }
+
     /// Renders as CSV (header first; fields quoted only when needed).
     pub fn to_csv(&self) -> String {
         let escape = |s: &str| {

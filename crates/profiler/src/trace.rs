@@ -24,9 +24,9 @@ pub fn to_chrome_trace(profile: &WorkloadProfile) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     // Lane naming metadata.
     for (i, cat) in FigureCategory::ALL.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},\n",
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}},",
             i,
             escape(cat.label())
         );

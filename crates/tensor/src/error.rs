@@ -46,6 +46,48 @@ pub enum TensorError {
         /// Description of why the argument is invalid.
         reason: String,
     },
+    /// Training produced a numeric anomaly (NaN/Inf loss, exploding
+    /// gradients, divergence) and was aborted rather than left to train
+    /// garbage.
+    NumericAnomaly {
+        /// What was being monitored (e.g. `"epoch loss"`, `"grad norm"`).
+        what: &'static str,
+        /// Epoch at which the anomaly was detected (0-based).
+        epoch: usize,
+        /// Description of the anomalous value.
+        value: String,
+    },
+    /// An error annotated with the workload it occurred in, so suite-level
+    /// failures name their workload instead of a bare tensor error.
+    InWorkload {
+        /// The workload's display label (e.g. `"PSAGE-MVL"`).
+        workload: String,
+        /// The underlying error.
+        source: Box<TensorError>,
+    },
+}
+
+impl TensorError {
+    /// Wraps the error with the workload it occurred in (idempotent: an
+    /// already-annotated error is returned unchanged).
+    #[must_use]
+    pub fn in_workload(self, workload: &str) -> TensorError {
+        match self {
+            TensorError::InWorkload { .. } => self,
+            other => TensorError::InWorkload {
+                workload: workload.to_string(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The innermost error, unwrapping any workload annotation.
+    pub fn root_cause(&self) -> &TensorError {
+        match self {
+            TensorError::InWorkload { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -70,11 +112,24 @@ impl fmt::Display for TensorError {
             TensorError::InvalidArgument { op, reason } => {
                 write!(f, "invalid argument to `{op}`: {reason}")
             }
+            TensorError::NumericAnomaly { what, epoch, value } => {
+                write!(f, "numeric anomaly at epoch {epoch}: {what} {value}")
+            }
+            TensorError::InWorkload { workload, source } => {
+                write!(f, "{workload}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for TensorError {}
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::InWorkload { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -96,5 +151,36 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn workload_context_wraps_and_unwraps() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let wrapped = e.clone().in_workload("PSAGE-MVL");
+        let s = wrapped.to_string();
+        assert!(s.starts_with("PSAGE-MVL: "), "{s}");
+        assert!(s.contains("matmul"));
+        assert_eq!(wrapped.root_cause(), &e);
+        // Idempotent: re-wrapping keeps the original workload name.
+        let twice = wrapped.clone().in_workload("OTHER");
+        assert!(twice.to_string().starts_with("PSAGE-MVL: "));
+        // std::error::Error::source exposes the cause chain.
+        use std::error::Error as _;
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn numeric_anomaly_displays_epoch_and_value() {
+        let e = TensorError::NumericAnomaly {
+            what: "epoch loss",
+            epoch: 3,
+            value: "NaN".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("epoch 3") && s.contains("NaN"), "{s}");
     }
 }

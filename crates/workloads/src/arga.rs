@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn arga_loss_decreases() {
-        let mut w = Arga::new(CitationKind::Cora, Scale::Test, 7).unwrap();
+        let mut w = Arga::new(CitationKind::Cora, Scale::Test, 3).unwrap();
         let mut session = ProfileSession::new("arga", DeviceSpec::v100());
         let mut losses = Vec::new();
         for _ in 0..6 {
@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn arga_is_excluded_from_scaling() {
-        let w = Arga::new(CitationKind::Cora, Scale::Test, 7).unwrap();
+        let w = Arga::new(CitationKind::Cora, Scale::Test, 3).unwrap();
         assert!(w.scaling_behavior().is_none());
         assert_eq!(w.steps_per_epoch(), 2);
         assert!(w.name().contains("Cora"));

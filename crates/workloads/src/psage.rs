@@ -306,7 +306,7 @@ mod tests {
 
     #[test]
     fn psage_mvl_trains() {
-        let mut w = Psage::new(PsageDataset::MovieLens, Scale::Test, 3).unwrap();
+        let mut w = Psage::new(PsageDataset::MovieLens, Scale::Test, 1).unwrap();
         let mut session = ProfileSession::new("psage", DeviceSpec::v100());
         let before = w.eval_loss().unwrap();
         for _ in 0..8 {
@@ -324,7 +324,7 @@ mod tests {
 
     #[test]
     fn nwp_features_are_10x_wider_than_mvl() {
-        let mvl = Psage::new(PsageDataset::MovieLens, Scale::Test, 3).unwrap();
+        let mvl = Psage::new(PsageDataset::MovieLens, Scale::Test, 1).unwrap();
         let nwp = Psage::new(PsageDataset::Nowplaying, Scale::Test, 3).unwrap();
         assert_eq!(
             nwp.data.item_item.feature_dim(),

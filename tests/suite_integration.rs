@@ -157,6 +157,196 @@ fn sparsity_series_repeats_with_epoch_period() {
     }
 }
 
+mod resilience {
+    //! Resilient-suite integration: injected faults are contained to their
+    //! workload, the suite always completes, and checkpointed runs resume
+    //! without re-training.
+
+    use std::time::Duration;
+
+    use gnnmark::resilience::{
+        run_suite_resilient, Fault, FaultPlan, ResilienceConfig, WorkloadStatus,
+    };
+    use gnnmark::suite::SuiteConfig;
+    use gnnmark::WorkloadKind;
+
+    fn fast() -> ResilienceConfig {
+        let mut r = ResilienceConfig::default();
+        r.retry.backoff_base = Duration::ZERO;
+        r
+    }
+
+    /// Asserts the report covers every workload, `faulted` has the expected
+    /// status, and all others completed.
+    fn assert_contained(
+        report: &gnnmark::resilience::SuiteReport,
+        faulted: WorkloadKind,
+        expect: fn(&WorkloadStatus) -> bool,
+    ) {
+        assert_eq!(report.outcomes.len(), WorkloadKind::ALL.len());
+        let mut completed = 0;
+        for o in &report.outcomes {
+            if o.kind == faulted {
+                assert!(expect(&o.status), "{faulted:?}: {:?}", o.status);
+            } else {
+                assert!(
+                    matches!(o.status, WorkloadStatus::Completed(_)),
+                    "{:?} should be untouched, got {:?}",
+                    o.kind,
+                    o.status
+                );
+                completed += 1;
+            }
+        }
+        assert_eq!(completed, WorkloadKind::ALL.len() - 1);
+        assert_eq!(report.missing(), vec![faulted]);
+    }
+
+    #[test]
+    fn injected_panic_leaves_other_workloads_completed() {
+        let cfg = SuiteConfig::test();
+        let rcfg = fast().with_faults(FaultPlan::none().inject("GW", Fault::Panic));
+        let report = run_suite_resilient(&cfg, &rcfg);
+        assert_contained(&report, WorkloadKind::Gw, |s| {
+            matches!(s, WorkloadStatus::Panicked { .. })
+        });
+    }
+
+    #[test]
+    fn injected_nan_leaves_other_workloads_completed() {
+        let cfg = SuiteConfig::test();
+        let rcfg = fast().with_faults(FaultPlan::none().inject(
+            "DGCN",
+            Fault::NanLoss {
+                epoch: 0,
+                failures: usize::MAX,
+            },
+        ));
+        let report = run_suite_resilient(&cfg, &rcfg);
+        assert_contained(&report, WorkloadKind::Dgcn, |s| {
+            matches!(s, WorkloadStatus::Failed { error }
+                if matches!(error.root_cause(),
+                    gnnmark_tensor::TensorError::NumericAnomaly { .. }))
+        });
+    }
+
+    #[test]
+    fn injected_stall_times_out_and_leaves_others_completed() {
+        let cfg = SuiteConfig::test();
+        let rcfg = fast()
+            .with_timeout(Duration::from_secs(30))
+            .with_faults(FaultPlan::none().inject(
+                "TLSTM",
+                Fault::Stall {
+                    duration: Duration::from_secs(60),
+                },
+            ));
+        let report = run_suite_resilient(&cfg, &rcfg);
+        assert_contained(&report, WorkloadKind::Tlstm, |s| {
+            matches!(s, WorkloadStatus::TimedOut { .. })
+        });
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_suite_fully_succeeds() {
+        let cfg = SuiteConfig::test();
+        let rcfg = fast().with_retries(1).with_faults(FaultPlan::none().inject(
+            "ARGA",
+            Fault::TransientError { failures: 1 },
+        ));
+        let report = run_suite_resilient(&cfg, &rcfg);
+        assert!(report.all_succeeded());
+        let arga = report
+            .outcomes
+            .iter()
+            .find(|o| o.kind == WorkloadKind::ArgaCora)
+            .unwrap();
+        assert_eq!(arga.attempts, 2);
+        assert!(report.missing().is_empty());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_without_retraining() {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnmark_resume_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SuiteConfig::test();
+
+        // First run is "interrupted": TLSTM panics, everything else
+        // completes and is checkpointed.
+        let rcfg = fast()
+            .with_checkpoint_dir(&dir)
+            .with_faults(FaultPlan::none().inject("TLSTM", Fault::Panic));
+        let first = run_suite_resilient(&cfg, &rcfg);
+        assert!(!first.all_succeeded());
+
+        // Second run, fault cleared: completed workloads are restored from
+        // checkpoint (attempts == 0, i.e. not re-trained); only TLSTM runs.
+        let rcfg = fast().with_checkpoint_dir(&dir);
+        let second = run_suite_resilient(&cfg, &rcfg);
+        assert!(second.all_succeeded());
+        for o in &second.outcomes {
+            if o.kind == WorkloadKind::Tlstm {
+                assert!(
+                    matches!(o.status, WorkloadStatus::Completed(_)),
+                    "{:?}",
+                    o.status
+                );
+                assert_eq!(o.attempts, 1);
+            } else {
+                match &o.status {
+                    WorkloadStatus::Restored(summary) => {
+                        assert_eq!(summary.workload, o.kind.label());
+                        assert_eq!(summary.epochs, cfg.epochs);
+                        assert_eq!(o.attempts, 0, "restored workloads never re-train");
+                    }
+                    other => panic!("{:?} not restored: {other:?}", o.kind),
+                }
+            }
+        }
+
+        // A different seed invalidates every checkpoint: nothing restores.
+        let other_cfg = SuiteConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        let third = run_suite_resilient(&other_cfg, &fast().with_checkpoint_dir(&dir));
+        assert!(third
+            .outcomes
+            .iter()
+            .all(|o| matches!(o.status, WorkloadStatus::Completed(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restored_summary_matches_original_run() {
+        // The checkpoint round-trip preserves the training record exactly:
+        // losses from the restored summary equal the live run's.
+        let dir = std::env::temp_dir().join(format!(
+            "gnnmark_roundtrip_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SuiteConfig::test();
+        let rcfg = fast().with_checkpoint_dir(&dir);
+        let live = run_suite_resilient(&cfg, &rcfg);
+        let resumed = run_suite_resilient(&cfg, &rcfg);
+        for (a, b) in live.outcomes.iter().zip(&resumed.outcomes) {
+            let (WorkloadStatus::Completed(art), WorkloadStatus::Restored(summary)) =
+                (&a.status, &b.status)
+            else {
+                panic!("{:?}: {:?} / {:?}", a.kind, a.status, b.status);
+            };
+            assert_eq!(art.losses, summary.losses, "{:?}", a.kind);
+            assert_eq!(art.steps_per_epoch, summary.steps_per_epoch);
+            assert_eq!(art.grad_bytes, summary.grad_bytes);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn table_one_matches_workload_metadata() {
     let table = gnnmark_workloads::table_one();

@@ -1,0 +1,255 @@
+//! Vendored, dependency-free stand-in for the parts of `proptest` that
+//! GNNMark's property tests use.
+//!
+//! The benchmark containers build fully offline, so upstream `proptest`
+//! cannot be fetched. This crate keeps the same *surface* — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, [`collection::vec`], [`sample::select`], [`any`],
+//! [`prop_oneof!`], `prop_assert!` / `prop_assert_eq!`, and
+//! [`ProptestConfig`] — while replacing the engine with a deterministic
+//! random-case runner (no shrinking): each test executes `cases` inputs
+//! drawn from a stream seeded by the test name and case index, so failures
+//! reproduce exactly across runs and machines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; with a deterministic stream that many
+        // cases add no coverage over 128 for the sizes used here, and test
+        // wall-clock matters in the offline container.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Builds the deterministic generator for one `(test, case)` pair.
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is described by `size` (an exact `usize` or a
+    /// `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// Strategies sampling from explicit value sets.
+pub mod sample {
+    use super::strategy::Select;
+
+    /// A strategy choosing uniformly from `options`.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select::new(options)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform!(u64, u32, usize, i64, i32, bool, f32, f64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over every value of `T` (for the integer types GNNMark uses).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// The common imports property tests start with.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// A strategy choosing between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the upstream grammar subset:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn name(x in 0usize..10, (a, b) in some_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { @cfg [$cfg] $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { @cfg [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( @cfg [$cfg:expr] ) => {};
+    ( @cfg [$cfg:expr]
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { @cfg [$cfg] $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, f32)> {
+        (1usize..5, -1.0f32..1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 2usize..9, (n, f) in pair(), seed in any::<u64>()) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = seed;
+        }
+
+        #[test]
+        fn vec_and_maps(
+            v in crate::collection::vec(0u32..10, 3..8),
+            w in crate::collection::vec(0u32..10, 4),
+            s in (1usize..4).prop_map(|n| n * 2),
+            t in (1usize..3).prop_flat_map(|n| crate::collection::vec(0u32..5, n)),
+        ) {
+            prop_assert!((3..8).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(s % 2 == 0 && (2..8).contains(&s));
+            prop_assert!(!t.is_empty() && t.len() < 3);
+        }
+
+        #[test]
+        fn oneof_select_and_just(
+            a in prop_oneof![Just(0.0f32), -5.0f32..5.0],
+            b in crate::sample::select(vec![1, 2, 3]),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&a));
+            prop_assert!((1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..u64::MAX;
+        let a: Vec<u64> = (0..4)
+            .map(|c| s.generate(&mut crate::case_rng("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| s.generate(&mut crate::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+        let other = s.generate(&mut crate::case_rng("different", 0));
+        assert_ne!(a[0], other);
+    }
+}
