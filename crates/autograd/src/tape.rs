@@ -25,6 +25,20 @@ pub(crate) struct TapeInner {
     pub(crate) nodes: Vec<Node>,
 }
 
+impl Drop for TapeInner {
+    fn drop(&mut self) {
+        // Hand every node's buffers back to the tensor pool. The next
+        // training step records an identically shaped tape, so these exact
+        // lengths are reused instead of faulting in fresh pages each step.
+        for node in self.nodes.drain(..) {
+            gnnmark_tensor::pool::recycle(node.value);
+            if let Some(g) = node.grad {
+                gnnmark_tensor::pool::recycle(g);
+            }
+        }
+    }
+}
+
 /// A single-step computation tape.
 ///
 /// Create one per training step, build the forward computation with
@@ -147,7 +161,14 @@ impl Tape {
                             let slot = &mut inner.nodes[p].grad;
                             *slot = Some(match slot.take() {
                                 None => c,
-                                Some(prev) => prev.add(&c)?,
+                                Some(prev) => {
+                                    let sum = prev.add(&c)?;
+                                    // Both temporaries are dead; feed their
+                                    // buffers back to the tensor pool.
+                                    gnnmark_tensor::pool::recycle(prev);
+                                    gnnmark_tensor::pool::recycle(c);
+                                    sum
+                                }
                             });
                         }
                     }

@@ -1,9 +1,14 @@
-//! Micro-benchmarks of the substrate: tensor kernels and the GPU model's
-//! simulation cost per kernel class.
+//! Micro-benchmarks of the substrate: tensor kernels (sequential vs
+//! parallel) and the GPU model's simulation cost per kernel class.
+//!
+//! With `CRITERION_JSON=BENCH_kernels.json` the run writes the perf
+//! baseline that CI's `bench-smoke` job regresses against (see the
+//! `bench-check` binary); `CRITERION_QUICK=1` clamps sample counts for
+//! smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnnmark_gpusim::{DeviceSpec, GpuModel};
-use gnnmark_tensor::{record, CsrMatrix, IntTensor, Tensor};
+use gnnmark_tensor::{par, record, CsrMatrix, IntTensor, Tensor};
 
 fn bench_tensor_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor_ops");
@@ -47,6 +52,51 @@ fn bench_tensor_ops(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same hot kernels at 1 vs 4 threads. Outputs are bit-identical at
+/// every thread count; only wall-clock may change, and the `_t1`/`_t4`
+/// pairs in `BENCH_kernels.json` record the measured ratio on the build
+/// machine (single-core containers will show ~1×).
+fn bench_parallel_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_kernels");
+    group.sample_size(10);
+
+    let a = Tensor::from_fn(&[384, 384], |i| (i % 17) as f32 * 0.1 - 0.5);
+    let b = Tensor::from_fn(&[384, 384], |i| (i % 13) as f32 * 0.1 - 0.4);
+    let triplets: Vec<(usize, usize, f32)> = (0..32_768)
+        .map(|i| ((i * 37) % 4096, (i * 101) % 4096, 1.0))
+        .collect();
+    let sp = CsrMatrix::from_coo(4096, 4096, &triplets).unwrap();
+    let x = Tensor::from_fn(&[4096, 64], |i| (i % 11) as f32 * 0.2);
+    let src = Tensor::from_fn(&[32_768, 32], |i| (i % 23) as f32 * 0.1);
+    let idx = IntTensor::from_vec(&[32_768], (0..32_768).map(|i| ((i * 97) % 2048) as i64).collect())
+        .unwrap();
+    let wide = Tensor::from_fn(&[1 << 20], |i| (i % 29) as f32 * 0.05 - 0.7);
+
+    for t in [1usize, 4] {
+        par::set_threads(t);
+        group.bench_function(format!("gemm_384_t{t}"), |bch| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b).unwrap()))
+        });
+        group.bench_function(format!("gemm_nt_384_t{t}"), |bch| {
+            bch.iter(|| std::hint::black_box(a.matmul_nt(&b).unwrap()))
+        });
+        group.bench_function(format!("spmm_4k_32knnz_t{t}"), |bch| {
+            bch.iter(|| std::hint::black_box(sp.spmm(&x).unwrap()))
+        });
+        group.bench_function(format!("scatter_add_32k_t{t}"), |bch| {
+            bch.iter(|| std::hint::black_box(src.scatter_add_rows(&idx, 2048).unwrap()))
+        });
+        group.bench_function(format!("relu_1m_t{t}"), |bch| {
+            bch.iter(|| std::hint::black_box(wide.relu()))
+        });
+        group.bench_function(format!("softmax_32kx32_t{t}"), |bch| {
+            bch.iter(|| std::hint::black_box(src.softmax_rows().unwrap()))
+        });
+    }
+    par::set_threads(1);
+    group.finish();
+}
+
 fn bench_gpu_model(c: &mut Criterion) {
     // The GPU model's own simulation throughput per kernel class.
     record::start_recording();
@@ -73,5 +123,10 @@ fn bench_gpu_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(kernel_benches, bench_tensor_ops, bench_gpu_model);
+criterion_group!(
+    kernel_benches,
+    bench_tensor_ops,
+    bench_parallel_kernels,
+    bench_gpu_model
+);
 criterion_main!(kernel_benches);

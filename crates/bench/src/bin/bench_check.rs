@@ -1,0 +1,214 @@
+//! Compares two `CRITERION_JSON` reports and fails on perf regressions.
+//!
+//! ```text
+//! bench-check <baseline.json> <new.json> [--max-ratio 2.0]
+//! ```
+//!
+//! Both files are the `{"benches": [{"name": ..., "median_ns": ...}]}`
+//! format the vendored criterion harness writes. For every benchmark
+//! present in *both* files, the new/baseline median ratio must stay at or
+//! below `--max-ratio` (default 2.0 — generous on purpose, since CI
+//! machines are noisy and the smoke run uses few samples). Benchmarks only
+//! present on one side are reported but never fatal, so adding or retiring
+//! a bench doesn't require regenerating the baseline in the same commit.
+//!
+//! Exit codes: 0 = ok, 1 = regression, 2 = usage/parse error.
+
+use std::process::ExitCode;
+
+/// One `{"name": ..., "median_ns": ...}` entry.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchEntry {
+    name: String,
+    median_ns: f64,
+}
+
+/// Minimal scanner for the fixed report shape: pulls every string value of
+/// a `"name"` key and pairs it with the following `"median_ns"` number.
+/// Not a general JSON parser — the report writer lives in-repo, so the
+/// shape is under our control.
+fn parse_report(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let mut entries = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let name = next_string_value(&mut rest)
+            .ok_or_else(|| "malformed report: `name` without string value".to_string())?;
+        let mpos = rest
+            .find("\"median_ns\"")
+            .ok_or_else(|| format!("malformed report: `{name}` has no median_ns"))?;
+        rest = &rest[mpos + "\"median_ns\"".len()..];
+        let median_ns = next_number_value(&mut rest)
+            .ok_or_else(|| format!("malformed report: `{name}` has non-numeric median_ns"))?;
+        entries.push(BenchEntry { name, median_ns });
+    }
+    if entries.is_empty() {
+        return Err("no benchmark entries found".to_string());
+    }
+    Ok(entries)
+}
+
+/// After a key, skips `: "` and returns the (escape-aware) string value,
+/// advancing `rest` past it.
+fn next_string_value(rest: &mut &str) -> Option<String> {
+    let colon = rest.find(':')?;
+    let after = rest[colon + 1..].trim_start();
+    let body = after.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => {
+                let (_, esc) = chars.next()?;
+                out.push(esc);
+            }
+            '"' => {
+                let consumed = after.len() - body.len() + i + 1;
+                *rest = &after[consumed..];
+                return Some(out);
+            }
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+/// After a key, skips `:` and parses the numeric value, advancing `rest`.
+fn next_number_value(rest: &mut &str) -> Option<f64> {
+    let colon = rest.find(':')?;
+    let after = rest[colon + 1..].trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .unwrap_or(after.len());
+    let v = after[..end].parse().ok()?;
+    *rest = &after[end..];
+    Some(v)
+}
+
+fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<bool, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"));
+    let baseline = parse_report(&read(baseline_path)?)?;
+    let fresh = parse_report(&read(new_path)?)?;
+
+    let mut ok = true;
+    let mut compared = 0usize;
+    for new_entry in &fresh {
+        let Some(base) = baseline.iter().find(|b| b.name == new_entry.name) else {
+            println!("  new      {:<44} {:>12.0} ns (no baseline)", new_entry.name, new_entry.median_ns);
+            continue;
+        };
+        compared += 1;
+        // A zero-ns baseline (sub-ns noop) can't regress meaningfully.
+        let ratio = if base.median_ns > 0.0 {
+            new_entry.median_ns / base.median_ns
+        } else {
+            1.0
+        };
+        let verdict = if ratio > max_ratio { "REGRESSED" } else { "ok" };
+        println!(
+            "  {verdict:<8} {:<44} {:>12.0} ns vs {:>12.0} ns  ({ratio:.2}x)",
+            new_entry.name, new_entry.median_ns, base.median_ns
+        );
+        if ratio > max_ratio {
+            ok = false;
+        }
+    }
+    for base in &baseline {
+        if !fresh.iter().any(|n| n.name == base.name) {
+            println!("  gone     {:<44} (in baseline only)", base.name);
+        }
+    }
+    if compared == 0 {
+        return Err("no benchmarks in common between the two reports".to_string());
+    }
+    println!(
+        "bench-check: {compared} compared, threshold {max_ratio:.2}x — {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_ratio = 2.0f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-ratio" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => max_ratio = v,
+                _ => {
+                    eprintln!("error: --max-ratio needs a positive number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline, fresh] = files.as_slice() else {
+        eprintln!("usage: bench-check <baseline.json> <new.json> [--max-ratio 2.0]");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh, max_ratio) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "benches": [
+    {"name": "tensor_ops/gemm_256", "median_ns": 1200000},
+    {"name": "par_kernels/spmm_4k_32knnz_t4", "median_ns": 3400500}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_report_shape() {
+        let entries = parse_report(REPORT).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "tensor_ops/gemm_256");
+        assert_eq!(entries[0].median_ns, 1_200_000.0);
+        assert_eq!(entries[1].name, "par_kernels/spmm_4k_32knnz_t4");
+        assert_eq!(entries[1].median_ns, 3_400_500.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_reports() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"benches\": [{\"name\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn run_flags_regressions_past_the_ratio() {
+        let dir = std::env::temp_dir().join("bench_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let slow = dir.join("slow.json");
+        std::fs::write(&base, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 100}]}").unwrap();
+        std::fs::write(&slow, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 250}]}").unwrap();
+        assert!(!run(base.to_str().unwrap(), slow.to_str().unwrap(), 2.0).unwrap());
+        assert!(run(base.to_str().unwrap(), slow.to_str().unwrap(), 3.0).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disjoint_reports_error_instead_of_passing() {
+        let dir = std::env::temp_dir().join("bench_check_disjoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let new = dir.join("new.json");
+        std::fs::write(&base, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 100}]}").unwrap();
+        std::fs::write(&new, "{\"benches\": [{\"name\": \"b\", \"median_ns\": 100}]}").unwrap();
+        assert!(run(base.to_str().unwrap(), new.to_str().unwrap(), 2.0).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

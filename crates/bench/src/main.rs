@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] [--csv DIR]
-//!                  [--parallel] [--keep-going] [--timeout SECS] [--retries N]
-//!                  [--checkpoint DIR]
+//!                  [--threads N] [--parallel] [--keep-going] [--timeout SECS]
+//!                  [--retries N] [--checkpoint DIR]
 //!
 //! targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!          roofline convergence summary ablations all list
+//!          roofline convergence summary suite ablations all list
 //! ```
+//!
+//! `--threads N` (or `GNNMARK_THREADS=N`) sets the CPU thread count of the
+//! tensor kernels. Losses, profiles and figures are bit-identical at every
+//! thread count; only wall-clock changes.
 //!
 //! Suite-backed targets run under the resilience layer: every workload is
 //! panic-isolated on its own thread, optionally deadline-bounded
@@ -28,7 +32,8 @@ use gnnmark::{Scale, Table};
 use gnnmark_bench::{render_ablations, render_target_resilient, TARGETS};
 
 const USAGE: &str = "usage: gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] \
-[--csv DIR] [--parallel] [--keep-going] [--timeout SECS] [--retries N] [--checkpoint DIR]";
+[--csv DIR] [--threads N] [--parallel] [--keep-going] [--timeout SECS] [--retries N] \
+[--checkpoint DIR]";
 
 struct Args {
     target: String,
@@ -72,6 +77,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => {
                 csv_dir = Some(args.next().ok_or("--csv needs a directory")?);
+            }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                cfg.threads = Some(n);
+                // Apply immediately so every code path (including table1,
+                // which skips the suite) sees the setting.
+                gnnmark_tensor::par::set_threads(n);
             }
             "--parallel" => rcfg.parallel = true,
             "--keep-going" => keep_going = true,

@@ -17,6 +17,10 @@ pub struct SuiteConfig {
     pub seed: u64,
     /// The modeled device.
     pub device: DeviceSpec,
+    /// CPU threads for the tensor kernels (`None` = keep the process-wide
+    /// setting: `GNNMARK_THREADS` or the detected core count). Results are
+    /// bit-identical at every thread count; only wall-clock changes.
+    pub threads: Option<usize>,
 }
 
 impl SuiteConfig {
@@ -27,6 +31,7 @@ impl SuiteConfig {
             epochs: 1,
             seed: 42,
             device: DeviceSpec::v100(),
+            threads: None,
         }
     }
 
@@ -38,6 +43,7 @@ impl SuiteConfig {
             epochs: 2,
             seed: 42,
             device: DeviceSpec::v100(),
+            threads: None,
         }
     }
 
@@ -48,12 +54,19 @@ impl SuiteConfig {
             epochs: 1,
             seed: 42,
             device: DeviceSpec::v100(),
+            threads: None,
         }
     }
 
     /// Replaces the device (ablations).
     pub fn with_device(mut self, device: DeviceSpec) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Sets the kernel thread count (the CLI's `--threads`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }
@@ -94,6 +107,9 @@ pub fn run_workload_full(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunArt
 }
 
 fn run_workload_full_inner(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunArtifacts> {
+    if let Some(t) = cfg.threads {
+        gnnmark_tensor::par::set_threads(t);
+    }
     let mut w = kind.build(cfg.scale, cfg.seed)?;
     let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
     let mut losses = Vec::with_capacity(cfg.epochs);

@@ -20,9 +20,12 @@ pub struct CacheSim {
     sets: usize,
     ways: usize,
     line_bytes: u64,
-    /// tags[set * ways + way]; LRU order maintained per set (front = MRU).
+    /// tags[set * ways + way]; recency tracked by per-way timestamps.
     tags: Vec<u64>,
     valid: Vec<bool>,
+    /// Monotonic access stamps; the smallest stamp in a set is its LRU way.
+    stamps: Vec<u64>,
+    clock: u64,
     accesses: u64,
     hits: u64,
 }
@@ -41,36 +44,46 @@ impl CacheSim {
             line_bytes,
             tags: vec![0; sets * ways],
             valid: vec![false; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
             accesses: 0,
             hits: 0,
         }
     }
 
     /// Accesses a byte address; returns `true` on hit.
+    ///
+    /// True LRU per set, tracked with access stamps instead of reordering
+    /// the ways on every touch — the hit/miss sequence is identical to a
+    /// move-to-front implementation, but a hit costs one store.
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr / self.line_bytes;
         let set = (line as usize) % self.sets;
         let base = set * self.ways;
         self.accesses += 1;
-        // Search ways (MRU order).
-        for w in 0..self.ways {
-            if self.valid[base + w] && self.tags[base + w] == line {
-                // Move to MRU.
-                for k in (1..=w).rev() {
-                    self.tags.swap(base + k, base + k - 1);
-                    self.valid.swap(base + k, base + k - 1);
+        self.clock += 1;
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for w in base..base + self.ways {
+            if self.valid[w] {
+                if self.tags[w] == line {
+                    self.stamps[w] = self.clock;
+                    self.hits += 1;
+                    return true;
                 }
-                self.hits += 1;
-                return true;
+                if self.stamps[w] < victim_stamp {
+                    victim_stamp = self.stamps[w];
+                    victim = w;
+                }
+            } else if victim_stamp > 0 {
+                // An invalid way beats any valid one as the victim.
+                victim_stamp = 0;
+                victim = w;
             }
         }
-        // Miss: evict LRU (last way), insert at MRU.
-        for k in (1..self.ways).rev() {
-            self.tags.swap(base + k, base + k - 1);
-            self.valid.swap(base + k, base + k - 1);
-        }
-        self.tags[base] = line;
-        self.valid[base] = true;
+        self.tags[victim] = line;
+        self.valid[victim] = true;
+        self.stamps[victim] = self.clock;
         false
     }
 
@@ -159,43 +172,6 @@ impl MemoryTrace {
     }
 }
 
-/// One warp-level memory operation: the set of distinct lines its 32 lanes
-/// touch (1 = fully coalesced). Inline storage for the dominant 1–2-line
-/// cases keeps the simulator allocation-free on coalesced streams.
-enum WarpOp {
-    /// Fully coalesced: a single line.
-    One(u64),
-    /// Two lines (e.g. a misaligned row chunk).
-    Two([u64; 2]),
-    /// A divergent access touching many lines.
-    Many(Vec<u64>),
-}
-
-impl WarpOp {
-    fn from_lines(mut lines: Vec<u64>) -> WarpOp {
-        match lines.len() {
-            1 => WarpOp::One(lines[0]),
-            2 => WarpOp::Two([lines[0], lines[1]]),
-            _ => {
-                lines.shrink_to_fit();
-                WarpOp::Many(lines)
-            }
-        }
-    }
-
-    fn lines(&self) -> &[u64] {
-        match self {
-            WarpOp::One(l) => std::slice::from_ref(l),
-            WarpOp::Two(ls) => ls,
-            WarpOp::Many(v) => v,
-        }
-    }
-
-    fn is_divergent(&self) -> bool {
-        !matches!(self, WarpOp::One(_))
-    }
-}
-
 /// Simulates one kernel's access streams through the cache hierarchy.
 ///
 /// `region_base` addresses are assigned per descriptor so distinct tensors
@@ -211,12 +187,59 @@ pub fn simulate_kernel(
     // Distinct address spaces per descriptor; 256 MB apart.
     let mut region = 0x1000_0000u64;
     for desc in reads.iter().chain(writes) {
-        let warp_ops = synthesize_warp_ops(spec, desc, region);
+        let t = drive_desc(spec, l1, l2, desc, region);
         region += 0x1000_0000;
-        let t = drive(spec, l1, l2, &warp_ops, total_warp_ops(spec, desc));
         trace.merge(&t);
     }
     trace
+}
+
+/// Streams one warp op (its distinct touched lines) through L1→L2,
+/// accumulating sampled counters. One warp op per `touch` call.
+struct Driver<'a> {
+    l1: &'a mut CacheSim,
+    l2: &'a mut CacheSim,
+    line: u64,
+    sampled: MemoryTrace,
+}
+
+impl Driver<'_> {
+    fn touch(&mut self, lines: &[u64]) {
+        self.sampled.warp_ops += 1;
+        if lines.len() > 1 {
+            self.sampled.divergent_warp_ops += 1;
+        }
+        for &l in lines {
+            self.sampled.l1_accesses += 1;
+            if self.l1.access(l * self.line) {
+                self.sampled.l1_hits += 1;
+            } else {
+                self.sampled.l2_accesses += 1;
+                if self.l2.access(l * self.line) {
+                    self.sampled.l2_hits += 1;
+                } else {
+                    self.sampled.dram_bytes += self.line;
+                }
+            }
+        }
+    }
+
+    /// Warp ops emitted so far (the sampling budget).
+    fn emitted(&self) -> usize {
+        self.sampled.warp_ops as usize
+    }
+}
+
+/// Removes consecutive duplicates in place, returning the deduped length.
+fn dedup_lines(buf: &mut [u64]) -> usize {
+    let mut kept = 0usize;
+    for i in 0..buf.len() {
+        if kept == 0 || buf[kept - 1] != buf[i] {
+            buf[kept] = buf[i];
+            kept += 1;
+        }
+    }
+    kept
 }
 
 /// Exact number of warp-level ops a descriptor implies (before sampling).
@@ -240,18 +263,34 @@ fn total_warp_ops(spec: &DeviceSpec, desc: &AccessDesc) -> u64 {
     }
 }
 
-/// Builds a (possibly sampled) sequence of warp ops for a descriptor.
-fn synthesize_warp_ops(spec: &DeviceSpec, desc: &AccessDesc, base: u64) -> Vec<WarpOp> {
+/// Synthesizes a descriptor's (possibly sampled) warp ops and streams them
+/// straight through L1→L2, then rescales counters to the exact totals.
+///
+/// Each warp op's distinct lines are built in a 32-entry stack buffer, so
+/// simulation allocates nothing per op regardless of divergence.
+fn drive_desc(
+    spec: &DeviceSpec,
+    l1: &mut CacheSim,
+    l2: &mut CacheSim,
+    desc: &AccessDesc,
+    base: u64,
+) -> MemoryTrace {
     let line = spec.line_bytes;
-    let mut ops = Vec::new();
+    let mut d = Driver {
+        l1,
+        l2,
+        line,
+        sampled: MemoryTrace::default(),
+    };
+    let mut buf = [0u64; 32];
     match desc {
         AccessDesc::Sequential { bytes } => {
             // Fully coalesced: one line per warp op.
             let total_lines = bytes.div_ceil(line);
             let step = (total_lines as usize / SAMPLE_CAP).max(1) as u64;
             let mut l = 0;
-            while l < total_lines && ops.len() < SAMPLE_CAP {
-                ops.push(WarpOp::One(base / line + l));
+            while l < total_lines && d.emitted() < SAMPLE_CAP {
+                d.touch(&[base / line + l]);
                 l += step;
             }
         }
@@ -263,16 +302,15 @@ fn synthesize_warp_ops(spec: &DeviceSpec, desc: &AccessDesc, base: u64) -> Vec<W
             let per_warp = 32u64;
             let warps = accesses.div_ceil(per_warp).max(1);
             let step = (warps as usize / SAMPLE_CAP).max(1) as u64;
+            let _ = access_bytes;
             let mut w = 0;
-            while w < warps && ops.len() < SAMPLE_CAP {
-                let mut lines: Vec<u64> = (0..per_warp.min(accesses - w * per_warp).max(1))
-                    .map(|lane| {
-                        (base + (w * per_warp + lane) * stride_bytes) / line
-                    })
-                    .collect();
-                lines.dedup();
-                let _ = access_bytes;
-                ops.push(WarpOp::from_lines(lines));
+            while w < warps && d.emitted() < SAMPLE_CAP {
+                let lanes = per_warp.min(accesses - w * per_warp).max(1) as usize;
+                for (lane, slot) in buf[..lanes].iter_mut().enumerate() {
+                    *slot = (base + (w * per_warp + lane as u64) * stride_bytes) / line;
+                }
+                let kept = dedup_lines(&mut buf[..lanes]);
+                d.touch(&buf[..kept]);
                 w += step;
             }
         }
@@ -291,10 +329,10 @@ fn synthesize_warp_ops(spec: &DeviceSpec, desc: &AccessDesc, base: u64) -> Vec<W
                     .div_ceil(ops_per_row)
                     .max(1);
                 let mut i = 0usize;
-                while i < indices.len() && ops.len() < SAMPLE_CAP {
+                while i < indices.len() && d.emitted() < SAMPLE_CAP {
                     let row_off = indices[i] as u64 * row_bytes;
                     for o in 0..ops_per_row {
-                        if ops.len() >= SAMPLE_CAP {
+                        if d.emitted() >= SAMPLE_CAP {
                             break;
                         }
                         // A 128-byte warp access starting mid-line spans two
@@ -305,9 +343,9 @@ fn synthesize_warp_ops(spec: &DeviceSpec, desc: &AccessDesc, base: u64) -> Vec<W
                         let l0 = (start / line) % table_lines.max(1);
                         let l1 = start.div_ceil(line) % table_lines.max(1);
                         if l1 != l0 {
-                            ops.push(WarpOp::Two([base / line + l0, base / line + l1]));
+                            d.touch(&[base / line + l0, base / line + l1]);
                         } else {
-                            ops.push(WarpOp::One(base / line + l0));
+                            d.touch(&[base / line + l0]);
                         }
                     }
                     i += row_step as usize;
@@ -320,16 +358,16 @@ fn synthesize_warp_ops(spec: &DeviceSpec, desc: &AccessDesc, base: u64) -> Vec<W
                 let warps = indices.len().div_ceil(rows_per_warp);
                 let step = (warps / SAMPLE_CAP).max(1);
                 let mut w = 0usize;
-                while w < warps && ops.len() < SAMPLE_CAP {
+                while w < warps && d.emitted() < SAMPLE_CAP {
                     let start = w * rows_per_warp;
                     let end = (start + rows_per_warp).min(indices.len());
-                    let mut lines: Vec<u64> = indices[start..end]
-                        .iter()
-                        .map(|&idx| (base + idx as u64 * row_bytes) / line)
-                        .collect();
-                    lines.sort_unstable();
-                    lines.dedup();
-                    ops.push(WarpOp::from_lines(lines));
+                    let lanes = end - start;
+                    for (slot, &idx) in buf[..lanes].iter_mut().zip(&indices[start..end]) {
+                        *slot = (base + idx as u64 * row_bytes) / line;
+                    }
+                    buf[..lanes].sort_unstable();
+                    let kept = dedup_lines(&mut buf[..lanes]);
+                    d.touch(&buf[..kept]);
                     w += step;
                 }
             }
@@ -343,60 +381,27 @@ fn synthesize_warp_ops(spec: &DeviceSpec, desc: &AccessDesc, base: u64) -> Vec<W
             let warps = accesses.div_ceil(per_warp).max(1);
             let step = (warps as usize / SAMPLE_CAP).max(1) as u64;
             let region_lines = (region_bytes / line).max(1);
+            let _ = access_bytes;
             // Deterministic LCG so runs are reproducible.
             let mut state = 0x9e3779b97f4a7c15u64 ^ *accesses;
             let mut w = 0;
-            while w < warps && ops.len() < SAMPLE_CAP {
-                let mut lines: Vec<u64> = (0..per_warp)
-                    .map(|_| {
-                        state = state
-                            .wrapping_mul(6364136223846793005)
-                            .wrapping_add(1442695040888963407);
-                        base / line + (state >> 16) % region_lines
-                    })
-                    .collect();
-                lines.sort_unstable();
-                lines.dedup();
-                let _ = access_bytes;
-                ops.push(WarpOp::from_lines(lines));
+            while w < warps && d.emitted() < SAMPLE_CAP {
+                for slot in buf.iter_mut() {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    *slot = base / line + (state >> 16) % region_lines;
+                }
+                buf.sort_unstable();
+                let kept = dedup_lines(&mut buf);
+                d.touch(&buf[..kept]);
                 w += step;
             }
         }
     }
-    ops
-}
-
-/// Drives sampled warp ops through L1→L2 and rescales counters to the
-/// exact totals.
-fn drive(
-    spec: &DeviceSpec,
-    l1: &mut CacheSim,
-    l2: &mut CacheSim,
-    ops: &[WarpOp],
-    exact_warp_ops: u64,
-) -> MemoryTrace {
-    let line = spec.line_bytes;
-    let mut sampled = MemoryTrace::default();
-    for op in ops {
-        sampled.warp_ops += 1;
-        if op.is_divergent() {
-            sampled.divergent_warp_ops += 1;
-        }
-        for &l in op.lines() {
-            sampled.l1_accesses += 1;
-            if l1.access(l * line) {
-                sampled.l1_hits += 1;
-            } else {
-                sampled.l2_accesses += 1;
-                if l2.access(l * line) {
-                    sampled.l2_hits += 1;
-                } else {
-                    sampled.dram_bytes += line;
-                }
-            }
-        }
-    }
     // Rescale to the exact op count.
+    let exact_warp_ops = total_warp_ops(spec, desc);
+    let sampled = d.sampled;
     let scale = if sampled.warp_ops == 0 {
         0.0
     } else {

@@ -212,10 +212,15 @@ impl GpuModel {
 }
 
 /// Scales the byte footprint of descriptors (half-precision modeling).
-fn scale_descs(descs: &[AccessDesc], scale: f64) -> Vec<AccessDesc> {
+/// Borrows the originals in the common full-precision case.
+fn scale_descs(descs: &[AccessDesc], scale: f64) -> std::borrow::Cow<'_, [AccessDesc]> {
     if (scale - 1.0).abs() < 1e-12 {
-        return descs.to_vec();
+        return std::borrow::Cow::Borrowed(descs);
     }
+    std::borrow::Cow::Owned(scale_descs_owned(descs, scale))
+}
+
+fn scale_descs_owned(descs: &[AccessDesc], scale: f64) -> Vec<AccessDesc> {
     descs
         .iter()
         .map(|d| match d {

@@ -37,6 +37,8 @@ mod error;
 mod int;
 pub mod instrument;
 pub mod ops;
+pub mod par;
+pub mod pool;
 pub mod record;
 mod shape;
 mod sparse;

@@ -8,11 +8,16 @@
 
 use std::sync::Arc;
 
-use super::conv::Conv2dSpec;
+use super::conv::{valid_taps, Conv2dSpec};
+use super::gemm::{bmm_into, transpose_pack};
 use super::{emit_op, emit_sequential};
 use crate::cost;
 use crate::instrument::{AccessDesc, OpClass};
-use crate::{IntTensor, Result, Tensor, TensorError};
+use crate::{par, pool, IntTensor, Result, Tensor, TensorError};
+
+/// Minimum modeled MACs per chunk before a conv gradient splits across
+/// threads (same budget as the forward convolution).
+const MIN_CONV_MACS_PER_CHUNK: usize = 16 * 1024;
 
 impl Tensor {
     /// Batched product with a transposed right operand:
@@ -41,17 +46,20 @@ impl Tensor {
         let n = other.dim(1);
         let a = self.as_slice();
         let bt = other.as_slice();
-        let mut out = vec![0.0f32; b * m * n];
+        // Pack each batch of `other` ([n, k] → [k, n]), then reuse the
+        // shared blocked kernel — same path as the forward bmm.
+        let mut packed = pool::filled(b * n * k);
         for bi in 0..b {
-            for i in 0..m {
-                let a_row = &a[bi * m * k + i * k..bi * m * k + (i + 1) * k];
-                for j in 0..n {
-                    let b_row = &bt[bi * n * k + j * k..bi * n * k + (j + 1) * k];
-                    out[bi * m * n + i * n + j] =
-                        a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
-                }
-            }
+            transpose_pack(
+                &bt[bi * n * k..(bi + 1) * n * k],
+                n,
+                k,
+                &mut packed[bi * k * n..(bi + 1) * k * n],
+            );
         }
+        let mut out = pool::zeroed(b * m * n);
+        bmm_into(a, &packed, &mut out, b, m, k, n);
+        pool::recycle_vec(packed);
         let result = Tensor::from_vec(&[b, m, n], out)?;
         let macs = (b * m * k * n) as u64;
         emit_sequential(
@@ -92,23 +100,20 @@ impl Tensor {
         let n = other.dim(2);
         let at = self.as_slice();
         let bb = other.as_slice();
-        let mut out = vec![0.0f32; b * m * n];
+        // Pack each batch of `self` ([k, m] → [m, k]), then reuse the
+        // shared blocked kernel.
+        let mut packed = pool::filled(b * k * m);
         for bi in 0..b {
-            for kk in 0..k {
-                let a_row = &at[bi * k * m + kk * m..bi * k * m + (kk + 1) * m];
-                let b_row = &bb[bi * k * n + kk * n..bi * k * n + (kk + 1) * n];
-                for i in 0..m {
-                    let aik = a_row[i];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let o = &mut out[bi * m * n + i * n..bi * m * n + (i + 1) * n];
-                    for (oj, &bj) in o.iter_mut().zip(b_row) {
-                        *oj += aik * bj;
-                    }
-                }
-            }
+            transpose_pack(
+                &at[bi * k * m..(bi + 1) * k * m],
+                k,
+                m,
+                &mut packed[bi * m * k..(bi + 1) * m * k],
+            );
         }
+        let mut out = pool::zeroed(b * m * n);
+        bmm_into(&packed, bb, &mut out, b, m, k, n);
+        pool::recycle_vec(packed);
         let result = Tensor::from_vec(&[b, m, n], out)?;
         let macs = (b * m * k * n) as u64;
         emit_sequential(
@@ -281,48 +286,101 @@ impl Tensor {
         let x = self.as_slice();
         let k = weight.as_slice();
         let g = dout.as_slice();
-        let mut dx = vec![0.0f32; x.len()];
-        let mut dw = vec![0.0f32; k.len()];
         let in_img = c_in * h * w;
         let in_ch = h * w;
         let out_img = c_out * oh * ow;
         let out_ch = oh * ow;
         let k_oc = c_in * kh * kw;
         let k_ic = kh * kw;
-        for ni in 0..n {
-            for oc in 0..c_out {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go = g[ni * out_img + oc * out_ch + oy * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        let iy0 = oy * spec.stride_h;
-                        let ix0 = ox * spec.stride_w;
-                        for ic in 0..c_in {
-                            for ky in 0..kh {
-                                let iy = iy0 + ky;
-                                if iy < spec.pad_h || iy - spec.pad_h >= h {
-                                    continue;
-                                }
-                                let sy = iy - spec.pad_h;
-                                for kx in 0..kw {
-                                    let ix = ix0 + kx;
-                                    if ix < spec.pad_w || ix - spec.pad_w >= w {
-                                        continue;
+        let macs_total = n
+            .saturating_mul(out_img)
+            .saturating_mul(c_in)
+            .saturating_mul(k_ic);
+        let chunks = par::chunk_count(macs_total, MIN_CONV_MACS_PER_CHUNK);
+
+        // dgrad: one task row per (image, input channel). Every dx element
+        // is summed by exactly one task, in (oc, ky, kx, oy, ox) tap order
+        // regardless of thread count; the inner loop is a contiguous axpy
+        // over input columns when the stride is 1.
+        let mut dx = pool::zeroed(x.len());
+        let dx_ranges = par::even_ranges(n * c_in, chunks.min((n * c_in).max(1)));
+        par::for_row_ranges_mut(&mut dx, in_ch, &dx_ranges, |_, task_rows, chunk| {
+            for (row, dx_img) in task_rows.zip(chunk.chunks_exact_mut(in_ch)) {
+                let (ni, ic) = (row / c_in, row % c_in);
+                for oc in 0..c_out {
+                    let g_img = &g[ni * out_img + oc * out_ch..][..out_ch];
+                    let k_ch = &k[oc * k_oc + ic * k_ic..][..k_ic];
+                    for ky in 0..kh {
+                        let oys = valid_taps(spec.stride_h, spec.pad_h, ky, h, oh);
+                        for kx in 0..kw {
+                            let kval = k_ch[ky * kw + kx];
+                            let oxs = valid_taps(spec.stride_w, spec.pad_w, kx, w, ow);
+                            for oy in oys.clone() {
+                                let sy = oy * spec.stride_h + ky - spec.pad_h;
+                                let dx_row = &mut dx_img[sy * w..][..w];
+                                let g_row = &g_img[oy * ow..][..ow];
+                                if spec.stride_w == 1 {
+                                    let sx0 = oxs.start + kx - spec.pad_w;
+                                    for (d, &gv) in
+                                        dx_row[sx0..].iter_mut().zip(&g_row[oxs.clone()])
+                                    {
+                                        *d += gv * kval;
                                     }
-                                    let sx = ix - spec.pad_w;
-                                    let xi = ni * in_img + ic * in_ch + sy * w + sx;
-                                    let wi = oc * k_oc + ic * k_ic + ky * kw + kx;
-                                    dx[xi] += go * k[wi];
-                                    dw[wi] += go * x[xi];
+                                } else {
+                                    for ox in oxs.clone() {
+                                        dx_row[ox * spec.stride_w + kx - spec.pad_w] +=
+                                            g_row[ox] * kval;
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-        }
+        });
+
+        // wgrad: one task row per output channel; every dw element is a
+        // fixed-order reduction over (image, oy, ox), so it too is
+        // thread-count invariant.
+        let mut dw = pool::zeroed(k.len());
+        let dw_ranges = par::even_ranges(c_out, chunks.min(c_out.max(1)));
+        par::for_row_ranges_mut(&mut dw, k_oc, &dw_ranges, |_, task_rows, chunk| {
+            for (oc, dw_oc) in task_rows.zip(chunk.chunks_exact_mut(k_oc)) {
+                for ni in 0..n {
+                    let g_img = &g[ni * out_img + oc * out_ch..][..out_ch];
+                    for ic in 0..c_in {
+                        let x_ch = &x[ni * in_img + ic * in_ch..][..in_ch];
+                        let dw_ch = &mut dw_oc[ic * k_ic..][..k_ic];
+                        for ky in 0..kh {
+                            let oys = valid_taps(spec.stride_h, spec.pad_h, ky, h, oh);
+                            for kx in 0..kw {
+                                let oxs = valid_taps(spec.stride_w, spec.pad_w, kx, w, ow);
+                                let mut acc = 0.0f32;
+                                for oy in oys.clone() {
+                                    let sy = oy * spec.stride_h + ky - spec.pad_h;
+                                    let x_row = &x_ch[sy * w..][..w];
+                                    let g_row = &g_img[oy * ow..][..ow];
+                                    if spec.stride_w == 1 {
+                                        let sx0 = oxs.start + kx - spec.pad_w;
+                                        for (&gv, &xv) in
+                                            g_row[oxs.clone()].iter().zip(&x_row[sx0..])
+                                        {
+                                            acc += gv * xv;
+                                        }
+                                    } else {
+                                        for ox in oxs.clone() {
+                                            acc += g_row[ox]
+                                                * x_row[ox * spec.stride_w + kx - spec.pad_w];
+                                        }
+                                    }
+                                }
+                                dw_ch[ky * kw + kx] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        });
         let macs = (n * c_out * oh * ow * c_in * kh * kw) as u64;
         // dgrad and wgrad each redo the MAC volume of the forward pass.
         emit_sequential(

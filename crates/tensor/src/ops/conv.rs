@@ -7,7 +7,10 @@
 use super::emit_sequential;
 use crate::cost;
 use crate::instrument::OpClass;
-use crate::{Result, Tensor, TensorError};
+use crate::{par, pool, Result, Tensor, TensorError};
+
+/// Minimum modeled MACs per chunk before a conv splits across threads.
+const MIN_MACS_PER_CHUNK: usize = 16 * 1024;
 
 /// Padding/stride configuration for [`Tensor::conv2d`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +63,24 @@ impl Conv2dSpec {
     }
 }
 
+/// Output positions whose tap `o*stride + k` hits a real input element
+/// (`pad <= o*stride + k < len + pad`), clamped to `0..out_len`.
+pub(crate) fn valid_taps(
+    stride: usize,
+    pad: usize,
+    k: usize,
+    len: usize,
+    out_len: usize,
+) -> std::ops::Range<usize> {
+    let lo = pad.saturating_sub(k).div_ceil(stride).min(out_len);
+    let hi = if len + pad > k {
+        ((len + pad - k - 1) / stride + 1).min(out_len)
+    } else {
+        0
+    };
+    lo..hi.max(lo)
+}
+
 impl Tensor {
     /// Direct 2-D convolution.
     ///
@@ -89,43 +110,57 @@ impl Tensor {
         let (oh, ow) = spec.output_size(h, w, kh, kw)?;
         let x = self.as_slice();
         let k = weight.as_slice();
-        let mut out = vec![0.0f32; n * c_out * oh * ow];
         let in_img = c_in * h * w;
         let in_ch = h * w;
-        let out_img = c_out * oh * ow;
         let out_ch = oh * ow;
         let k_oc = c_in * kh * kw;
         let k_ic = kh * kw;
-        for ni in 0..n {
-            for oc in 0..c_out {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        let iy0 = oy * spec.stride_h;
-                        let ix0 = ox * spec.stride_w;
-                        for ic in 0..c_in {
-                            for ky in 0..kh {
-                                let iy = iy0 + ky;
-                                if iy < spec.pad_h || iy - spec.pad_h >= h {
-                                    continue;
-                                }
-                                let src_y = iy - spec.pad_h;
-                                for kx in 0..kw {
-                                    let ix = ix0 + kx;
-                                    if ix < spec.pad_w || ix - spec.pad_w >= w {
-                                        continue;
+        // One task row per (image, output channel). Within a row, taps fold
+        // into each output element in (ic, ky, kw) order — the same order at
+        // every thread count — while the innermost loop runs contiguously
+        // over output columns so it vectorizes instead of branching on
+        // padding per tap.
+        let mut out = pool::zeroed(n * c_out * out_ch);
+        let rows = n * c_out;
+        let macs_total = rows.saturating_mul(out_ch).saturating_mul(k_ic);
+        let ranges = par::even_ranges(
+            rows,
+            par::chunk_count(macs_total, MIN_MACS_PER_CHUNK).min(rows.max(1)),
+        );
+        par::for_row_ranges_mut(&mut out, out_ch, &ranges, |_, task_rows, chunk| {
+            for (row, out_row) in task_rows.zip(chunk.chunks_exact_mut(out_ch)) {
+                let (ni, oc) = (row / c_out, row % c_out);
+                for ic in 0..c_in {
+                    let x_ch = &x[ni * in_img + ic * in_ch..][..in_ch];
+                    let k_ch = &k[oc * k_oc + ic * k_ic..][..k_ic];
+                    for ky in 0..kh {
+                        let oys = valid_taps(spec.stride_h, spec.pad_h, ky, h, oh);
+                        for kx in 0..kw {
+                            let kval = k_ch[ky * kw + kx];
+                            let oxs = valid_taps(spec.stride_w, spec.pad_w, kx, w, ow);
+                            for oy in oys.clone() {
+                                let sy = oy * spec.stride_h + ky - spec.pad_h;
+                                let x_row = &x_ch[sy * w..][..w];
+                                let o_row = &mut out_row[oy * ow..][..ow];
+                                if spec.stride_w == 1 {
+                                    let sx0 = oxs.start + kx - spec.pad_w;
+                                    for (o, &xv) in
+                                        o_row[oxs.clone()].iter_mut().zip(&x_row[sx0..])
+                                    {
+                                        *o += kval * xv;
                                     }
-                                    let src_x = ix - spec.pad_w;
-                                    acc += x[ni * in_img + ic * in_ch + src_y * w + src_x]
-                                        * k[oc * k_oc + ic * k_ic + ky * kw + kx];
+                                } else {
+                                    for ox in oxs.clone() {
+                                        o_row[ox] +=
+                                            kval * x_row[ox * spec.stride_w + kx - spec.pad_w];
+                                    }
                                 }
                             }
                         }
-                        out[ni * out_img + oc * out_ch + oy * ow + ox] = acc;
                     }
                 }
             }
-        }
+        });
         let result = Tensor::from_vec(&[n, c_out, oh, ow], out)?;
         let macs = (n * c_out * oh * ow * c_in * kh * kw) as u64;
         emit_sequential(

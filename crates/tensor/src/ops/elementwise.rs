@@ -8,20 +8,27 @@
 use super::{emit_sequential, emit_op};
 use crate::instrument::{AccessDesc, OpClass};
 use crate::cost::INT_PER_ELEMWISE_ELEM;
-use crate::{Result, Tensor, TensorError};
+use crate::{par, pool, Result, Tensor, TensorError};
 
 /// Cost (in modeled fp32 ops) of special-function-unit transcendentals.
 const SFU_FLOPS: u64 = 8;
 
 impl Tensor {
-    fn binary(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    fn binary(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<Tensor> {
         self.shape().require_same(other.shape(), op)?;
-        let data = self
-            .as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut data = pool::filled(a.len());
+        par::fill_chunks(&mut data, par::PAR_MIN_ELEMS, |r, chunk| {
+            for ((o, &x), &y) in chunk.iter_mut().zip(&a[r.clone()]).zip(&b[r]) {
+                *o = f(x, y);
+            }
+        });
         let out = Tensor::from_vec(self.dims(), data)?;
         let n = self.numel() as u64;
         emit_sequential(
@@ -36,8 +43,14 @@ impl Tensor {
         Ok(out)
     }
 
-    fn unary(&self, op: &'static str, flops_per_elem: u64, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.as_slice().iter().map(|&a| f(a)).collect();
+    fn unary(&self, op: &'static str, flops_per_elem: u64, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.as_slice();
+        let mut data = pool::filled(src.len());
+        par::fill_chunks(&mut data, par::PAR_MIN_ELEMS, |r, chunk| {
+            for (o, &x) in chunk.iter_mut().zip(&src[r]) {
+                *o = f(x);
+            }
+        });
         let out = Tensor::from_vec(self.dims(), data).expect("same shape");
         let n = self.numel() as u64;
         emit_sequential(
@@ -210,12 +223,17 @@ impl Tensor {
         }
         let (n, d) = (self.dim(0), self.dim(1));
         let b = bias.as_slice();
-        let mut data = Vec::with_capacity(n * d);
-        for row in self.as_slice().chunks_exact(d) {
-            for (x, bb) in row.iter().zip(b) {
-                data.push(x + bb);
+        let src = self.as_slice();
+        let mut data = pool::filled(n * d);
+        let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
+        par::for_row_ranges_mut(&mut data, d, &ranges, |_, rows, chunk| {
+            let rows_src = &src[rows.start * d..rows.end * d];
+            for (row, out_row) in rows_src.chunks_exact(d).zip(chunk.chunks_exact_mut(d)) {
+                for ((o, &x), &bb) in out_row.iter_mut().zip(row).zip(b) {
+                    *o = x + bb;
+                }
             }
-        }
+        });
         let out = Tensor::from_vec(&[n, d], data)?;
         let total = (n * d) as u64;
         emit_op(
@@ -264,12 +282,21 @@ impl Tensor {
         }
         let (n, d) = (self.dim(0), self.dim(1));
         let s = scales.as_slice();
-        let mut data = Vec::with_capacity(n * d);
-        for (r, row) in self.as_slice().chunks_exact(d).enumerate() {
-            for &x in row {
-                data.push(x * s[r]);
+        let src = self.as_slice();
+        let mut data = pool::filled(n * d);
+        let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
+        par::for_row_ranges_mut(&mut data, d, &ranges, |_, rows, chunk| {
+            let rows_src = &src[rows.start * d..rows.end * d];
+            for ((r, row), out_row) in rows
+                .zip(rows_src.chunks_exact(d))
+                .zip(chunk.chunks_exact_mut(d))
+            {
+                let sc = s[r];
+                for (o, &x) in out_row.iter_mut().zip(row) {
+                    *o = x * sc;
+                }
             }
-        }
+        });
         let out = Tensor::from_vec(&[n, d], data)?;
         let total = (n * d) as u64;
         emit_sequential(
@@ -307,12 +334,17 @@ impl Tensor {
         }
         let (n, d) = (self.dim(0), self.dim(1));
         let s = scales.as_slice();
-        let mut data = Vec::with_capacity(n * d);
-        for row in self.as_slice().chunks_exact(d) {
-            for (x, ss) in row.iter().zip(s) {
-                data.push(x * ss);
+        let src = self.as_slice();
+        let mut data = pool::filled(n * d);
+        let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
+        par::for_row_ranges_mut(&mut data, d, &ranges, |_, rows, chunk| {
+            let rows_src = &src[rows.start * d..rows.end * d];
+            for (row, out_row) in rows_src.chunks_exact(d).zip(chunk.chunks_exact_mut(d)) {
+                for ((o, &x), &ss) in out_row.iter_mut().zip(row).zip(s) {
+                    *o = x * ss;
+                }
             }
-        }
+        });
         let out = Tensor::from_vec(&[n, d], data)?;
         let total = (n * d) as u64;
         emit_sequential(

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use super::emit_op;
 use crate::cost::{INT_PER_GATHER_ELEM, INT_PER_INDEX_SELECT_ELEM};
 use crate::instrument::{AccessDesc, OpClass};
-use crate::{IntTensor, Result, Tensor, TensorError};
+use crate::{par, pool, IntTensor, Result, Tensor, TensorError};
 
 impl Tensor {
     fn select_rows(
@@ -31,12 +31,16 @@ impl Tensor {
         let (rows, d) = (self.dim(0), self.dim(1));
         index.check_bounds(rows, op)?;
         let n = index.numel();
-        let mut data = Vec::with_capacity(n * d);
+        let mut data = pool::filled(n * d);
         let src = self.as_slice();
-        for &i in index.as_slice() {
-            let r = i as usize;
-            data.extend_from_slice(&src[r * d..(r + 1) * d]);
-        }
+        let idx_s = index.as_slice();
+        let out_ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
+        par::for_row_ranges_mut(&mut data, d, &out_ranges, |_, out_rows, chunk| {
+            for (&i, dst_row) in idx_s[out_rows].iter().zip(chunk.chunks_exact_mut(d)) {
+                let r = i as usize;
+                dst_row.copy_from_slice(&src[r * d..(r + 1) * d]);
+            }
+        });
         let out = Tensor::from_vec(&[n, d], data)?;
 
         let total = (n * d) as u64;

@@ -7,7 +7,7 @@
 use super::emit_sequential;
 use crate::cost::INT_PER_REDUCE_ELEM;
 use crate::instrument::OpClass;
-use crate::{IntTensor, Result, Tensor, TensorError};
+use crate::{par, pool, IntTensor, Result, Tensor, TensorError};
 
 impl Tensor {
     fn emit_reduce(&self, kernel: &'static str, out_elems: u64) {
@@ -77,7 +77,7 @@ impl Tensor {
         })
     }
 
-    fn reduce_rows(&self, kernel: &'static str, f: impl Fn(&[f32]) -> f32) -> Result<Tensor> {
+    fn reduce_rows(&self, kernel: &'static str, f: impl Fn(&[f32]) -> f32 + Sync) -> Result<Tensor> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 op: kernel,
@@ -86,7 +86,15 @@ impl Tensor {
             });
         }
         let (n, d) = (self.dim(0), self.dim(1));
-        let out: Vec<f32> = self.as_slice().chunks_exact(d).map(&f).collect();
+        let src = self.as_slice();
+        let mut out = pool::filled(n);
+        let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
+        par::for_row_ranges_mut(&mut out, 1, &ranges, |_, rows, chunk| {
+            let rows_src = &src[rows.start * d..rows.end * d];
+            for (row, o) in rows_src.chunks_exact(d).zip(chunk.iter_mut()) {
+                *o = f(row);
+            }
+        });
         self.emit_reduce(kernel, n as u64);
         Tensor::from_vec(&[n], out)
     }
@@ -106,14 +114,19 @@ impl Tensor {
             });
         }
         let (n, d) = (self.dim(0), self.dim(1));
-        let mut out = vec![0.0f32; d];
-        for row in self.as_slice().chunks_exact(d) {
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += x;
+        let src = self.as_slice();
+        let mut out = pool::zeroed(d);
+        // Partition *output columns*; every task walks all rows in order, so
+        // each column accumulates exactly as in the sequential loop.
+        let col_ranges = par::even_ranges(d, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(d.max(1)));
+        par::for_row_ranges_mut(&mut out, 1, &col_ranges, |_, cols, chunk| {
+            for row in src.chunks_exact(d) {
+                for (o, &x) in chunk.iter_mut().zip(&row[cols.clone()]) {
+                    *o += x;
+                }
             }
-        }
+        });
         self.emit_reduce("reduce_sum_cols", d as u64);
-        let _ = n;
         Tensor::from_vec(&[d], out)
     }
 
@@ -130,16 +143,21 @@ impl Tensor {
             });
         }
         let (n, d) = (self.dim(0), self.dim(1));
-        let mut out = Vec::with_capacity(n);
-        for row in self.as_slice().chunks_exact(d) {
-            let mut best = 0usize;
-            for (j, &v) in row.iter().enumerate() {
-                if v > row[best] {
-                    best = j;
+        let src = self.as_slice();
+        let mut out = vec![0i64; n];
+        let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
+        par::for_row_ranges_mut(&mut out, 1, &ranges, |_, rows, chunk| {
+            let rows_src = &src[rows.start * d..rows.end * d];
+            for (row, o) in rows_src.chunks_exact(d).zip(chunk.iter_mut()) {
+                let mut best = 0usize;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
                 }
+                *o = best as i64;
             }
-            out.push(best as i64);
-        }
+        });
         self.emit_reduce("argmax_rows", n as u64);
         IntTensor::from_vec(&[n], out)
     }

@@ -10,7 +10,19 @@ use std::sync::Arc;
 use super::emit_op;
 use crate::cost::INT_PER_GATHER_ELEM;
 use crate::instrument::{AccessDesc, OpClass};
-use crate::{IntTensor, Result, Tensor, TensorError};
+use crate::{par, pool, IntTensor, Result, Tensor, TensorError};
+
+/// Minimum scattered elements per parallel chunk.
+const MIN_ELEMS_PER_CHUNK: usize = 16 * 1024;
+
+/// Output-row partition for scatter kernels. Each task owns a disjoint
+/// range of *output* rows and scans the whole index array in order, so
+/// every output element accumulates in exactly the sequential order —
+/// the deterministic alternative to GPU-style atomics.
+fn scatter_ranges(n: usize, d: usize, out_rows: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = par::chunk_count(n * d, MIN_ELEMS_PER_CHUNK).min(out_rows.max(1));
+    par::even_ranges(out_rows, chunks)
+}
 
 impl Tensor {
     /// Scatter-adds rows of `self` (`[n, d]`) into a fresh `[out_rows, d]`
@@ -37,19 +49,26 @@ impl Tensor {
             });
         }
         index.check_bounds(out_rows, "scatter_add_rows")?;
-        let mut out = Tensor::zeros(&[out_rows, d]);
+        let mut buf = pool::zeroed(out_rows * d);
         {
-            let dst = out.as_mut_slice();
             let src = self.as_slice();
-            for (i, &target) in index.as_slice().iter().enumerate() {
-                let t = target as usize;
-                let src_row = &src[i * d..(i + 1) * d];
-                let dst_row = &mut dst[t * d..(t + 1) * d];
-                for (o, &s) in dst_row.iter_mut().zip(src_row) {
-                    *o += s;
+            let idx = index.as_slice();
+            let ranges = scatter_ranges(n, d, out_rows);
+            par::for_row_ranges_mut(&mut buf, d, &ranges, |_, rows, chunk| {
+                for (i, &target) in idx.iter().enumerate() {
+                    let t = target as usize;
+                    if !rows.contains(&t) {
+                        continue;
+                    }
+                    let src_row = &src[i * d..(i + 1) * d];
+                    let dst_row = &mut chunk[(t - rows.start) * d..][..d];
+                    for (o, &s) in dst_row.iter_mut().zip(src_row) {
+                        *o += s;
+                    }
                 }
-            }
+            });
         }
+        let out = Tensor::from_vec(&[out_rows, d], buf)?;
         let total = (n * d) as u64;
         let idx = index.to_u32_vec();
         let row_bytes = (d * 4) as u64;
@@ -105,25 +124,34 @@ impl Tensor {
             });
         }
         index.check_bounds(out_rows, "scatter_max_rows")?;
-        let mut out = Tensor::full(&[out_rows, d], f32::NEG_INFINITY);
+        let mut buf = pool::filled(out_rows * d);
         {
-            let dst = out.as_mut_slice();
             let src = self.as_slice();
-            for (i, &target) in index.as_slice().iter().enumerate() {
-                let t = target as usize;
-                for j in 0..d {
-                    let v = src[i * d + j];
-                    if v > dst[t * d + j] {
-                        dst[t * d + j] = v;
+            let idx = index.as_slice();
+            let ranges = scatter_ranges(n, d, out_rows);
+            par::for_row_ranges_mut(&mut buf, d, &ranges, |_, rows, chunk| {
+                chunk.fill(f32::NEG_INFINITY);
+                for (i, &target) in idx.iter().enumerate() {
+                    let t = target as usize;
+                    if !rows.contains(&t) {
+                        continue;
+                    }
+                    let base = (t - rows.start) * d;
+                    for j in 0..d {
+                        let v = src[i * d + j];
+                        if v > chunk[base + j] {
+                            chunk[base + j] = v;
+                        }
                     }
                 }
-            }
-            for v in dst.iter_mut() {
-                if *v == f32::NEG_INFINITY {
-                    *v = 0.0;
+                for v in chunk.iter_mut() {
+                    if *v == f32::NEG_INFINITY {
+                        *v = 0.0;
+                    }
                 }
-            }
+            });
         }
+        let out = Tensor::from_vec(&[out_rows, d], buf)?;
         let total = (n * d) as u64;
         let idx = index.to_u32_vec();
         let row_bytes = (d * 4) as u64;

@@ -7,7 +7,7 @@
 use super::emit_sequential;
 use crate::cost::INT_PER_SOFTMAX_ELEM;
 use crate::instrument::OpClass;
-use crate::{Result, Tensor, TensorError};
+use crate::{par, pool, Result, Tensor, TensorError};
 
 impl Tensor {
     fn softmax_impl(&self, log: bool, kernel: &'static str) -> Result<Tensor> {
@@ -19,18 +19,30 @@ impl Tensor {
             });
         }
         let (n, d) = (self.dim(0), self.dim(1));
-        let mut out = Vec::with_capacity(n * d);
-        for row in self.as_slice().chunks_exact(d) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-            let sum: f32 = exps.iter().sum();
-            if log {
-                let lsum = sum.ln();
-                out.extend(row.iter().map(|&v| v - max - lsum));
-            } else {
-                out.extend(exps.iter().map(|&e| e / sum));
+        let src = self.as_slice();
+        let mut out = pool::filled(n * d);
+        let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
+        par::for_row_ranges_mut(&mut out, d, &ranges, |_, rows, chunk| {
+            let rows_src = &src[rows.start * d..rows.end * d];
+            for (row, out_row) in rows_src.chunks_exact(d).zip(chunk.chunks_exact_mut(d)) {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                // The exps land in the output row; no per-row temporary.
+                for (o, &v) in out_row.iter_mut().zip(row) {
+                    *o = (v - max).exp();
+                }
+                let sum: f32 = out_row.iter().sum();
+                if log {
+                    let lsum = sum.ln();
+                    for (o, &v) in out_row.iter_mut().zip(row) {
+                        *o = v - max - lsum;
+                    }
+                } else {
+                    for o in out_row.iter_mut() {
+                        *o /= sum;
+                    }
+                }
             }
-        }
+        });
         let total = (n * d) as u64;
         // 3 passes: max-reduce, exp+sum, normalize. ~12 flops/elem with SFU.
         emit_sequential(

@@ -11,7 +11,23 @@ use std::sync::Arc;
 use super::emit_op;
 use crate::cost;
 use crate::instrument::{AccessDesc, OpClass};
-use crate::{CsrMatrix, Result, Tensor, TensorError};
+use crate::{par, pool, CsrMatrix, Result, Tensor, TensorError};
+
+/// Minimum nnz·n work per parallel chunk (see [`par::PAR_MIN_ELEMS`]).
+const MIN_WORK_PER_CHUNK: usize = 16 * 1024;
+
+/// Row-range partition of a CSR matrix balanced by per-row nnz, so one
+/// hub row doesn't serialize a whole chunk on power-law graphs.
+fn nnz_balanced_ranges(csr: &CsrMatrix, n: usize) -> Vec<std::ops::Range<usize>> {
+    let m = csr.rows();
+    let work = csr.nnz().saturating_mul(n.max(1));
+    let chunks = par::chunk_count(work, MIN_WORK_PER_CHUNK).min(m.max(1));
+    if chunks <= 1 {
+        return par::even_ranges(m, 1);
+    }
+    let weights: Vec<usize> = (0..m).map(|r| csr.row(r).0.len()).collect();
+    par::weighted_ranges(&weights, chunks)
+}
 
 impl CsrMatrix {
     /// Sparse-dense product `self · dense`, where `self` is `[m, k]` CSR and
@@ -31,17 +47,19 @@ impl CsrMatrix {
         let n = dense.dim(1);
         let m = self.rows();
         let d = dense.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        for r in 0..m {
-            let (cols, vals) = self.row(r);
-            let out_row = &mut out[r * n..(r + 1) * n];
-            for (&c, &v) in cols.iter().zip(vals) {
-                let src = &d[c * n..(c + 1) * n];
-                for (o, &s) in out_row.iter_mut().zip(src) {
-                    *o += v * s;
+        let mut out = pool::zeroed(m * n);
+        let ranges = nnz_balanced_ranges(self, n);
+        par::for_row_ranges_mut(&mut out, n, &ranges, |_, rows, chunk| {
+            for (r, out_row) in rows.zip(chunk.chunks_exact_mut(n)) {
+                let (cols, vals) = self.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let src = &d[c * n..(c + 1) * n];
+                    for (o, &s) in out_row.iter_mut().zip(src) {
+                        *o += v * s;
+                    }
                 }
             }
-        }
+        });
         let result = Tensor::from_vec(&[m, n], out)?;
 
         let nnz = self.nnz();
@@ -93,11 +111,14 @@ impl CsrMatrix {
             });
         }
         let vv = v.as_slice();
-        let mut out = Vec::with_capacity(self.rows());
-        for r in 0..self.rows() {
-            let (cols, vals) = self.row(r);
-            out.push(cols.iter().zip(vals).map(|(&c, &x)| x * vv[c]).sum());
-        }
+        let mut out = pool::filled(self.rows());
+        let ranges = nnz_balanced_ranges(self, 1);
+        par::for_row_ranges_mut(&mut out, 1, &ranges, |_, rows, chunk| {
+            for (r, o) in rows.zip(chunk.iter_mut()) {
+                let (cols, vals) = self.row(r);
+                *o = cols.iter().zip(vals).map(|(&c, &x)| x * vv[c]).sum();
+            }
+        });
         let result = Tensor::from_vec(&[self.rows()], out)?;
         let nnz = self.nnz();
         let col_idx: Vec<u32> = self.col_idx().iter().map(|&c| c as u32).collect();

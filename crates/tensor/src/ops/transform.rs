@@ -7,7 +7,7 @@
 use super::{emit_op, emit_sequential};
 use crate::cost::INT_PER_DATAMOVE_ELEM;
 use crate::instrument::{AccessDesc, OpClass};
-use crate::{Result, Tensor, TensorError};
+use crate::{pool, Result, Tensor, TensorError};
 
 impl Tensor {
     /// Transpose of a `[m, n]` matrix.
@@ -24,12 +24,10 @@ impl Tensor {
         }
         let (m, n) = (self.dim(0), self.dim(1));
         let src = self.as_slice();
-        let mut data = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                data[j * m + i] = src[i * n + j];
-            }
-        }
+        // Cache-blocked transpose (same kernel the NT/TN GEMMs pack with);
+        // a pure permutation, so the result is exact.
+        let mut data = pool::filled(m * n);
+        super::gemm::transpose_pack(src, m, n, &mut data);
         let out = Tensor::from_vec(&[n, m], data)?;
         let total = (m * n) as u64;
         emit_op(

@@ -1,0 +1,456 @@
+//! Parallel execution layer for the tensor kernels.
+//!
+//! A small, hand-rolled, persistent thread pool (the containers build
+//! offline, so no rayon/crossbeam) plus deterministic work-partitioning
+//! helpers. Every parallel kernel in this crate is written so that its
+//! result is **bit-identical for every thread count**: output regions are
+//! disjoint per task and each output element is accumulated in exactly the
+//! same floating-point order as the sequential implementation. Partitioning
+//! therefore only changes *who* computes an element, never *how*.
+//!
+//! The global degree of parallelism is configured once per process:
+//!
+//! * environment: `GNNMARK_THREADS=N` (read lazily on first use),
+//! * programmatically: [`set_threads`] (the `gnnmark` CLI's `--threads`),
+//! * default: [`std::thread::available_parallelism`].
+//!
+//! With one thread everything runs inline on the caller — no pool threads
+//! are spawned and no synchronization is paid. Instrumentation events are
+//! always emitted by the *calling* thread after the parallel region joins,
+//! so the thread-local op recorder (see [`crate::record`]) observes exactly
+//! the same event stream at every thread count.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard upper bound on the configurable thread count.
+pub const MAX_THREADS: usize = 64;
+
+/// Minimum per-task element count before a kernel bothers going parallel.
+/// Small ops stay inline: the fork/join handshake costs more than the work.
+pub const PAR_MIN_ELEMS: usize = 4096;
+
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("GNNMARK_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// The configured degree of parallelism (≥ 1).
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let d = default_threads();
+    // Racing initializers compute the same default; last store wins.
+    let _ = THREADS.compare_exchange(0, d, Ordering::Relaxed, Ordering::Relaxed);
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Sets the degree of parallelism for all subsequent kernels
+/// (clamped to `1..=MAX_THREADS`). Results are bit-identical across
+/// settings; only wall-clock changes.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// The pool.
+// ---------------------------------------------------------------------------
+
+/// One fork/join batch: `total` tasks pulled off an atomic counter.
+struct Job {
+    /// Lifetime-erased task body; valid until `done == total` because the
+    /// submitter blocks in [`run`] until then.
+    f: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    done: AtomicUsize,
+    total: usize,
+    /// Workers that may participate besides the submitter; extras spawned
+    /// for earlier, wider jobs sit this one out so `--threads` is honored.
+    max_helpers: usize,
+    helpers: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `f` points at a `Sync` closure that outlives the job (the
+// submitter keeps it alive on its stack until every task completed).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+    spawned: usize,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The submitter parks here until its job drains.
+    done_cv: Condvar,
+}
+
+/// Serializes submitters: one fork/join batch at a time. Concurrent
+/// submitters (e.g. `--parallel` suite workers) fall back to inline
+/// execution instead of queueing, which keeps the pool trivially deadlock-
+/// free and never changes results.
+static SUBMIT: Mutex<()> = Mutex::new(());
+
+static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+
+thread_local! {
+    /// Set on pool workers; nested parallel calls run inline.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Arc<Shared> {
+    POOL.get_or_init(|| {
+        Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                spawned: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        })
+    })
+}
+
+/// Pulls tasks off `job` until its counter is exhausted; whoever finishes
+/// the last task clears the pool's current job and wakes the submitter.
+fn drain(job: &Arc<Job>, shared: &Shared) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.total {
+            break;
+        }
+        // SAFETY: the submitter keeps the closure alive until `done == total`.
+        let f = unsafe { &*job.f };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            job.panicked.store(true, Ordering::SeqCst);
+        }
+        if job.done.fetch_add(1, Ordering::SeqCst) + 1 == job.total {
+            let mut st = shared.state.lock().unwrap();
+            if st
+                .job
+                .as_ref()
+                .is_some_and(|j| Arc::ptr_eq(j, job))
+            {
+                st.job = None;
+            }
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.epoch != seen {
+                    if let Some(job) = st.job.clone() {
+                        seen = st.epoch;
+                        if job.helpers.fetch_add(1, Ordering::SeqCst) >= job.max_helpers {
+                            continue;
+                        }
+                        break job;
+                    }
+                    seen = st.epoch;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        drain(&job, &shared);
+    }
+}
+
+fn ensure_workers(st: &mut PoolState, shared: &Arc<Shared>, wanted: usize) {
+    while st.spawned < wanted {
+        let shared = Arc::clone(shared);
+        let id = st.spawned;
+        std::thread::Builder::new()
+            .name(format!("gnnmark-par-{id}"))
+            .spawn(move || worker_loop(shared))
+            .expect("spawn pool worker");
+        st.spawned += 1;
+    }
+}
+
+/// Runs `f(0..total)` across the pool, blocking until every task finished.
+///
+/// Falls back to an inline sequential loop when parallelism is 1, the call
+/// is nested inside another parallel region, the pool is busy with another
+/// submitter, or `total == 1`. All paths produce identical results.
+///
+/// # Panics
+/// Re-raises (as a single panic) if any task panicked.
+pub fn run(total: usize, f: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    let t = threads().min(total);
+    if t <= 1 || total == 1 || IN_POOL.with(|g| g.get()) {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    // One fork/join at a time; a busy pool means another workload thread is
+    // mid-kernel — run inline rather than wait (results are identical).
+    let Ok(_submit) = SUBMIT.try_lock() else {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    };
+    let shared = pool();
+    // SAFETY: lifetime erasure only; `run` does not return until every task
+    // completed, so the closure outlives all uses.
+    let f_static: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(f as *const _) };
+    let job = Arc::new(Job {
+        f: f_static,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        total,
+        max_helpers: t - 1,
+        helpers: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+    });
+    {
+        let mut st = shared.state.lock().unwrap();
+        ensure_workers(&mut st, shared, t - 1);
+        st.epoch += 1;
+        st.job = Some(Arc::clone(&job));
+        shared.work_cv.notify_all();
+    }
+    // The submitter is a full participant.
+    drain(&job, shared);
+    let mut st = shared.state.lock().unwrap();
+    while job.done.load(Ordering::SeqCst) < job.total {
+        st = shared.done_cv.wait(st).unwrap();
+    }
+    drop(st);
+    if job.panicked.load(Ordering::SeqCst) {
+        panic!("parallel kernel task panicked");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic partition helpers.
+// ---------------------------------------------------------------------------
+
+/// Splits `0..n` into `chunks` contiguous ranges of near-equal length
+/// (remainder spread over the leading chunks). Deterministic in `n` and
+/// `chunks` only.
+pub fn even_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits `0..weights.len()` into at most `chunks` contiguous ranges of
+/// near-equal total weight (used by SpMM to balance CSR rows by nnz).
+/// Deterministic in the weights and `chunks` only.
+pub fn weighted_ranges(weights: &[usize], chunks: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return vec![];
+    }
+    let chunks = chunks.clamp(1, n);
+    let total: usize = weights.iter().sum();
+    let target = total / chunks + 1;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    let mut acc = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= target && out.len() + 1 < chunks {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    out.push(start..n);
+    out
+}
+
+/// How many chunks to cut `items` units of work into, given a minimum
+/// sensible chunk size. Returns 1 (inline) for small inputs.
+pub fn chunk_count(items: usize, min_per_chunk: usize) -> usize {
+    let t = threads();
+    if t <= 1 || items < 2 * min_per_chunk.max(1) {
+        return 1;
+    }
+    t.min(items / min_per_chunk.max(1)).max(1)
+}
+
+/// Wrapper making a raw pointer `Send + Sync` for disjoint-range writes.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Runs `f(chunk_idx, row_range, out_chunk)` over disjoint row ranges of a
+/// mutable `[rows, row_len]` buffer, in parallel. `ranges` must be the
+/// ascending, non-overlapping partition of `0..rows` (as produced by
+/// [`even_ranges`] / [`weighted_ranges`]); each task receives exactly the
+/// sub-slice `out[r.start * row_len .. r.end * row_len]`.
+///
+/// # Panics
+/// Panics if the ranges overlap or exceed the buffer.
+pub fn for_row_ranges_mut<T: Send>(
+    out: &mut [T],
+    row_len: usize,
+    ranges: &[Range<usize>],
+    f: impl Fn(usize, Range<usize>, &mut [T]) + Sync,
+) {
+    // Validate the partition up front so the unsafe below stays local.
+    let mut prev_end = 0usize;
+    for r in ranges {
+        assert!(r.start == prev_end, "row ranges must tile contiguously");
+        prev_end = r.end;
+    }
+    assert!(
+        prev_end * row_len <= out.len(),
+        "row ranges exceed the output buffer"
+    );
+    if ranges.len() == 1 {
+        let r = ranges[0].clone();
+        let chunk = &mut out[r.start * row_len..r.end * row_len];
+        f(0, r, chunk);
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    let base_ref = &base;
+    run(ranges.len(), &|ci| {
+        let r = ranges[ci].clone();
+        // SAFETY: ranges are validated disjoint and in-bounds above, so each
+        // task gets an exclusive sub-slice.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(
+                base_ref.0.add(r.start * row_len),
+                (r.end - r.start) * row_len,
+            )
+        };
+        f(ci, r, chunk);
+    });
+}
+
+/// Element-chunked parallel fill of `out`: `f(range, chunk)` writes every
+/// element of its chunk. Inline when the buffer is small.
+pub fn fill_chunks<T: Send>(
+    out: &mut [T],
+    min_per_chunk: usize,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    let n = out.len();
+    let ranges = even_ranges(n, chunk_count(n, min_per_chunk));
+    for_row_ranges_mut(out, 1, &ranges, |_, r, chunk| f(r, chunk));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_tile() {
+        let rs = even_ranges(10, 3);
+        assert_eq!(rs, vec![0..4, 4..7, 7..10]);
+        assert_eq!(even_ranges(2, 8).len(), 2);
+        assert_eq!(even_ranges(0, 3), vec![0..0]);
+    }
+
+    #[test]
+    fn weighted_ranges_balance() {
+        // One heavy row then light rows: the heavy row gets its own chunk.
+        let w = [100, 1, 1, 1, 1, 1];
+        let rs = weighted_ranges(&w, 3);
+        assert_eq!(rs[0], 0..1);
+        assert_eq!(rs.last().unwrap().end, 6);
+        let covered: usize = rs.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 6);
+        assert!(weighted_ranges(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn run_executes_every_task_once() {
+        let prev = threads();
+        set_threads(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run(64, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        set_threads(prev);
+    }
+
+    #[test]
+    fn fill_chunks_is_complete_and_disjoint() {
+        let prev = threads();
+        set_threads(3);
+        let mut out = vec![0u32; 10_000];
+        fill_chunks(&mut out, 8, |r, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (r.start + k) as u32;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32));
+        set_threads(prev);
+    }
+
+    #[test]
+    fn nested_run_is_inline_and_panics_propagate() {
+        let prev = threads();
+        set_threads(2);
+        // Nested: inner run must not deadlock.
+        run(4, &|_| {
+            run(4, &|_| {});
+        });
+        let caught = std::panic::catch_unwind(|| {
+            run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+        set_threads(prev);
+    }
+
+    #[test]
+    fn set_threads_clamps() {
+        let prev = threads();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(10_000);
+        assert_eq!(threads(), MAX_THREADS);
+        set_threads(prev);
+    }
+}

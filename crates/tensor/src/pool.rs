@@ -1,0 +1,186 @@
+//! `TensorPool`: thread-local reuse of tensor data buffers.
+//!
+//! Training steps allocate and free the same output shapes thousands of
+//! times (every op's forward output, every backward kernel's gradient).
+//! `vec![0.0; n]` pays an allocator round-trip plus first-touch page
+//! faults on each call; the pool keeps recently dropped buffers bucketed by
+//! exact length so the next same-shaped op reuses warm memory.
+//!
+//! Two acquisition modes keep determinism airtight:
+//!
+//! * [`zeroed`] — the buffer is memset to 0.0 (for accumulation kernels:
+//!   GEMM, SpMM, scatter);
+//! * [`filled`] — the buffer's contents are unspecified and the caller
+//!   must overwrite every element (map-style kernels: element-wise, gather,
+//!   softmax).
+//!
+//! Buffers come back via [`recycle`] / [`recycle_vec`] — the autograd tape
+//! feeds consumed gradient temporaries here during the backward pass. The
+//! pool is strictly thread-local: parallel kernel workers never touch it
+//! (they write into a caller-provided buffer), so no locks are paid.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::Tensor;
+
+/// Max buffers retained per distinct length.
+const PER_BUCKET: usize = 16;
+/// Max total f32 elements retained per thread (64 MiB).
+const MAX_RETAINED_ELEMS: usize = 16 << 20;
+
+#[derive(Default)]
+struct PoolInner {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    retained_elems: usize,
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<PoolInner> = RefCell::default();
+}
+
+/// Counters describing pool effectiveness (per thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Acquisitions served from a recycled buffer.
+    pub hits: u64,
+    /// Acquisitions that had to allocate.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub recycled: u64,
+}
+
+fn take(len: usize) -> Option<Vec<f32>> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let buf = p.buckets.get_mut(&len).and_then(Vec::pop);
+        if buf.is_some() {
+            p.retained_elems -= len;
+            p.hits += 1;
+        } else {
+            p.misses += 1;
+        }
+        buf
+    })
+}
+
+/// A length-`len` buffer of zeros, reusing a recycled allocation when one
+/// of the exact length is available.
+pub fn zeroed(len: usize) -> Vec<f32> {
+    match take(len) {
+        Some(mut buf) => {
+            buf.fill(0.0);
+            buf
+        }
+        None => vec![0.0f32; len],
+    }
+}
+
+/// A length-`len` buffer with **unspecified contents** (a recycled buffer
+/// is returned as-is). Callers must write every element before the buffer
+/// becomes observable; all in-crate users are full-overwrite kernels.
+pub fn filled(len: usize) -> Vec<f32> {
+    take(len).unwrap_or_else(|| vec![0.0f32; len])
+}
+
+/// Returns a tensor's data buffer to the pool.
+pub fn recycle(t: Tensor) {
+    recycle_vec(t.into_vec());
+}
+
+/// Returns a raw buffer to the pool. Buffers whose capacity differs from
+/// their length (or that would exceed retention caps) are dropped.
+pub fn recycle_vec(v: Vec<f32>) {
+    let len = v.len();
+    if len == 0 || v.capacity() != len {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.retained_elems + len > MAX_RETAINED_ELEMS {
+            return;
+        }
+        let bucket = p.buckets.entry(len).or_default();
+        if bucket.len() >= PER_BUCKET {
+            return;
+        }
+        bucket.push(v);
+        p.retained_elems += len;
+        p.recycled += 1;
+    });
+}
+
+/// This thread's pool counters.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats {
+            hits: p.hits,
+            misses: p.misses,
+            recycled: p.recycled,
+        }
+    })
+}
+
+/// Drops every retained buffer and zeroes the counters (tests, and
+/// long-lived processes between workloads).
+pub fn clear() {
+    POOL.with(|p| *p.borrow_mut() = PoolInner::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_reuses_and_rezeros() {
+        clear();
+        let mut a = zeroed(128);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        recycle_vec(a);
+        let b = zeroed(128);
+        assert!(b.iter().all(|&v| v == 0.0));
+        let s = stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.recycled, 1);
+        clear();
+    }
+
+    #[test]
+    fn filled_keeps_contents_and_length_buckets_are_exact() {
+        clear();
+        let mut a = zeroed(64);
+        a[0] = 3.5;
+        recycle_vec(a);
+        // Different length: miss.
+        let b = filled(65);
+        assert_eq!(b.len(), 65);
+        // Same length: the recycled buffer comes back verbatim.
+        let c = filled(64);
+        assert_eq!(c[0], 3.5);
+        clear();
+    }
+
+    #[test]
+    fn bucket_cap_is_enforced() {
+        clear();
+        for _ in 0..(PER_BUCKET + 4) {
+            recycle_vec(vec![0.0; 8]);
+        }
+        assert_eq!(stats().recycled, PER_BUCKET as u64);
+        clear();
+    }
+
+    #[test]
+    fn recycling_tensor_roundtrips() {
+        clear();
+        recycle(Tensor::ones(&[4, 4]));
+        assert_eq!(stats().recycled, 1);
+        let v = filled(16);
+        assert!(v.iter().all(|&x| x == 1.0));
+        clear();
+    }
+}

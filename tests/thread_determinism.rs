@@ -1,0 +1,61 @@
+//! End-to-end thread-count determinism: training is bit-identical under
+//! `--threads 1` and `--threads 4`.
+//!
+//! The parallel kernel layer promises that partitioning only changes *who*
+//! computes each output element, never the floating-point order — so a full
+//! 2-epoch KGNN (low-feature) run must produce identical loss curves AND an
+//! identical profiler op stream (same kernels, in the same order, with the
+//! same modeled work) at every thread count.
+
+use gnnmark::suite::{run_workload_full, SuiteConfig};
+use gnnmark::WorkloadKind;
+use gnnmark_gpusim::KernelMetrics;
+
+/// The op-stream fields that must match exactly across thread counts.
+fn op_key(k: &KernelMetrics) -> (&'static str, String, u64, u64, u64, u64) {
+    (
+        k.kernel,
+        format!("{:?}", k.class),
+        k.flops,
+        k.iops,
+        k.threads,
+        k.time_ns.to_bits(),
+    )
+}
+
+#[test]
+fn kgnn_low_is_bit_identical_across_thread_counts() {
+    let base = SuiteConfig {
+        epochs: 2,
+        ..SuiteConfig::test()
+    };
+    let one = run_workload_full(WorkloadKind::KgnnL, &base.clone().with_threads(1))
+        .expect("kgnn_low trains at 1 thread");
+    let four = run_workload_full(WorkloadKind::KgnnL, &base.with_threads(4))
+        .expect("kgnn_low trains at 4 threads");
+    // Restore the default so later tests in this binary are unaffected.
+    gnnmark_tensor::par::set_threads(1);
+
+    // Loss curves: bit-identical, not merely close.
+    assert_eq!(one.losses.len(), 2);
+    for (a, b) in one.losses.iter().zip(&four.losses) {
+        assert_eq!(a.to_bits(), b.to_bits(), "loss diverged: {a} vs {b}");
+    }
+
+    // Op streams: same kernels in the same order with the same modeled
+    // flop/iop/thread counts and modeled times.
+    assert_eq!(
+        one.profile.kernels.len(),
+        four.profile.kernels.len(),
+        "kernel count diverged"
+    );
+    for (i, (a, b)) in one
+        .profile
+        .kernels
+        .iter()
+        .zip(&four.profile.kernels)
+        .enumerate()
+    {
+        assert_eq!(op_key(a), op_key(b), "op stream diverged at kernel {i}");
+    }
+}

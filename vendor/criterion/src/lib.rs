@@ -8,11 +8,57 @@
 //! reports median wall-clock time per iteration to stdout. It has no
 //! statistical machinery; it exists so `cargo bench` runs and regressions
 //! remain eyeballable in an offline container.
+//!
+//! Two environment variables extend the upstream surface for CI:
+//!
+//! * `CRITERION_JSON=path` — after all groups run, write every benchmark's
+//!   median (ns) to `path` as JSON (see [`finalize`]); the `bench-check`
+//!   tool diffs two such files to gate perf regressions.
+//! * `CRITERION_QUICK=1` — clamp every benchmark to 3 samples (smoke mode
+//!   for CI, where statistical quality matters less than wall-clock).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results collected by every `run_bench` call, in execution order.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// True when `CRITERION_QUICK` is set to a non-empty, non-`0` value.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Writes all collected medians as JSON to `$CRITERION_JSON`, if set.
+/// Called automatically by [`criterion_main!`] after every group ran; safe
+/// to call when the variable is absent (no-op).
+///
+/// # Panics
+/// Panics if the output file cannot be written (CI should fail loudly).
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, (name, median_ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}}}{}\n",
+            name.replace('\\', "\\\\").replace('"', "\\\""),
+            median_ns,
+            comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path} ({} benches)", results.len());
+}
 
 /// Top-level bench context (one per `criterion_group!` function).
 #[derive(Debug, Default)]
@@ -102,7 +148,11 @@ impl Bencher {
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
     let mut b = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: if quick_mode() {
+            sample_size.min(3)
+        } else {
+            sample_size
+        },
     };
     f(&mut b);
     if b.samples.is_empty() {
@@ -119,6 +169,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
         hi,
         b.samples.len()
     );
+    RESULTS.lock().unwrap().push((id.to_string(), median.as_nanos()));
 }
 
 /// Re-export of [`std::hint::black_box`] for API compatibility.
@@ -137,12 +188,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, running each group.
+/// Declares the bench binary's `main`, running each group, then writing
+/// the JSON report when `CRITERION_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -162,6 +215,21 @@ mod tests {
         });
         // warm-up + default 20 samples
         assert_eq!(runs, 21);
+    }
+
+    #[test]
+    fn finalize_writes_recorded_medians_as_json() {
+        let mut c = Criterion::default();
+        c.bench_function("json_bench", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        assert!(RESULTS.lock().unwrap().iter().any(|(n, _)| n == "json_bench"));
+        let path = std::env::temp_dir().join("criterion_finalize_test.json");
+        std::env::set_var("CRITERION_JSON", &path);
+        finalize();
+        std::env::remove_var("CRITERION_JSON");
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"json_bench\""), "{s}");
+        assert!(s.contains("median_ns"), "{s}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
