@@ -20,9 +20,9 @@ use gnnmark::suite::{RunArtifacts, SuiteConfig};
 use gnnmark::{figures, Result, Table, WorkloadKind};
 
 /// Every figure target the CLI and benches expose.
-pub const TARGETS: [&str; 16] = [
+pub const TARGETS: [&str; 17] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "roofline", "convergence", "summary", "suite", "ablations", "all", "list",
+    "roofline", "convergence", "summary", "suite", "ablations", "check", "all", "list",
 ];
 
 /// Renders one figure target from whatever artifacts are available.

@@ -1,12 +1,12 @@
 //! The `gnnmark` CLI: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] [--csv DIR]
+//! gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] [--seed S] [--csv DIR]
 //!                  [--threads N] [--parallel] [--keep-going] [--timeout SECS]
-//!                  [--retries N] [--checkpoint DIR]
+//!                  [--retries N] [--checkpoint DIR] [--bless] [--golden DIR]
 //!
 //! targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!          roofline convergence summary suite ablations all list
+//!          roofline convergence summary suite ablations check all list
 //! ```
 //!
 //! `--threads N` (or `GNNMARK_THREADS=N`) sets the CPU thread count of the
@@ -22,6 +22,13 @@
 //! interrupted run resumes without re-training. The `GNNMARK_FAULT`
 //! environment variable (e.g. `panic:TLSTM`, `nan:GW@0`, `stall:DGCN@500ms`)
 //! injects deterministic faults for drills and tests.
+//!
+//! `gnnmark check` runs the three-layer verification subsystem
+//! (`gnnmark-check`): finite-difference gradient checks of every op and
+//! workload, golden op-stream/figure snapshots under `results/golden/`
+//! (regenerate intentionally with `--bless`, redirect with `--golden DIR`),
+//! and gpusim accounting invariants. The CI gate runs
+//! `gnnmark check --scale tiny`. See `docs/VERIFICATION.md`.
 
 use std::io::Write as _;
 use std::time::Duration;
@@ -31,9 +38,9 @@ use gnnmark::suite::SuiteConfig;
 use gnnmark::{Scale, Table};
 use gnnmark_bench::{render_ablations, render_target_resilient, TARGETS};
 
-const USAGE: &str = "usage: gnnmark <target> [--scale test|small|paper] [--epochs N] [--seed S] \
-[--csv DIR] [--threads N] [--parallel] [--keep-going] [--timeout SECS] [--retries N] \
-[--checkpoint DIR]";
+const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] \
+[--seed S] [--csv DIR] [--threads N] [--parallel] [--keep-going] [--timeout SECS] [--retries N] \
+[--checkpoint DIR] [--bless] [--golden DIR]";
 
 struct Args {
     target: String,
@@ -41,6 +48,8 @@ struct Args {
     csv_dir: Option<String>,
     rcfg: ResilienceConfig,
     keep_going: bool,
+    bless: bool,
+    golden_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,12 +59,15 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut rcfg = ResilienceConfig::default();
     let mut keep_going = false;
+    let mut bless = false;
+    let mut golden_dir = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 cfg.scale = match v.as_str() {
-                    "test" => Scale::Test,
+                    // `tiny` is the check-gate spelling of the test scale.
+                    "test" | "tiny" => Scale::Test,
                     "small" => Scale::Small,
                     "paper" => Scale::Paper,
                     other => return Err(format!("unknown scale `{other}`")),
@@ -116,6 +128,10 @@ fn parse_args() -> Result<Args, String> {
                 rcfg.checkpoint_dir =
                     Some(args.next().ok_or("--checkpoint needs a directory")?.into());
             }
+            "--bless" => bless = true,
+            "--golden" => {
+                golden_dir = Some(args.next().ok_or("--golden needs a directory")?);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -129,7 +145,41 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         rcfg,
         keep_going,
+        bless,
+        golden_dir,
     })
+}
+
+/// Runs the three-layer verification gate; returns the process exit code.
+fn run_check_gate(args: &Args) -> i32 {
+    let ccfg = gnnmark_check::CheckConfig {
+        scale: args.cfg.scale,
+        seed: args.cfg.seed,
+        tol: 1e-3,
+        golden_dir: args
+            .golden_dir
+            .clone()
+            .unwrap_or_else(|| gnnmark_check::golden::GOLDEN_DIR.to_string())
+            .into(),
+        bless: args.bless,
+    };
+    match gnnmark_check::run_check(&ccfg) {
+        Ok(out) => {
+            for line in &out.lines {
+                println!("{line}");
+            }
+            println!();
+            println!(
+                "check: {} check(s), {} failure(s)",
+                out.checks, out.failures
+            );
+            i32::from(!out.passed())
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
 }
 
 fn emit(tables: &[Table], csv_dir: Option<&str>) -> std::io::Result<()> {
@@ -176,6 +226,9 @@ fn main() {
         eprintln!("error: unknown target `{}`", args.target);
         eprintln!("valid targets: {}", TARGETS.join(" "));
         std::process::exit(2);
+    }
+    if args.target == "check" {
+        std::process::exit(run_check_gate(&args));
     }
     let started = std::time::Instant::now();
     let mut report: Option<SuiteReport> = None;

@@ -1,0 +1,421 @@
+//! Property checks over the analytical GPU model's outputs.
+//!
+//! The simulator's accounting must be internally consistent: per-kernel
+//! cycles and times sum to the profile totals, cache hits never exceed
+//! accesses and L1 misses flow into L2, stall shares are a proper
+//! distribution, recorded FLOP/IOP counts match the analytical formulas
+//! in [`gnnmark_tensor::cost`], and the multi-GPU DDP model conserves
+//! per-epoch compute work across 1/2/4 GPUs.
+
+use gnnmark::suite::RunArtifacts;
+use gnnmark_gpusim::{DdpModel, DeviceSpec, GpuModel, ScalingBehavior, StallReason};
+use gnnmark_tensor::{cost, record, CsrMatrix, IntTensor, OpClass, Tensor};
+
+use crate::Result;
+
+/// Outcome of one invariant over one context (workload or model-level).
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// Invariant name (e.g. `cycles-sum`).
+    pub name: String,
+    /// What it ran over (workload label or `model`).
+    pub context: String,
+    /// Whether the property held.
+    pub ok: bool,
+    /// Failure description (empty when ok).
+    pub detail: String,
+}
+
+impl InvariantReport {
+    fn ok(name: &str, context: &str) -> Self {
+        InvariantReport {
+            name: name.to_string(),
+            context: context.to_string(),
+            ok: true,
+            detail: String::new(),
+        }
+    }
+
+    fn fail(name: &str, context: &str, detail: String) -> Self {
+        InvariantReport {
+            name: name.to_string(),
+            context: context.to_string(),
+            ok: false,
+            detail,
+        }
+    }
+
+    /// One status line for the CLI report.
+    pub fn line(&self) -> String {
+        if self.ok {
+            format!("ok   invariant `{}` [{}]", self.name, self.context)
+        } else {
+            format!(
+                "FAIL invariant `{}` [{}] — {}",
+                self.name, self.context, self.detail
+            )
+        }
+    }
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Checks one profiled run's accounting. Returns one report per invariant.
+pub fn profile_invariants(art: &RunArtifacts) -> Vec<InvariantReport> {
+    let p = &art.profile;
+    let ctx = p.name.clone();
+    let mut out = Vec::new();
+
+    // -- per-kernel sums equal per-class sums equal profile totals --
+    let kernel_time: f64 = p.kernels.iter().map(|k| k.time_ns).sum();
+    let class_time: f64 = p.per_class.values().map(|c| c.time_ns).sum();
+    if rel_close(kernel_time, class_time, 1e-9)
+        && rel_close(kernel_time, p.total_kernel_time_ns(), 1e-9)
+    {
+        out.push(InvariantReport::ok("time-sum", &ctx));
+    } else {
+        out.push(InvariantReport::fail(
+            "time-sum",
+            &ctx,
+            format!(
+                "kernels {kernel_time} vs classes {class_time} vs total {}",
+                p.total_kernel_time_ns()
+            ),
+        ));
+    }
+    let kernel_cycles: f64 = p.kernels.iter().map(|k| k.cycles).sum();
+    let class_cycles: f64 = p.per_class.values().map(|c| c.cycles).sum();
+    if rel_close(kernel_cycles, class_cycles, 1e-9) {
+        out.push(InvariantReport::ok("cycles-sum", &ctx));
+    } else {
+        out.push(InvariantReport::fail(
+            "cycles-sum",
+            &ctx,
+            format!("kernels {kernel_cycles} vs classes {class_cycles}"),
+        ));
+    }
+    let launches: u64 = p.per_class.values().map(|c| c.launches).sum();
+    if launches as usize == p.kernels.len() {
+        out.push(InvariantReport::ok("launch-count", &ctx));
+    } else {
+        out.push(InvariantReport::fail(
+            "launch-count",
+            &ctx,
+            format!("classes claim {launches}, profile has {}", p.kernels.len()),
+        ));
+    }
+    let kernel_flops: u64 = p.kernels.iter().map(|k| k.flops).sum();
+    let class_flops: u64 = p.per_class.values().map(|c| c.flops).sum();
+    let kernel_iops: u64 = p.kernels.iter().map(|k| k.iops).sum();
+    let class_iops: u64 = p.per_class.values().map(|c| c.iops).sum();
+    if kernel_flops == class_flops && kernel_iops == class_iops {
+        out.push(InvariantReport::ok("work-sum", &ctx));
+    } else {
+        out.push(InvariantReport::fail(
+            "work-sum",
+            &ctx,
+            format!(
+                "flops {kernel_flops}/{class_flops}, iops {kernel_iops}/{class_iops} (kernels/classes)"
+            ),
+        ));
+    }
+
+    // -- cache conservation per kernel --
+    let mut cache_fail = None;
+    for (i, k) in p.kernels.iter().enumerate() {
+        let m = &k.memory;
+        if m.l1_hits > m.l1_accesses || m.l2_hits > m.l2_accesses {
+            cache_fail = Some(format!(
+                "kernel #{i} `{}`: hits exceed accesses (L1 {}/{}, L2 {}/{})",
+                k.kernel, m.l1_hits, m.l1_accesses, m.l2_hits, m.l2_accesses
+            ));
+            break;
+        }
+        // L1 misses flow into L2. The cache simulator samples long access
+        // streams and rescales each counter independently with rounding,
+        // so the equality carries a small per-kernel slack.
+        let l1_misses = m.l1_accesses - m.l1_hits;
+        let slack = 16.0 + 1e-3 * m.l1_accesses as f64;
+        if (l1_misses as f64 - m.l2_accesses as f64).abs() > slack {
+            cache_fail = Some(format!(
+                "kernel #{i} `{}`: L1 misses {} vs L2 accesses {} (slack {slack:.0})",
+                k.kernel, l1_misses, m.l2_accesses
+            ));
+            break;
+        }
+        if m.divergent_warp_ops > m.warp_ops {
+            cache_fail = Some(format!(
+                "kernel #{i} `{}`: divergent warp ops {} exceed warp ops {}",
+                k.kernel, m.divergent_warp_ops, m.warp_ops
+            ));
+            break;
+        }
+    }
+    out.push(match cache_fail {
+        None => InvariantReport::ok("cache-conservation", &ctx),
+        Some(d) => InvariantReport::fail("cache-conservation", &ctx, d),
+    });
+
+    // -- stall shares form a distribution per kernel --
+    let mut stall_fail = None;
+    for (i, k) in p.kernels.iter().enumerate() {
+        let total: f64 = StallReason::ALL.iter().map(|&r| k.stalls.share(r)).sum();
+        if !rel_close(total, 1.0, 1e-9) || StallReason::ALL.iter().any(|&r| k.stalls.share(r) < 0.0)
+        {
+            stall_fail = Some(format!(
+                "kernel #{i} `{}`: stall shares sum to {total}",
+                k.kernel
+            ));
+            break;
+        }
+    }
+    out.push(match stall_fail {
+        None => InvariantReport::ok("stall-distribution", &ctx),
+        Some(d) => InvariantReport::fail("stall-distribution", &ctx, d),
+    });
+
+    // -- the fixed launch tail is the same positive constant everywhere --
+    let mut tail_fail = None;
+    let mut tail_seen: Option<f64> = None;
+    for (i, k) in p.kernels.iter().enumerate() {
+        let tail = k.cycles - k.active_cycles;
+        if tail <= 0.0 {
+            tail_fail = Some(format!(
+                "kernel #{i} `{}`: non-positive tail {tail}",
+                k.kernel
+            ));
+            break;
+        }
+        match tail_seen {
+            None => tail_seen = Some(tail),
+            Some(t) if rel_close(t, tail, 1e-9) => {}
+            Some(t) => {
+                tail_fail = Some(format!(
+                    "kernel #{i} `{}`: tail {tail} differs from {t}",
+                    k.kernel
+                ));
+                break;
+            }
+        }
+    }
+    out.push(match tail_fail {
+        None => InvariantReport::ok("kernel-tail", &ctx),
+        Some(d) => InvariantReport::fail("kernel-tail", &ctx, d),
+    });
+
+    // -- instruction mix totals are exact u64 sums --
+    let mut mix = gnnmark_gpusim::InstructionMix::default();
+    for k in &p.kernels {
+        mix.add(&k.instr);
+    }
+    if mix == p.instr {
+        out.push(InvariantReport::ok("instr-mix-sum", &ctx));
+    } else {
+        out.push(InvariantReport::fail(
+            "instr-mix-sum",
+            &ctx,
+            format!("kernel sum {mix:?} vs profile {:?}", p.instr),
+        ));
+    }
+
+    out
+}
+
+/// Checks that per-epoch compute work is conserved by the DDP model for
+/// DataParallel workloads across 1/2/4 GPUs, using the run's real step
+/// count and gradient payload. The communication term is isolated by
+/// linearity: `t(n; t1) − t(n; 0)` is the compute share, which must equal
+/// `t1 / n` exactly.
+pub fn scaling_invariants(art: &RunArtifacts, spec: &DeviceSpec) -> Vec<InvariantReport> {
+    let ctx = art.profile.name.clone();
+    let mut out = Vec::new();
+    let Some(behavior) = art.scaling else {
+        return out; // excluded from scaling, as ARGA is in the paper
+    };
+    let ddp = DdpModel::new(spec.clone());
+    let t1 = art.profile.total_time_ns().max(1.0);
+    let steps = art.steps_per_epoch;
+    let bytes = art.grad_bytes;
+
+    // n = 1 has no communication: t(1) must be exactly t1.
+    let t_one = ddp.epoch_time_ns(t1, steps, bytes, behavior, 1);
+    if rel_close(t_one, t1, 1e-12) {
+        out.push(InvariantReport::ok("ddp-single-gpu-identity", &ctx));
+    } else {
+        out.push(InvariantReport::fail(
+            "ddp-single-gpu-identity",
+            &ctx,
+            format!("t(1) = {t_one} vs single-GPU epoch {t1}"),
+        ));
+    }
+
+    if behavior == ScalingBehavior::DataParallel {
+        let mut fail = None;
+        for n in [1u32, 2, 4] {
+            let with_work = ddp.epoch_time_ns(t1, steps, bytes, behavior, n);
+            let without_work = ddp.epoch_time_ns(0.0, steps, bytes, behavior, n);
+            let compute = with_work - without_work;
+            if !rel_close(compute * n as f64, t1, 1e-9) {
+                fail = Some(format!(
+                    "{n} GPUs do {} ns of compute each; x{n} = {} ≠ single-GPU {t1}",
+                    compute,
+                    compute * n as f64
+                ));
+                break;
+            }
+        }
+        out.push(match fail {
+            None => InvariantReport::ok("ddp-work-conservation", &ctx),
+            Some(d) => InvariantReport::fail("ddp-work-conservation", &ctx, d),
+        });
+    }
+
+    // All-reduce sanity: zero cost on one GPU, monotone in payload.
+    let ar1 = ddp.allreduce_ns(bytes, 1);
+    let ar2 = ddp.allreduce_ns(bytes, 2);
+    let ar2_bigger = ddp.allreduce_ns(bytes.saturating_mul(2), 2);
+    if ar1 == 0.0 && ar2 > 0.0 && ar2_bigger >= ar2 {
+        out.push(InvariantReport::ok("allreduce-sanity", &ctx));
+    } else {
+        out.push(InvariantReport::fail(
+            "allreduce-sanity",
+            &ctx,
+            format!("allreduce(1)={ar1}, allreduce(2)={ar2}, allreduce(2, 2x bytes)={ar2_bigger}"),
+        ));
+    }
+    out
+}
+
+/// Records known-shape ops and checks the emitted events against the
+/// analytical work formulas in [`gnnmark_tensor::cost`], then checks that
+/// [`GpuModel::execute`] carries the counts through unchanged.
+///
+/// # Errors
+/// Propagates tensor-engine errors from the recorded ops.
+pub fn cost_formula_invariants(spec: &DeviceSpec) -> Result<Vec<InvariantReport>> {
+    let mut out = Vec::new();
+    let mut gpu = GpuModel::new(spec.clone());
+    let mut check = |name: &str, expected_flops: u64, expected_iops: u64, class: OpClass| {
+        let events = record::stop_recording();
+        let ev = events.iter().find(|e| e.class == class);
+        match ev {
+            None => out.push(InvariantReport::fail(
+                "cost-formula",
+                name,
+                format!("no {class:?} event recorded"),
+            )),
+            Some(ev) => {
+                if ev.flops != expected_flops || ev.iops != expected_iops {
+                    out.push(InvariantReport::fail(
+                        "cost-formula",
+                        name,
+                        format!(
+                            "event flops {} iops {} vs analytical flops {expected_flops} iops {expected_iops}",
+                            ev.flops, ev.iops
+                        ),
+                    ));
+                } else {
+                    let metrics = gpu.execute(ev);
+                    if metrics.flops != ev.flops || metrics.iops != ev.iops {
+                        out.push(InvariantReport::fail(
+                            "cost-formula",
+                            name,
+                            format!(
+                                "GpuModel altered work: event {}/{} vs metrics {}/{}",
+                                ev.flops, ev.iops, metrics.flops, metrics.iops
+                            ),
+                        ));
+                    } else {
+                        out.push(InvariantReport::ok("cost-formula", name));
+                    }
+                }
+            }
+        }
+    };
+
+    let (m, k, n) = (5usize, 7, 3);
+    let a = Tensor::from_fn(&[m, k], |i| (i % 5) as f32 * 0.25 - 0.5);
+    let b = Tensor::from_fn(&[k, n], |i| (i % 7) as f32 * 0.125 - 0.375);
+    record::start_recording();
+    let _ = a.matmul(&b)?;
+    check(
+        "gemm",
+        2 * (m * k * n) as u64,
+        cost::gemm_iops(m, k, n),
+        OpClass::Gemm,
+    );
+
+    let csr = CsrMatrix::from_coo(3, 4, &[(0, 1, 1.0), (1, 0, 0.5), (1, 3, 2.0), (2, 2, 1.5)])?;
+    let x = Tensor::from_fn(&[4, 6], |i| i as f32 * 0.1);
+    record::start_recording();
+    let _ = csr.spmm(&x)?;
+    check(
+        "spmm",
+        2 * (csr.nnz() * 6) as u64,
+        cost::spmm_iops(csr.nnz(), 6),
+        OpClass::Spmm,
+    );
+
+    let img = Tensor::from_fn(&[1, 2, 5, 5], |i| (i % 3) as f32 - 1.0);
+    let w = Tensor::from_fn(&[3, 2, 3, 3], |i| (i % 4) as f32 * 0.25);
+    record::start_recording();
+    let _ = img.conv2d(&w, gnnmark_tensor::ops::conv::Conv2dSpec::default())?;
+    let macs = (1 * 3 * 3 * 3 * 2 * 3 * 3) as u64; // n·c_out·oh·ow·c_in·kh·kw
+    check("conv2d", 2 * macs, cost::conv2d_iops(macs), OpClass::Conv2d);
+
+    let keys = IntTensor::from_vec(&[9], vec![5, 2, 8, 1, 9, 0, 3, 7, 4])?;
+    record::start_recording();
+    let _ = keys.sort_with_indices()?;
+    check("sort", 0, cost::sort_iops(9), OpClass::Sort);
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnmark::suite::{run_workload_full, SuiteConfig};
+    use gnnmark_workloads::WorkloadKind;
+
+    #[test]
+    fn tlstm_profile_holds_all_invariants() {
+        let cfg = SuiteConfig::test();
+        let art = run_workload_full(WorkloadKind::Tlstm, &cfg).unwrap();
+        let reports: Vec<_> = profile_invariants(&art)
+            .into_iter()
+            .chain(scaling_invariants(&art, &cfg.device))
+            .collect();
+        assert!(reports.len() >= 9);
+        let failures: Vec<String> = reports
+            .iter()
+            .filter(|r| !r.ok)
+            .map(InvariantReport::line)
+            .collect();
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn cost_formulas_match_recorded_events() {
+        let reports = cost_formula_invariants(&DeviceSpec::v100()).unwrap();
+        assert_eq!(reports.len(), 4);
+        let failures: Vec<String> = reports
+            .iter()
+            .filter(|r| !r.ok)
+            .map(InvariantReport::line)
+            .collect();
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn corrupted_accounting_is_detected() {
+        let cfg = SuiteConfig::test();
+        let mut art = run_workload_full(WorkloadKind::Tlstm, &cfg).unwrap();
+        // Inflate one kernel's flops: the class/kernel sums must disagree.
+        art.profile.kernels[0].flops += 12345;
+        let reports = profile_invariants(&art);
+        let work = reports.iter().find(|r| r.name == "work-sum").unwrap();
+        assert!(!work.ok, "corrupted flops must fail work-sum");
+    }
+}

@@ -1,0 +1,169 @@
+//! # gnnmark-check
+//!
+//! The suite's verification subsystem, run as `gnnmark check`. It
+//! validates the stack at three layers:
+//!
+//! 1. **Gradient checks** ([`gradcheck`], [`workload`]) — a central
+//!    finite-difference harness compares every differentiable op's
+//!    analytic gradient against numeric perturbation, then repeats the
+//!    comparison end-to-end on sampled parameter elements of each of the
+//!    eight workloads.
+//! 2. **Golden snapshots** ([`golden`]) — per-workload op streams and
+//!    digests of every figure table are checked against files under
+//!    `results/golden/`; `--bless` regenerates them after intentional
+//!    changes.
+//! 3. **Simulator invariants** ([`invariants`]) — accounting properties
+//!    of the analytical GPU model: sums, cache conservation, stall
+//!    distributions, cost formulas, and multi-GPU work conservation.
+//!
+//! See `docs/VERIFICATION.md` for tolerances and workflow.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gradcheck;
+pub mod golden;
+pub mod invariants;
+pub mod workload;
+
+use std::path::PathBuf;
+
+use gnnmark::suite::{run_suite_parallel, SuiteConfig};
+use gnnmark_workloads::Scale;
+
+/// Result alias re-used from the tensor crate.
+pub type Result<T> = gnnmark_tensor::Result<T>;
+
+/// FNV-1a hash — the digest for golden snapshots and the seed source for
+/// deterministic per-op weight tensors.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Configuration of one `gnnmark check` run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Problem size for the workload gradient checks and the suite run
+    /// that feeds the snapshot and invariant layers.
+    pub scale: Scale,
+    /// Workload seed (must match the blessed goldens' seed).
+    pub seed: u64,
+    /// Relative gradient tolerance.
+    pub tol: f64,
+    /// Golden snapshot directory.
+    pub golden_dir: PathBuf,
+    /// Regenerate goldens instead of comparing.
+    pub bless: bool,
+}
+
+impl CheckConfig {
+    /// The CI gate configuration (`gnnmark check --scale tiny`).
+    pub fn tiny() -> Self {
+        CheckConfig {
+            scale: Scale::Test,
+            seed: 42,
+            tol: 1e-3,
+            golden_dir: PathBuf::from(golden::GOLDEN_DIR),
+            bless: false,
+        }
+    }
+}
+
+/// Everything one check run produced: report lines in display order plus
+/// pass/fail counts.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Human-readable report lines.
+    pub lines: Vec<String>,
+    /// Total individual checks run.
+    pub checks: usize,
+    /// Checks that failed.
+    pub failures: usize,
+}
+
+impl CheckOutcome {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures == 0
+    }
+
+    fn record(&mut self, ok: bool, line: String) {
+        self.checks += 1;
+        if !ok {
+            self.failures += 1;
+        }
+        self.lines.push(line);
+    }
+}
+
+/// Runs all three verification layers and collects the report.
+///
+/// Golden snapshots are only meaningful at the test (tiny) scale — the
+/// checked-in files are generated there — so the snapshot layer is
+/// skipped at other scales.
+///
+/// # Errors
+/// Propagates construction/engine errors; individual check failures are
+/// reported in the returned [`CheckOutcome`] instead.
+pub fn run_check(cfg: &CheckConfig) -> Result<CheckOutcome> {
+    let mut out = CheckOutcome {
+        lines: Vec::new(),
+        checks: 0,
+        failures: 0,
+    };
+
+    out.lines.push("== layer 1: gradient checks ==".to_string());
+    for r in gradcheck::all_op_reports(cfg.tol)? {
+        out.record(r.passed(), r.line());
+    }
+    for r in workload::all_workload_reports(cfg.scale, cfg.seed, cfg.tol)? {
+        out.record(r.passed(), r.line());
+    }
+
+    let mut suite_cfg = SuiteConfig::test();
+    suite_cfg.scale = cfg.scale;
+    suite_cfg.seed = cfg.seed;
+    let runs = run_suite_parallel(&suite_cfg)?;
+
+    out.lines.push("== layer 2: golden snapshots ==".to_string());
+    if cfg.scale == Scale::Test {
+        for run in &runs {
+            let r = golden::check_opstream(&run.profile, &cfg.golden_dir, cfg.bless)?;
+            out.record(r.ok, r.line());
+        }
+        let r = golden::check_figures(&runs, &cfg.golden_dir, cfg.bless)?;
+        out.record(r.ok, r.line());
+    } else {
+        out.lines
+            .push("(skipped: goldens are generated at the tiny scale)".to_string());
+    }
+
+    out.lines.push("== layer 3: simulator invariants ==".to_string());
+    for run in &runs {
+        for r in invariants::profile_invariants(run) {
+            out.record(r.ok, r.line());
+        }
+        for r in invariants::scaling_invariants(run, &suite_cfg.device) {
+            out.record(r.ok, r.line());
+        }
+    }
+    for r in invariants::cost_formula_invariants(&suite_cfg.device)? {
+        out.record(r.ok, r.line());
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -473,6 +473,36 @@ mod tests {
     }
 
     #[test]
+    fn missing_rows_edge_cases() {
+        let runs = sample_profiles();
+        let profiles: Vec<_> = runs.iter().map(|r| r.profile.clone()).collect();
+
+        // Empty `missing` is a no-op.
+        let mut t = fig4_throughput(&profiles);
+        let before = t.num_rows();
+        append_missing_rows(&mut t, &[]);
+        assert_eq!(t.num_rows(), before);
+
+        // Appended rows are full-width: the label plus a marker for every
+        // remaining column, so CSV field counts stay rectangular.
+        append_missing_rows(&mut t, &[WorkloadKind::Stgcn]);
+        let csv = t.to_csv();
+        let header_fields = csv.lines().next().unwrap().split(',').count();
+        let last = csv.lines().last().unwrap();
+        assert_eq!(last.split(',').count(), header_fields, "{csv}");
+        assert!(last.starts_with("STGCN"), "{csv}");
+        for field in last.split(',').skip(1) {
+            assert_eq!(field, MISSING_MARKER, "{csv}");
+        }
+
+        // A headerless table (no "Workload" first column) is untouched.
+        let mut bare = Table::new("bare");
+        bare.row(["a", "b"]);
+        append_missing_rows(&mut bare, &[WorkloadKind::Gw]);
+        assert_eq!(bare.num_rows(), 1);
+    }
+
+    #[test]
     fn table1_has_all_rows() {
         let t = table1();
         assert_eq!(t.num_rows(), 8);
@@ -509,6 +539,42 @@ mod tests {
         let t = fig8_sparsity_series(&runs[1].profile, 16);
         assert!(t.num_rows() > 0);
         assert!(t.title().contains("ARGA"));
+    }
+
+    #[test]
+    fn fig8_truncates_long_series_to_max_points() {
+        let runs = sample_profiles();
+        let mut profile = runs[1].profile.clone();
+        profile.sparsity_series = (0..1000).map(|i| (i % 100) as f64 / 100.0).collect();
+
+        // A long series is strided down: at most 2·max_points rows (the
+        // stride is the floor of len/max_points), and the stride keeps the
+        // original transfer indices.
+        let t = fig8_sparsity_series(&profile, 24);
+        assert!(
+            t.num_rows() <= 48 && t.num_rows() >= 24,
+            "rows {}",
+            t.num_rows()
+        );
+        let csv = t.to_csv();
+        let first_indices: Vec<&str> = csv
+            .lines()
+            .skip(1)
+            .take(3)
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        assert_eq!(first_indices, ["0", "41", "82"], "{csv}");
+
+        // A series already within budget is rendered in full.
+        profile.sparsity_series = (0..10).map(|i| i as f64 / 10.0).collect();
+        assert_eq!(fig8_sparsity_series(&profile, 24).num_rows(), 10);
+
+        // Degenerate budgets must not panic or divide by zero: a zero
+        // budget is clamped to one point.
+        profile.sparsity_series = (0..5).map(|i| i as f64 / 5.0).collect();
+        assert_eq!(fig8_sparsity_series(&profile, 0).num_rows(), 1);
+        profile.sparsity_series.clear();
+        assert_eq!(fig8_sparsity_series(&profile, 24).num_rows(), 0);
     }
 
     #[test]

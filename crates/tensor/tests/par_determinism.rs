@@ -1,5 +1,5 @@
 //! Property tests for the parallel execution layer's core guarantee:
-//! every kernel is **bit-identical** at 1, 2 and 4 threads.
+//! every kernel is **bit-identical** at 1, 2, 4 and 8 threads.
 //!
 //! The parallel kernels partition *output* regions and keep each output
 //! element's floating-point accumulation order fixed, so the thread count
@@ -17,11 +17,11 @@ use rand::{Rng, SeedableRng};
 /// thread-count-invariant, but the 1-thread leg should really run inline).
 static THREADS_LOCK: Mutex<()> = Mutex::new(());
 
-/// Runs `f` at 1, 2 and 4 threads and returns the three raw outputs.
+/// Runs `f` at 1, 2, 4 and 8 threads and returns the raw outputs.
 fn at_thread_counts(f: impl Fn() -> Vec<f32>) -> Vec<Vec<f32>> {
     let _guard = THREADS_LOCK.lock().unwrap();
     let prev = par::threads();
-    let outs = [1usize, 2, 4]
+    let outs = [1usize, 2, 4, 8]
         .iter()
         .map(|&t| {
             par::set_threads(t);
@@ -178,4 +178,29 @@ proptest! {
         });
         assert_bit_identical(&combined, "elementwise/softmax/reduce");
     }
+}
+
+/// Oversubscription: more worker threads than partitionable items. Every
+/// kernel must still produce the single-thread result bit-for-bit when the
+/// output has fewer rows/elements than the thread count (the partitioner
+/// hands some workers empty ranges).
+#[test]
+fn oversubscribed_threads_exceed_items() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0515);
+    let a = Tensor::from_fn(&[2, 3], |_| rng.gen_range(-2.0..2.0));
+    let b = Tensor::from_fn(&[3, 2], |_| rng.gen_range(-2.0..2.0));
+    let sp = CsrMatrix::from_coo(3, 2, &[(0, 1, 0.5), (2, 0, -1.5), (2, 1, 0.25)]).unwrap();
+    let x = Tensor::from_fn(&[2, 2], |_| rng.gen_range(-2.0..2.0));
+    let src = Tensor::from_fn(&[2, 3], |_| rng.gen_range(-2.0..2.0));
+    let idx = IntTensor::from_vec(&[2], vec![1, 1]).unwrap();
+    let outs = at_thread_counts(|| {
+        // 8 threads vs 2-3 output rows: most workers get empty ranges.
+        let mut out = a.matmul(&b).unwrap().into_vec();
+        out.extend(sp.spmm(&x).unwrap().into_vec());
+        out.extend(src.scatter_add_rows(&idx, 2).unwrap().into_vec());
+        out.extend(src.softmax_rows().unwrap().into_vec());
+        out.extend(src.sum_cols().unwrap().into_vec());
+        out
+    });
+    assert_bit_identical(&outs, "oversubscribed kernels");
 }

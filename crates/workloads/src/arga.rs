@@ -169,6 +169,26 @@ impl Workload for Arga {
         Ok(Some(("edge-score margin", (pos - neg) / pos_n as f64)))
     }
 
+    fn probe(&mut self) -> Result<f64> {
+        // Generator/reconstruction path only — it is the RNG-free part of
+        // the GAN loop (the discriminator step draws a fresh Gaussian
+        // prior sample every call), and it exercises every parameter:
+        // encoder + PReLU through the reconstruction, discriminator
+        // through the adversarial term.
+        let n = self.graph.num_nodes();
+        let tape = Tape::new();
+        let x = tape.constant(self.graph.features().clone());
+        let z = self.encode(&tape, &x)?;
+        let logits = z.matmul_nt(&z)?;
+        let recon = losses::bce_with_logits(&logits, &self.adj_dense)?;
+        let d_on_fake = self.discriminator.forward(&tape, &z)?;
+        let ones = Tensor::ones(&[n, 1]);
+        let adv = losses::bce_with_logits(&d_on_fake, &ones)?;
+        let g_loss = recon.add(&adv.mul_scalar(0.1))?;
+        tape.backward(&g_loss)?;
+        Ok(g_loss.value().item()? as f64)
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let n = self.graph.num_nodes();
         // The entire graph ships to the device every epoch.

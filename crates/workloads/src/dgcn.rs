@@ -126,6 +126,33 @@ impl Workload for Dgcn {
         Ok(Some(("train accuracy", acc)))
     }
 
+    fn probe(&mut self) -> Result<f64> {
+        // Full-batch forward (as in `quality`) with a cross-entropy loss
+        // and backward; no shuffling, no optimizer step.
+        let batch = BatchedGraph::from_graphs(&self.molecules)?;
+        let edges = EdgeList::from_graph(batch.graph())?;
+        let labels = batch.graph_labels().expect("labels").clone();
+        let tape = Tape::new();
+        let x = tape.constant(batch.graph().features().clone());
+        let mut h = self.embed.forward(&tape, &x)?.relu();
+        for block in &self.blocks {
+            h = block.forward(&tape, &edges, &h)?;
+        }
+        let sums = h.scatter_add_rows(batch.graph_ids(), batch.num_graphs())?;
+        let inv: Vec<f32> = (0..batch.num_graphs())
+            .map(|i| {
+                let (s, e) = batch.node_range(i);
+                1.0 / (e - s).max(1) as f32
+            })
+            .collect();
+        let n_graphs = batch.num_graphs();
+        let inv = tape.constant(gnnmark_tensor::Tensor::from_vec(&[n_graphs], inv)?);
+        let logits = self.head.forward(&tape, &sums.scale_rows(&inv)?)?;
+        let loss = losses::cross_entropy(&logits, &labels)?;
+        tape.backward(&loss)?;
+        Ok(loss.value().item()? as f64)
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let mut order: Vec<usize> = (0..self.molecules.len()).collect();
         order.shuffle(&mut self.rng);

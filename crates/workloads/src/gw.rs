@@ -98,27 +98,20 @@ impl GraphWriter {
         Ok(h)
     }
 
-    /// Trains one padded batch of documents; returns the mean token loss.
-    fn train_batch(&mut self, session: &mut ProfileSession, docs: &[KnowledgeDoc]) -> Result<f64> {
+    /// Encode + batched teacher-forced decode of one padded document
+    /// batch, returning the mean token loss. Deterministic for fixed
+    /// parameters — no RNG, no session, no optimizer.
+    fn batch_loss(&self, tape: &Tape, docs: &[KnowledgeDoc]) -> Result<Var> {
         let b = docs.len();
         let d = self.dim;
         let max_n = docs.iter().map(|x| x.graph.num_nodes()).max().unwrap_or(1);
         let max_t = docs.iter().map(|x| x.target.numel()).max().unwrap_or(1);
-        for doc in docs {
-            session.upload(doc.graph.features());
-            session.upload_int(&doc.target);
-            session.upload_int(&doc.entity_ids);
-        }
-
-        self.params().zero_grad();
-        session.begin_step();
-        let tape = Tape::new();
         let table = tape.read(&self.token_embed);
 
         // ---- encode every document, padded to [b, max_n, d] ----
         let mut padded = Vec::with_capacity(b);
         for doc in docs {
-            let enc = self.encode_doc(&tape, doc)?;
+            let enc = self.encode_doc(tape, doc)?;
             let n = doc.graph.num_nodes();
             if n < max_n {
                 let pad = tape.constant(Tensor::zeros(&[max_n - n, d]));
@@ -151,7 +144,7 @@ impl GraphWriter {
             let tok = table.embedding_lookup(&ids)?; // [b, d]
 
             // Cross-attention over padded node encodings.
-            let q = self.attn_proj.forward(&tape, &dec_h)?.reshape(&[b, 1, d])?;
+            let q = self.attn_proj.forward(tape, &dec_h)?.reshape(&[b, 1, d])?;
             let scores = q.bmm_nt(&enc_stack)?.reshape(&[b, max_n])?;
             let attn = scores.add(&attn_mask)?.softmax_rows()?;
             let ctx = attn
@@ -160,12 +153,12 @@ impl GraphWriter {
                 .reshape(&[b, d])?;
 
             let x = Var::concat_cols(&[tok, ctx.clone()])?;
-            let (h2, c2) = self.decoder.step(&tape, &x, &dec_h, &dec_c)?;
+            let (h2, c2) = self.decoder.step(tape, &x, &dec_h, &dec_c)?;
             dec_h = h2;
             dec_c = c2;
 
             let out = Var::concat_cols(&[dec_h.clone(), ctx])?;
-            let logits = self.vocab_proj.forward(&tape, &out)?; // [b, vocab]
+            let logits = self.vocab_proj.forward(tape, &out)?; // [b, vocab]
             let logp = logits.log_softmax_rows()?;
 
             // Masked NLL: padded documents contribute zero.
@@ -192,9 +185,22 @@ impl GraphWriter {
                 Some(prev_loss) => prev_loss.add(&step_loss)?,
             });
         }
-        let loss = total_loss
+        Ok(total_loss
             .expect("at least one decode step")
-            .mul_scalar(1.0 / valid_tokens.max(1) as f32);
+            .mul_scalar(1.0 / valid_tokens.max(1) as f32))
+    }
+
+    /// Trains one padded batch of documents; returns the mean token loss.
+    fn train_batch(&mut self, session: &mut ProfileSession, docs: &[KnowledgeDoc]) -> Result<f64> {
+        for doc in docs {
+            session.upload(doc.graph.features());
+            session.upload_int(&doc.target);
+            session.upload_int(&doc.entity_ids);
+        }
+        self.params().zero_grad();
+        session.begin_step();
+        let tape = Tape::new();
+        let loss = self.batch_loss(&tape, docs)?;
         tape.backward(&loss)?;
         self.opt.step(&self.params())?;
         session.end_step();
@@ -233,6 +239,20 @@ impl Workload for GraphWriter {
 
     fn scaling_behavior(&self) -> Option<ScalingBehavior> {
         Some(ScalingBehavior::DataParallel)
+    }
+
+    fn probe(&mut self) -> Result<f64> {
+        // First documents in dataset order — no shuffle, no session.
+        let docs: Vec<KnowledgeDoc> = self
+            .docs
+            .iter()
+            .take(self.batch_size)
+            .cloned()
+            .collect();
+        let tape = Tape::new();
+        let loss = self.batch_loss(&tape, &docs)?;
+        tape.backward(&loss)?;
+        Ok(loss.value().item()? as f64)
     }
 
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {

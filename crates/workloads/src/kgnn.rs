@@ -224,6 +224,37 @@ impl Workload for Kgnn {
         Ok(Some(("train accuracy", acc)))
     }
 
+    fn probe(&mut self) -> Result<f64> {
+        // First samples in dataset order with a cross-entropy loss and
+        // backward. The stage helper wants a session for uploads; a
+        // throwaway one keeps the run's profile untouched.
+        let mut session =
+            ProfileSession::new("kgnn-probe", gnnmark_gpusim::DeviceSpec::v100());
+        let picked: Vec<Sample> = self.samples.iter().take(self.batch_size).cloned().collect();
+        let labels: Vec<i64> = picked.iter().map(|s| s.label).collect();
+        let n_labels = labels.len();
+        let labels = IntTensor::from_vec(&[n_labels], labels)?;
+        let tape = Tape::new();
+        let base: Vec<Graph> = picked.iter().map(|s| s.base.clone()).collect();
+        let two: Vec<Graph> = picked.iter().map(|s| s.two_set.clone()).collect();
+        let mut pooled = vec![
+            Self::stage(&self.conv1, &tape, &base, &mut session)?,
+            Self::stage(&self.conv2_set, &tape, &two, &mut session)?,
+        ];
+        if let Some(conv3) = &self.conv3_set {
+            let three: Vec<Graph> = picked
+                .iter()
+                .map(|s| s.three_set.clone().expect("high order has 3-sets"))
+                .collect();
+            pooled.push(Self::stage(conv3, &tape, &three, &mut session)?);
+        }
+        let cat = Var::concat_cols(&pooled)?;
+        let logits = self.head.forward(&tape, &cat)?;
+        let loss = losses::cross_entropy(&logits, &labels)?;
+        tape.backward(&loss)?;
+        Ok(loss.value().item()? as f64)
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let mut order: Vec<usize> = (0..self.samples.len()).collect();
         order.shuffle(&mut self.rng);

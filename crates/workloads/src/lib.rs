@@ -100,6 +100,19 @@ pub trait Workload {
     fn quality(&mut self) -> Result<Option<(&'static str, f64)>> {
         Ok(None)
     }
+
+    /// Runs one deterministic forward + backward pass over a fixed probe
+    /// batch at the current parameters, accumulating gradients into
+    /// [`Workload::params`] without stepping the optimizer or advancing
+    /// any RNG. Repeated calls at the same parameter values must produce
+    /// identical losses and gradients — the finite-difference gradient
+    /// checker in `gnnmark-check` relies on this to compare analytic
+    /// gradients against numerically perturbed re-evaluations. Returns
+    /// the probe loss.
+    ///
+    /// # Errors
+    /// Propagates tensor-engine errors.
+    fn probe(&mut self) -> Result<f64>;
 }
 
 /// Identifier of every workload instance used in the paper's figures.

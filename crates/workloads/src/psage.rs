@@ -274,6 +274,14 @@ impl Workload for Psage {
         Ok(Some(("probe margin loss", self.eval_loss()?)))
     }
 
+    fn probe(&mut self) -> Result<f64> {
+        let batch = self.sample_minibatch(Some(0xea71))?;
+        let tape = Tape::new();
+        let loss = self.batch_forward(&batch, &tape, false)?;
+        tape.backward(&loss)?;
+        Ok(loss.value().item()? as f64)
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let features = self.data.item_item.features().clone();
         let mut epoch_loss = 0.0f64;

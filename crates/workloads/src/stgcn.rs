@@ -138,6 +138,40 @@ impl Workload for Stgcn {
         Ok(Some(("forecast RMSE (std units)", mse.sqrt())))
     }
 
+    fn probe(&mut self) -> Result<f64> {
+        // Same fixed evaluation windows as `quality`, but with an MSE loss
+        // and a backward pass so parameter gradients populate.
+        let n = self.num_nodes();
+        let horizon = 1usize;
+        let max_start = self.data.num_windows(self.history, horizon);
+        let probe_windows: Vec<usize> = (0..2).map(|i| i * max_start / 2).collect();
+        let b = probe_windows.len();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &start in &probe_windows {
+            let (x, y) = self.data.window(start, self.history, horizon)?;
+            xs.extend_from_slice(x.as_slice());
+            ys.extend_from_slice(y.as_slice());
+        }
+        let x = Tensor::from_vec(&[b, 1, self.history, n], xs)?
+            .add_scalar(-50.0)
+            .mul_scalar(1.0 / 20.0);
+        let y = Tensor::from_vec(&[b, n], ys)?
+            .add_scalar(-50.0)
+            .mul_scalar(1.0 / 20.0);
+        let tape = Tape::new();
+        let xv = tape.constant(x);
+        let h = self.block1.forward(&tape, &self.adj, &xv)?;
+        let h = self.block2.forward(&tape, &self.adj, &h)?;
+        let h = self.out_conv.forward(&tape, &h)?;
+        let c2 = self.out_conv.c_out();
+        let h2 = reorder_bc1n_to_bn_c(&h, b, c2, n)?;
+        let pred = self.head.forward(&tape, &h2)?.reshape(&[b, n])?;
+        let loss = losses::mse(&pred, &y)?;
+        tape.backward(&loss)?;
+        Ok(loss.value().item()? as f64)
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let n = self.num_nodes();
         let horizon = 1usize;

@@ -214,6 +214,51 @@ impl Workload for TreeLstm {
         Ok(Some(("node sentiment accuracy", acc)))
     }
 
+    fn probe(&mut self) -> Result<f64> {
+        // Quality-style level-by-level forward over the first trees in
+        // dataset order, with a cross-entropy loss and backward.
+        let subset: Vec<Tree> = self.trees.iter().take(self.batch_size).cloned().collect();
+        let batch = TreeBatch::from_trees(&subset)?;
+        let total = batch.total_nodes();
+        let hdim = self.hidden;
+        let tape = Tape::new();
+        let table = tape.read(&self.embed);
+        let word_ids: Vec<i64> = batch
+            .words()
+            .as_slice()
+            .iter()
+            .map(|&w| if w < 0 { self.vocab as i64 } else { w })
+            .collect();
+        let word_ids = IntTensor::from_vec(&[total], word_ids)?;
+        let x_all = table.embedding_lookup(&word_ids)?;
+        let mut h_all = tape.constant(Tensor::zeros(&[total + 1, hdim]));
+        let mut c_all = tape.constant(Tensor::zeros(&[total + 1, hdim]));
+        for level in batch.levels() {
+            let n_level = level.nodes.numel();
+            let x = x_all.gather_rows(&level.nodes)?;
+            let mut child_h = Vec::new();
+            let mut child_c = Vec::new();
+            for k in 0..level.max_children {
+                let ids: Vec<i64> = (0..n_level)
+                    .map(|i| {
+                        let v = level.child_ids.as_slice()[i * level.max_children + k];
+                        if v < 0 { total as i64 } else { v }
+                    })
+                    .collect();
+                let ids = IntTensor::from_vec(&[n_level], ids)?;
+                child_h.push(h_all.gather_rows(&ids)?);
+                child_c.push(c_all.gather_rows(&ids)?);
+            }
+            let (h, c) = self.cell.step(&tape, &x, &child_h, &child_c)?;
+            h_all = h_all.add(&h.scatter_add_rows(&level.nodes, total + 1)?)?;
+            c_all = c_all.add(&c.scatter_add_rows(&level.nodes, total + 1)?)?;
+        }
+        let logits = self.head.forward(&tape, &h_all.slice_rows(0, total)?)?;
+        let loss = losses::cross_entropy(&logits, batch.labels())?;
+        tape.backward(&loss)?;
+        Ok(loss.value().item()? as f64)
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let mut order: Vec<usize> = (0..self.trees.len()).collect();
         order.shuffle(&mut self.rng);
