@@ -39,7 +39,7 @@ mod var_ops;
 
 pub use optim::{set_thread_grad_clip, thread_grad_clip, Adam, Optimizer, Sgd};
 pub use param::{Param, ParamSet};
-pub use tape::{Tape, Var};
+pub use tape::{reset_tape_node_counter, tape_nodes_recorded, Tape, Var};
 
 /// Result alias re-used from the tensor crate.
 pub type Result<T> = gnnmark_tensor::Result<T>;

@@ -3,10 +3,26 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gnnmark_tensor::Tensor;
 
 use crate::{Param, Result};
+
+/// Process-wide count of nodes ever pushed onto any tape. One relaxed add
+/// per recorded op; read by the telemetry metrics registry at run level.
+static NODES_RECORDED: AtomicU64 = AtomicU64::new(0);
+
+/// Total autodiff nodes recorded across every tape and thread since process
+/// start (or the last [`reset_tape_node_counter`]).
+pub fn tape_nodes_recorded() -> u64 {
+    NODES_RECORDED.load(Ordering::Relaxed)
+}
+
+/// Zeroes the process-wide tape node counter (per-run accounting).
+pub fn reset_tape_node_counter() {
+    NODES_RECORDED.store(0, Ordering::Relaxed);
+}
 
 /// Gradient function of one node: maps `(upstream_grad, own_value,
 /// parent_values)` to one optional gradient contribution per parent.
@@ -73,6 +89,7 @@ impl Tape {
         backward: Option<BackwardFn>,
         param: Option<Param>,
     ) -> Var {
+        NODES_RECORDED.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
         inner.nodes.push(Node {
@@ -262,6 +279,16 @@ impl fmt::Debug for Var {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn node_counter_tracks_pushes() {
+        // Process-global counter shared with concurrent tests: delta, >=.
+        let before = tape_nodes_recorded();
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[2]));
+        let _s = a.sum_all();
+        assert!(tape_nodes_recorded() >= before + 2);
+    }
 
     #[test]
     fn constant_has_no_grad_flow() {

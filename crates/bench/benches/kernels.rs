@@ -123,10 +123,48 @@ fn bench_gpu_model(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the telemetry layer itself: a disabled span must stay at
+/// branch-on-a-static-flag cost (it is compiled into every workload's hot
+/// loop), and an enabled span documents the price of `--trace`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+
+    gnnmark_telemetry::set_enabled(false);
+    group.bench_function("span_disabled", |bch| {
+        bch.iter(|| {
+            let s = gnnmark_telemetry::span!("bench");
+            std::hint::black_box(&s);
+        })
+    });
+
+    gnnmark_telemetry::set_enabled(true);
+    group.bench_function("span_enabled", |bch| {
+        bch.iter(|| {
+            {
+                let s = gnnmark_telemetry::span!("bench");
+                std::hint::black_box(&s);
+            }
+            // Bound sink growth so long calibration runs stay flat.
+            if gnnmark_telemetry::pending_spans() >= 65_536 {
+                let _ = gnnmark_telemetry::take_host_trace();
+            }
+        })
+    });
+    gnnmark_telemetry::set_enabled(false);
+    let _ = gnnmark_telemetry::take_host_trace();
+
+    group.bench_function("counter_add", |bch| {
+        bch.iter(|| gnnmark_telemetry::metrics::counter_add("bench_counter_total", 1))
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernel_benches,
     bench_tensor_ops,
     bench_parallel_kernels,
-    bench_gpu_model
+    bench_gpu_model,
+    bench_telemetry_overhead
 );
 criterion_main!(kernel_benches);

@@ -19,11 +19,23 @@ use gnnmark::resilience::{run_suite_resilient, ResilienceConfig, SuiteReport};
 use gnnmark::suite::{RunArtifacts, SuiteConfig};
 use gnnmark::{figures, Result, Table, WorkloadKind};
 
-/// Every figure target the CLI and benches expose.
-pub const TARGETS: [&str; 17] = [
+/// Every figure target the CLI and benches expose, plus one
+/// single-workload target per paper workload (lower-cased label, e.g.
+/// `gnnmark stgcn`) for focused profiling/observability runs.
+pub const TARGETS: [&str; 26] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "roofline", "convergence", "summary", "suite", "ablations", "check", "all", "list",
+    "psage-mvl", "psage-nwp", "stgcn", "dgcn", "gw", "kgnnl", "kgnnh", "arga", "tlstm",
 ];
+
+/// Resolves a single-workload CLI target (`"stgcn"`, `"psage-mvl"`, …) to
+/// its [`WorkloadKind`]; `None` for figure/table targets.
+pub fn workload_for_target(target: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label().to_ascii_lowercase() == target)
+}
 
 /// Renders one figure target from whatever artifacts are available.
 /// Workloads in `missing` appear as explicit `—` rows in workload-keyed
@@ -141,6 +153,28 @@ pub fn render_target_resilient(
     if target == "table1" {
         return render_tables(target, &[], &[]);
     }
+    // Single-workload targets train just that workload (still resilient)
+    // and report the per-workload summary table.
+    if let Some(kind) = workload_for_target(target) {
+        if report_cache.is_none() {
+            let outcome = gnnmark::resilience::run_workload_resilient(kind, cfg, rcfg);
+            *report_cache = Some(SuiteReport {
+                outcomes: vec![outcome],
+            });
+        }
+        let report = report_cache.as_ref().expect("cache populated");
+        if !keep_going {
+            if let Some(error) = report.first_failure() {
+                return Err(error);
+            }
+        }
+        let runs: Vec<RunArtifacts> = report
+            .artifacts()
+            .into_iter()
+            .map(|(_, a)| a.clone())
+            .collect();
+        return render_tables("summary", &runs, &report.missing());
+    }
     if report_cache.is_none() {
         *report_cache = Some(run_suite_resilient(cfg, rcfg));
     }
@@ -193,6 +227,21 @@ mod tests {
     fn unknown_target_is_an_error() {
         let mut cache = None;
         assert!(render_target("fig99", &SuiteConfig::test(), &mut cache).is_err());
+    }
+
+    #[test]
+    fn single_workload_target_renders_summary() {
+        let cfg = SuiteConfig::test();
+        let rcfg = ResilienceConfig::default();
+        let mut cache = None;
+        let tables =
+            render_target_resilient("tlstm", &cfg, &rcfg, false, &mut cache).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].to_string().contains("TLSTM"), "{}", tables[0]);
+        let report = cache.expect("report cached");
+        assert_eq!(report.outcomes.len(), 1, "only the named workload ran");
+        assert!(workload_for_target("psage-mvl").is_some());
+        assert!(workload_for_target("fig4").is_none());
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] [--seed S] [--csv DIR]
 //!                  [--threads N] [--parallel] [--keep-going] [--timeout SECS]
 //!                  [--retries N] [--checkpoint DIR] [--bless] [--golden DIR]
+//!                  [--trace FILE] [--metrics FILE] [--progress]
 //!
 //! targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          roofline convergence summary suite ablations check all list
+//!          psage-mvl psage-nwp stgcn dgcn gw kgnnl kgnnh arga tlstm
 //! ```
 //!
 //! `--threads N` (or `GNNMARK_THREADS=N`) sets the CPU thread count of the
@@ -22,6 +24,19 @@
 //! interrupted run resumes without re-training. The `GNNMARK_FAULT`
 //! environment variable (e.g. `panic:TLSTM`, `nan:GW@0`, `stall:DGCN@500ms`)
 //! injects deterministic faults for drills and tests.
+//!
+//! Observability (all off by default; see `docs/OBSERVABILITY.md`):
+//! `--trace FILE` writes a merged Chrome/Perfetto trace — host-side spans
+//! (build/epoch/step/forward/backward/optimizer/simulate, one lane per
+//! thread) interleaved with the modeled V100 kernel lanes. `--metrics FILE`
+//! snapshots the metrics registry (tensor-pool hit rates, per-worker busy
+//! time, autograd tape nodes, transfer bytes, resilience retries) as JSON,
+//! plus a Prometheus text dump beside it at `FILE.prom`. Either flag also
+//! drops a `manifest.json` (seed, scale, threads, device, per-workload
+//! status) next to the CSVs, or beside the metrics/trace file. `--progress`
+//! prints a live per-epoch line (loss, wall ms, modeled ms, pool hit rate)
+//! to stderr. The single-workload targets (`gnnmark stgcn`, …) pair
+//! naturally with these flags for focused profiling runs.
 //!
 //! `gnnmark check` runs the three-layer verification subsystem
 //! (`gnnmark-check`): finite-difference gradient checks of every op and
@@ -40,7 +55,7 @@ use gnnmark_bench::{render_ablations, render_target_resilient, TARGETS};
 
 const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] \
 [--seed S] [--csv DIR] [--threads N] [--parallel] [--keep-going] [--timeout SECS] [--retries N] \
-[--checkpoint DIR] [--bless] [--golden DIR]";
+[--checkpoint DIR] [--bless] [--golden DIR] [--trace FILE] [--metrics FILE] [--progress]";
 
 struct Args {
     target: String,
@@ -50,6 +65,8 @@ struct Args {
     keep_going: bool,
     bless: bool,
     golden_dir: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +78,9 @@ fn parse_args() -> Result<Args, String> {
     let mut keep_going = false;
     let mut bless = false;
     let mut golden_dir = None;
+    let mut trace = None;
+    let mut metrics = None;
+    let mut progress = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -132,8 +152,25 @@ fn parse_args() -> Result<Args, String> {
             "--golden" => {
                 golden_dir = Some(args.next().ok_or("--golden needs a directory")?);
             }
+            "--trace" => {
+                trace = Some(args.next().ok_or("--trace needs a file path")?);
+            }
+            "--metrics" => {
+                metrics = Some(args.next().ok_or("--metrics needs a file path")?);
+            }
+            "--progress" => progress = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    // Telemetry stays compiled-out-cheap unless an artifact was requested;
+    // the recorded spans/counters never feed back into training math, so
+    // enabling them cannot perturb op-streams or losses.
+    if trace.is_some() || metrics.is_some() {
+        gnnmark_telemetry::set_enabled(true);
+        gnnmark_tensor::par::set_worker_tracking(true);
+    }
+    if progress {
+        gnnmark_telemetry::set_progress(true);
     }
     // Diverged workloads get one clipped retry by default; the threshold is
     // generous enough to be inert on healthy runs.
@@ -147,6 +184,8 @@ fn parse_args() -> Result<Args, String> {
         keep_going,
         bless,
         golden_dir,
+        trace,
+        metrics,
     })
 }
 
@@ -268,6 +307,29 @@ fn main() {
             eprintln!("{}", report.status_table());
         }
         eprintln!("suite status: {}", report.to_json());
+        let paths = gnnmark::observability::ExportPaths {
+            trace: args.trace.as_ref().map(std::path::PathBuf::from),
+            metrics: args.metrics.as_ref().map(std::path::PathBuf::from),
+            csv_dir: args.csv_dir.as_ref().map(std::path::PathBuf::from),
+        };
+        if !paths.is_empty() {
+            match gnnmark::observability::export_artifacts(
+                &args.target,
+                &args.cfg,
+                report,
+                &paths,
+            ) {
+                Ok(written) => {
+                    for p in &written {
+                        eprintln!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error writing observability artifacts: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     match result {
         Ok(tables) => {

@@ -85,6 +85,68 @@ fn bad_flag_shows_usage() {
 }
 
 #[test]
+fn observability_flags_write_trace_metrics_and_manifest() {
+    let dir = std::env::temp_dir().join(format!("gnnmark_cli_obs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.json");
+    let metrics = dir.join("m.json");
+    let out = gnnmark()
+        .args([
+            "stgcn",
+            "--scale",
+            "tiny",
+            "--epochs",
+            "1",
+            "--progress",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // --progress printed a live per-epoch line.
+    assert!(stderr.contains("[STGCN] epoch 1/1:"), "{stderr}");
+    assert!(stderr.contains("pool hit"), "{stderr}");
+
+    // Merged trace: valid JSON, host spans plus modeled device lanes.
+    let trace_json = std::fs::read_to_string(&trace).expect("trace written");
+    gnnmark_telemetry::export::validate_json(&trace_json).expect("trace is valid JSON");
+    for needle in ["\"host\"", "\"forward\"", "\"backward\"", "(modeled "] {
+        assert!(trace_json.contains(needle), "missing {needle} in trace");
+    }
+
+    // Metrics snapshot: valid JSON with the headline gauges/counters, and
+    // a Prometheus dump beside it.
+    let metrics_json = std::fs::read_to_string(&metrics).expect("metrics written");
+    gnnmark_telemetry::export::validate_json(&metrics_json).expect("metrics are valid JSON");
+    for needle in [
+        "gnnmark_pool_hit_rate",
+        "gnnmark_kernels_recorded_total",
+        "gnnmark_resilience_retries_total",
+    ] {
+        assert!(metrics_json.contains(needle), "missing {needle} in metrics");
+    }
+    let prom = std::fs::read_to_string(dir.join("m.json.prom")).expect("prom written");
+    assert!(prom.contains("# TYPE gnnmark_pool_hits_total counter"), "{prom}");
+
+    // Manifest beside the metrics file.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest");
+    gnnmark_telemetry::export::validate_json(&manifest).expect("manifest is valid JSON");
+    for needle in ["\"target\": \"stgcn\"", "\"scale\": \"test\"", "\"STGCN\""] {
+        assert!(manifest.contains(needle), "missing {needle} in {manifest}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fig9_runs_at_test_scale_and_writes_csv() {
     let dir = std::env::temp_dir().join(format!("gnnmark_cli_test_{}", std::process::id()));
     let out = gnnmark()

@@ -8,6 +8,8 @@
 //! * [`suite`] — run workloads under a profiling session.
 //! * [`resilience`] — fault-isolated suite execution: deadlines, retries,
 //!   numeric-anomaly guards, fault injection, and checkpoint/resume.
+//! * [`observability`] — post-run metrics collection and artifact export
+//!   (merged Chrome trace, metrics snapshot, Prometheus dump, manifest).
 //! * [`figures`] — Table I and Figures 2–9 as text tables / CSV.
 //! * [`ablations`] — the design-space sweeps DESIGN.md calls out
 //!   (L1 capacity, feature width, NVLink bandwidth, half precision).
@@ -29,6 +31,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod observability;
 pub mod resilience;
 pub mod suite;
 

@@ -354,6 +354,35 @@ impl WorkloadStatus {
     }
 }
 
+/// One attempt's timing and result, as recorded by the resilient runner.
+///
+/// Offsets are measured against the workload's first attempt, so the log
+/// doubles as a retry timeline: gaps between `start_ms + dur_ms` of one
+/// attempt and `start_ms` of the next are the backoff sleeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptEvent {
+    /// 1-based attempt index.
+    pub attempt: usize,
+    /// Offset of this attempt's start from the first attempt, ms.
+    pub start_ms: f64,
+    /// Attempt duration, ms.
+    pub dur_ms: f64,
+    /// Result label: `ok` / `error` / `panicked` / `timed_out`.
+    pub result: &'static str,
+}
+
+impl AttemptEvent {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"attempt\":{},\"start_ms\":{:.3},\"dur_ms\":{:.3},\"result\":{}}}",
+            self.attempt,
+            self.start_ms,
+            self.dur_ms,
+            json_string(self.result),
+        )
+    }
+}
+
 /// Outcome of one workload: status plus attempt accounting.
 #[derive(Debug)]
 pub struct WorkloadOutcome {
@@ -365,6 +394,8 @@ pub struct WorkloadOutcome {
     pub attempts: usize,
     /// Wall-clock time spent across all attempts.
     pub wall: Duration,
+    /// Per-attempt timeline (empty for restored-from-checkpoint outcomes).
+    pub attempt_log: Vec<AttemptEvent>,
 }
 
 impl WorkloadOutcome {
@@ -465,13 +496,21 @@ impl SuiteReport {
             if i > 0 {
                 out.push(',');
             }
+            let log = o
+                .attempt_log
+                .iter()
+                .map(AttemptEvent::to_json)
+                .collect::<Vec<_>>()
+                .join(",");
             out.push_str(&format!(
-                "{{\"workload\":{},\"status\":{},\"attempts\":{},\"wall_ms\":{:.3},\"detail\":{}}}",
+                "{{\"workload\":{},\"status\":{},\"attempts\":{},\"wall_ms\":{:.3},\
+                 \"detail\":{},\"attempt_log\":[{}]}}",
                 json_string(o.kind.label()),
                 json_string(o.status.label()),
                 o.attempts,
                 o.wall.as_secs_f64() * 1e3,
                 json_string(&o.status.detail()),
+                log,
             ));
         }
         out.push_str(&format!(
@@ -514,21 +553,37 @@ pub fn run_workload_resilient(
     let max_attempts = rcfg.retry.max_retries + 1;
     let mut attempts = 0;
     let mut clip_retry_spent = false;
+    let mut attempt_log: Vec<AttemptEvent> = Vec::new();
+    let log_attempt = |attempts: usize, t0: Duration, result: &'static str| AttemptEvent {
+        attempt: attempts,
+        start_ms: t0.as_secs_f64() * 1e3,
+        dur_ms: (started.elapsed() - t0).as_secs_f64() * 1e3,
+        result,
+    };
     loop {
         attempts += 1;
         let clip = clip_retry_spent; // set on the attempt *after* an anomaly
+        let attempt_t0 = started.elapsed();
+        let span = gnnmark_telemetry::Span::enter_cat(
+            format!("attempt:{}#{}", kind.label(), attempts),
+            "resilience",
+        );
         let outcome = run_attempt(kind, cfg, rcfg, attempts, clip);
+        drop(span);
         let status = match outcome {
             AttemptOutcome::Done(res) => match *res {
                 Ok(art) => {
+                    attempt_log.push(log_attempt(attempts, attempt_t0, "ok"));
                     return WorkloadOutcome {
                         kind,
                         status: WorkloadStatus::Completed(Box::new(art)),
                         attempts,
                         wall: started.elapsed(),
-                    }
+                        attempt_log,
+                    };
                 }
                 Err(error) => {
+                    attempt_log.push(log_attempt(attempts, attempt_t0, "error"));
                     let is_numeric =
                         matches!(error.root_cause(), TensorError::NumericAnomaly { .. });
                     if is_numeric && rcfg.grad_clip_fallback.is_some() && !clip_retry_spent {
@@ -536,25 +591,41 @@ pub fn run_workload_resilient(
                         // retry budget: divergence is the failure clipping
                         // exists to fix.
                         clip_retry_spent = true;
+                        gnnmark_telemetry::mark("retry:clipped", "resilience");
+                        gnnmark_telemetry::metrics::counter_add(
+                            "gnnmark_resilience_retries_total",
+                            1,
+                        );
                         std::thread::sleep(rcfg.retry.backoff(attempts));
                         continue;
                     }
                     WorkloadStatus::Failed { error }
                 }
             },
-            AttemptOutcome::Panicked(message) => WorkloadStatus::Panicked { message },
-            AttemptOutcome::TimedOut => WorkloadStatus::TimedOut {
-                after: rcfg.timeout.unwrap_or_default(),
-            },
+            AttemptOutcome::Panicked(message) => {
+                attempt_log.push(log_attempt(attempts, attempt_t0, "panicked"));
+                WorkloadStatus::Panicked { message }
+            }
+            AttemptOutcome::TimedOut => {
+                attempt_log.push(log_attempt(attempts, attempt_t0, "timed_out"));
+                gnnmark_telemetry::mark("timeout", "resilience");
+                WorkloadStatus::TimedOut {
+                    after: rcfg.timeout.unwrap_or_default(),
+                }
+            }
         };
         if attempts >= max_attempts {
+            gnnmark_telemetry::metrics::counter_add("gnnmark_resilience_failures_total", 1);
             return WorkloadOutcome {
                 kind,
                 status,
                 attempts,
                 wall: started.elapsed(),
+                attempt_log,
             };
         }
+        gnnmark_telemetry::mark("retry:scheduled", "resilience");
+        gnnmark_telemetry::metrics::counter_add("gnnmark_resilience_retries_total", 1);
         std::thread::sleep(rcfg.retry.backoff(attempts));
     }
 }
@@ -620,6 +691,9 @@ fn train_guarded_inner(
     fault: Option<&Fault>,
     attempt: usize,
 ) -> Result<RunArtifacts> {
+    if fault.is_some() {
+        gnnmark_telemetry::mark("fault:injected", "resilience");
+    }
     match fault {
         Some(Fault::Panic) => panic!("injected panic in {}", kind.label()),
         Some(Fault::TransientError { failures }) if attempt <= *failures => {
@@ -631,11 +705,18 @@ fn train_guarded_inner(
         Some(Fault::Stall { duration }) => std::thread::sleep(*duration),
         _ => {}
     }
-    let mut w = kind.build(cfg.scale, cfg.seed)?;
+    let _wl = gnnmark_telemetry::span!(format!("workload:{}", kind.label()));
+    let mut w = {
+        let _build = gnnmark_telemetry::span!("build");
+        kind.build(cfg.scale, cfg.seed)?
+    };
     let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
     let mut guard = NumericGuard::default();
     let mut losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _ep = gnnmark_telemetry::span!("epoch");
+        let t0 = gnnmark_telemetry::progress_enabled().then(Instant::now);
+        let modeled_before = session.modeled_time_ns();
         let mut loss = w.run_epoch(&mut session)?;
         if let Some(Fault::NanLoss {
             epoch: at,
@@ -649,6 +730,19 @@ fn train_guarded_inner(
         guard.observe_loss(epoch, loss)?;
         guard.observe_grad_norm(epoch, w.params().grad_norm())?;
         losses.push(loss);
+        if let Some(t0) = t0 {
+            let pool = gnnmark_tensor::pool::global_stats();
+            eprintln!(
+                "[{}] epoch {}/{}: loss {:.4}  wall {:.1} ms  modeled {:.1} ms  pool hit {:.1}%",
+                kind.label(),
+                epoch + 1,
+                cfg.epochs,
+                loss,
+                t0.elapsed().as_secs_f64() * 1e3,
+                (session.modeled_time_ns() - modeled_before) / 1e6,
+                pool.hit_rate() * 100.0,
+            );
+        }
     }
     let quality = w.quality()?;
     Ok(RunArtifacts {
@@ -678,11 +772,13 @@ pub fn run_suite_resilient(cfg: &SuiteConfig, rcfg: &ResilienceConfig) -> SuiteR
     let run_one = |kind: WorkloadKind| -> WorkloadOutcome {
         if let Some(cp) = &checkpoint {
             if let Some(summary) = cp.load_matching(kind, cfg) {
+                gnnmark_telemetry::mark("checkpoint:restored", "resilience");
                 return WorkloadOutcome {
                     kind,
                     status: WorkloadStatus::Restored(summary),
                     attempts: 0,
                     wall: Duration::ZERO,
+                    attempt_log: Vec::new(),
                 };
             }
         }
@@ -690,7 +786,9 @@ pub fn run_suite_resilient(cfg: &SuiteConfig, rcfg: &ResilienceConfig) -> SuiteR
         if let (Some(cp), Some(art)) = (&checkpoint, outcome.artifacts()) {
             // Checkpoint write failures must not fail the run; the next
             // resume simply re-trains this workload.
-            let _ = cp.save(&RunSummary::of(kind, cfg, art));
+            if cp.save(&RunSummary::of(kind, cfg, art)).is_ok() {
+                gnnmark_telemetry::mark("checkpoint:written", "resilience");
+            }
         }
         outcome
     };
@@ -712,6 +810,7 @@ pub fn run_suite_resilient(cfg: &SuiteConfig, rcfg: &ResilienceConfig) -> SuiteR
                         },
                         attempts: 1,
                         wall: Duration::ZERO,
+                        attempt_log: Vec::new(),
                     })
                 })
                 .collect()
@@ -1119,6 +1218,12 @@ mod tests {
                     status: WorkloadStatus::Completed(Box::new(art)),
                     attempts: 1,
                     wall: Duration::from_millis(10),
+                    attempt_log: vec![AttemptEvent {
+                        attempt: 1,
+                        start_ms: 0.0,
+                        dur_ms: 10.0,
+                        result: "ok",
+                    }],
                 },
                 WorkloadOutcome {
                     kind: WorkloadKind::Gw,
@@ -1127,6 +1232,7 @@ mod tests {
                     },
                     attempts: 2,
                     wall: Duration::from_millis(20),
+                    attempt_log: Vec::new(),
                 },
             ],
         };
@@ -1142,6 +1248,42 @@ mod tests {
         assert!(table.contains("TLSTM") && table.contains("boom"), "{table}");
         let err = report.first_failure().expect("has a failure");
         assert!(err.to_string().starts_with("GW: "), "{err}");
+    }
+
+    #[test]
+    fn attempt_log_pins_retry_timeline_fields() {
+        let cfg = SuiteConfig::test();
+        let rcfg = fast_rcfg()
+            .with_retries(2)
+            .with_faults(FaultPlan::none().inject(
+                "TLSTM",
+                Fault::TransientError { failures: 1 },
+            ));
+        let o = run_workload_resilient(WorkloadKind::Tlstm, &cfg, &rcfg);
+        assert!(matches!(o.status, WorkloadStatus::Completed(_)), "{:?}", o.status);
+        assert_eq!(o.attempt_log.len(), 2, "{:?}", o.attempt_log);
+        let first = &o.attempt_log[0];
+        let second = &o.attempt_log[1];
+        assert_eq!((first.attempt, first.result), (1, "error"));
+        assert_eq!((second.attempt, second.result), (2, "ok"));
+        // The timeline is monotone and bounded by the measured wall time.
+        assert!(second.start_ms >= first.start_ms + first.dur_ms);
+        let wall_ms = o.wall.as_secs_f64() * 1e3;
+        assert!(second.start_ms + second.dur_ms <= wall_ms + 1.0);
+        // JSON carries the log with its pinned field names.
+        let report = SuiteReport { outcomes: vec![o] };
+        let json = report.to_json();
+        for field in [
+            "\"attempt_log\":[",
+            "\"attempt\":1",
+            "\"start_ms\":",
+            "\"dur_ms\":",
+            "\"result\":\"error\"",
+            "\"result\":\"ok\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        gnnmark_telemetry::export::validate_json(&json).expect("report JSON is valid");
     }
 
     #[test]

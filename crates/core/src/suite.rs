@@ -110,11 +110,34 @@ fn run_workload_full_inner(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunA
     if let Some(t) = cfg.threads {
         gnnmark_tensor::par::set_threads(t);
     }
-    let mut w = kind.build(cfg.scale, cfg.seed)?;
+    let _wl = gnnmark_telemetry::span!(format!("workload:{}", kind.label()));
+    let mut w = {
+        let _build = gnnmark_telemetry::span!("build");
+        kind.build(cfg.scale, cfg.seed)?
+    };
     let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
     let mut losses = Vec::with_capacity(cfg.epochs);
-    for _ in 0..cfg.epochs {
-        losses.push(w.run_epoch(&mut session)?);
+    for epoch in 0..cfg.epochs {
+        let _ep = gnnmark_telemetry::span!("epoch");
+        // Progress wants per-epoch wall/modeled deltas; only read clocks
+        // when it is on (training math never observes them either way).
+        let t0 = gnnmark_telemetry::progress_enabled().then(std::time::Instant::now);
+        let modeled_before = session.modeled_time_ns();
+        let loss = w.run_epoch(&mut session)?;
+        losses.push(loss);
+        if let Some(t0) = t0 {
+            let pool = gnnmark_tensor::pool::global_stats();
+            eprintln!(
+                "[{}] epoch {}/{}: loss {:.4}  wall {:.1} ms  modeled {:.1} ms  pool hit {:.1}%",
+                kind.label(),
+                epoch + 1,
+                cfg.epochs,
+                loss,
+                t0.elapsed().as_secs_f64() * 1e3,
+                (session.modeled_time_ns() - modeled_before) / 1e6,
+                pool.hit_rate() * 100.0,
+            );
+        }
     }
     let quality = w.quality()?;
     Ok(RunArtifacts {

@@ -36,4 +36,4 @@ pub mod trace;
 pub use profile::{ClassStats, FigureCategory, WorkloadProfile};
 pub use session::ProfileSession;
 pub use table::Table;
-pub use trace::to_chrome_trace;
+pub use trace::{to_chrome_trace, to_merged_chrome_trace};

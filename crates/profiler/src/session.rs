@@ -20,6 +20,7 @@ pub struct ProfileSession {
     kernels: Vec<KernelMetrics>,
     steps: u64,
     in_step: bool,
+    modeled_ns: f64,
 }
 
 impl ProfileSession {
@@ -33,6 +34,7 @@ impl ProfileSession {
             kernels: Vec::new(),
             steps: 0,
             in_step: false,
+            modeled_ns: 0.0,
         }
     }
 
@@ -56,9 +58,19 @@ impl ProfileSession {
         self.in_step = false;
         self.steps += 1;
         let events = record::stop_recording();
+        self.simulate(&events);
+    }
+
+    /// Lowers a captured op stream onto the GPU model. The host time this
+    /// costs is what the `simulate` span measures — on the real hardware it
+    /// would be kernel launch + execution, here it's the analytic model.
+    fn simulate(&mut self, events: &[gnnmark_tensor::instrument::OpEvent]) {
+        let _sp = gnnmark_telemetry::span!("simulate", "gpu-model");
         self.kernels.reserve(events.len());
-        for e in &events {
-            self.kernels.push(self.gpu.execute(e));
+        for e in events {
+            let k = self.gpu.execute(e);
+            self.modeled_ns += k.time_ns;
+            self.kernels.push(k);
         }
     }
 
@@ -92,6 +104,12 @@ impl ProfileSession {
         self.kernels.len()
     }
 
+    /// Modeled GPU time of every kernel simulated so far, nanoseconds.
+    /// Cheap running sum — read per epoch by `--progress` reporting.
+    pub fn modeled_time_ns(&self) -> f64 {
+        self.modeled_ns
+    }
+
     /// The device spec in use.
     pub fn spec(&self) -> &DeviceSpec {
         self.gpu.spec()
@@ -120,10 +138,7 @@ impl ProfileSession {
         if self.in_step {
             self.in_step = false;
             let events = record::stop_recording();
-            self.kernels.reserve(events.len());
-            for e in &events {
-                self.kernels.push(self.gpu.execute(e));
-            }
+            self.simulate(&events);
         }
         self.finish()
     }

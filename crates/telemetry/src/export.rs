@@ -1,0 +1,467 @@
+//! Exporters: JSON metrics snapshot, Prometheus text format, the run
+//! manifest, and a dependency-free JSON validator shared by tests and the
+//! CI smoke checks.
+//!
+//! The merged Chrome/Perfetto trace exporter lives in `gnnmark-profiler`
+//! (it needs [`WorkloadProfile`]'s kernel records); this module covers the
+//! purely host-side artifacts.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricValue;
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON-safe number (JSON has no NaN/Infinity).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a metrics snapshot as a pretty-printed JSON object keyed by
+/// metric name. Counters become integers, gauges numbers, histograms
+/// `{count, sum, min, max}` objects.
+pub fn metrics_json(snapshot: &[(String, MetricValue)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in snapshot.iter().enumerate() {
+        let _ = write!(out, "  \"{}\": ", json_escape(name));
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge(v) => out.push_str(&json_number(*v)),
+            MetricValue::Histogram { count, sum, min, max } => {
+                let _ = write!(
+                    out,
+                    "{{\"count\": {count}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                    json_number(*sum),
+                    json_number(*min),
+                    json_number(*max)
+                );
+            }
+        }
+        out.push_str(if i + 1 < snapshot.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Splits `gnnmark_foo{label="x"}` into its base name and the braced
+/// label suffix (empty when unlabelled).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+/// Labelled series (`name{worker="3"}`) share one `# TYPE` line per base
+/// name; histograms expand to `_count`/`_sum`/`_min`/`_max` series.
+pub fn metrics_prometheus(snapshot: &[(String, MetricValue)]) -> String {
+    let mut out = String::new();
+    let mut last_typed = String::new();
+    for (name, value) in snapshot {
+        let (base, labels) = split_labels(name);
+        match value {
+            MetricValue::Counter(v) => {
+                if base != last_typed {
+                    let _ = writeln!(out, "# TYPE {base} counter");
+                    last_typed = base.to_string();
+                }
+                let _ = writeln!(out, "{base}{labels} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                if base != last_typed {
+                    let _ = writeln!(out, "# TYPE {base} gauge");
+                    last_typed = base.to_string();
+                }
+                let _ = writeln!(out, "{base}{labels} {v}");
+            }
+            MetricValue::Histogram { count, sum, min, max } => {
+                if base != last_typed {
+                    let _ = writeln!(out, "# TYPE {base} summary");
+                    last_typed = base.to_string();
+                }
+                let _ = writeln!(out, "{base}_count{labels} {count}");
+                let _ = writeln!(out, "{base}_sum{labels} {sum}");
+                let _ = writeln!(out, "{base}_min{labels} {min}");
+                let _ = writeln!(out, "{base}_max{labels} {max}");
+            }
+        }
+    }
+    out
+}
+
+/// One workload's row in the run manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestWorkload {
+    /// Workload label (`"STGCN"`, `"PSAGE-MVL"`, …).
+    pub name: String,
+    /// Terminal status string (`"completed"`, `"failed"`, …).
+    pub status: String,
+    /// Host wall-clock time, milliseconds.
+    pub wall_ms: f64,
+    /// Modeled-GPU time, milliseconds (0 when the run produced no profile).
+    pub modeled_ms: f64,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// The run manifest written next to the CSVs: enough provenance to
+/// reproduce or compare a run without parsing its logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// CLI target that produced this run (`"stgcn"`, `"all"`, …).
+    pub target: String,
+    /// RNG seed the suite ran with.
+    pub seed: u64,
+    /// Scale name (`"test"`, `"small"`, `"paper"`).
+    pub scale: String,
+    /// Tensor-kernel thread count in effect.
+    pub threads: usize,
+    /// Modeled device name (e.g. `"V100"`).
+    pub device: String,
+    /// Per-workload outcomes.
+    pub workloads: Vec<ManifestWorkload>,
+    /// Overall status: `"ok"` when every workload completed.
+    pub status: String,
+}
+
+impl RunManifest {
+    /// Serializes the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"target\": \"{}\",", json_escape(&self.target));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"scale\": \"{}\",", json_escape(&self.scale));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"device\": \"{}\",", json_escape(&self.device));
+        out.push_str("  \"workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"status\": \"{}\", \"wall_ms\": {}, \
+                 \"modeled_ms\": {}, \"attempts\": {}}}",
+                json_escape(&w.name),
+                json_escape(&w.status),
+                json_number(w.wall_ms),
+                json_number(w.modeled_ms),
+                w.attempts
+            );
+        }
+        if !self.workloads.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"status\": \"{}\"", json_escape(&self.status));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Validates that `s` is one complete, well-formed JSON value (a full
+/// recursive-descent parse, not just brace balancing). Returns a
+/// position-annotated message on the first error. Shared by the trace
+/// regression tests and the CI smoke check so "the artifact parses" means
+/// the same thing everywhere.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.i)
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.i;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > s
+        };
+        if !digits(self) {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        debug_assert!(self.i > start);
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.i += 1; // opening quote
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                if !self.peek().is_some_and(|h| h.is_ascii_hexdigit()) {
+                                    return Err(self.err("bad \\u escape"));
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("raw control character in string")),
+                _ => self.i += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.i += 1; // '['
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.i += 1; // '{'
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:`"));
+            }
+            self.i += 1;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Vec<(String, MetricValue)> {
+        vec![
+            ("gnnmark_pool_hit_rate".into(), MetricValue::Gauge(0.5)),
+            ("gnnmark_pool_hits_total".into(), MetricValue::Counter(42)),
+            (
+                "gnnmark_epoch_wall_ms".into(),
+                MetricValue::Histogram { count: 2, sum: 30.0, min: 10.0, max: 20.0 },
+            ),
+            (
+                "gnnmark_par_worker_busy_ms{worker=\"0\"}".into(),
+                MetricValue::Gauge(12.5),
+            ),
+            (
+                "gnnmark_par_worker_busy_ms{worker=\"1\"}".into(),
+                MetricValue::Gauge(11.0),
+            ),
+        ]
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_complete() {
+        let json = metrics_json(&sample_snapshot());
+        validate_json(&json).expect("snapshot JSON parses");
+        assert!(json.contains("\"gnnmark_pool_hits_total\": 42"));
+        assert!(json.contains("\"count\": 2"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        validate_json(&metrics_json(&[])).expect("empty snapshot parses");
+    }
+
+    #[test]
+    fn prometheus_dump_has_one_type_line_per_base_name() {
+        let text = metrics_prometheus(&sample_snapshot());
+        let type_lines: Vec<_> = text
+            .lines()
+            .filter(|l| l.contains("gnnmark_par_worker_busy_ms") && l.starts_with("# TYPE"))
+            .collect();
+        assert_eq!(type_lines, ["# TYPE gnnmark_par_worker_busy_ms gauge"]);
+        assert!(text.contains("gnnmark_par_worker_busy_ms{worker=\"0\"} 12.5"));
+        assert!(text.contains("gnnmark_epoch_wall_ms_count 2"));
+        assert!(text.contains("gnnmark_epoch_wall_ms_sum 30"));
+    }
+
+    #[test]
+    fn manifest_serializes_to_valid_json() {
+        let m = RunManifest {
+            target: "stgcn".into(),
+            seed: 42,
+            scale: "test".into(),
+            threads: 4,
+            device: "V100".into(),
+            workloads: vec![ManifestWorkload {
+                name: "STGCN".into(),
+                status: "completed".into(),
+                wall_ms: 123.4,
+                modeled_ms: 56.7,
+                attempts: 1,
+            }],
+            status: "ok".into(),
+        };
+        let json = m.to_json();
+        validate_json(&json).expect("manifest parses");
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"scale\": \"test\""));
+        assert!(json.contains("\"attempts\": 1"));
+    }
+
+    #[test]
+    fn manifest_with_no_workloads_is_valid() {
+        let m = RunManifest {
+            target: "table1".into(),
+            seed: 0,
+            scale: "test".into(),
+            threads: 1,
+            device: "V100".into(),
+            workloads: vec![],
+            status: "ok".into(),
+        };
+        validate_json(&m.to_json()).expect("empty-workloads manifest parses");
+    }
+
+    #[test]
+    fn validator_accepts_good_and_rejects_bad_json() {
+        validate_json("{\"a\": [1, 2.5, -3e2, \"x\\n\", true, null]}").unwrap();
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{\"a\": 1,}").is_err(), "trailing comma in object");
+        assert!(validate_json("[1, 2,]").is_err(), "trailing comma in array");
+        assert!(validate_json("[1, 2, ,]").is_err());
+        assert!(validate_json("{\"a\" 1}").is_err());
+        assert!(validate_json("[1] junk").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! A small process-wide metrics registry: counters, gauges and summary
+//! histograms keyed by name.
+//!
+//! The registry is deliberately simple — a mutex around a sorted map —
+//! because GNNMark updates metrics at *run* granularity (once per epoch,
+//! per workload, or per export), never inside kernel hot loops. Hot-path
+//! signals (pool hits, worker busy time, tape nodes) are accumulated in
+//! their owning crates with relaxed atomics and only *read into* the
+//! registry when a snapshot is taken.
+//!
+//! Label sets are encoded into the key itself, Prometheus-style:
+//! `gnnmark_workload_wall_ms{workload="STGCN"}`. The exporters in
+//! [`crate::export`] understand that convention.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One metric's current value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Summary of observed samples.
+    Histogram {
+        /// Number of samples observed.
+        count: u64,
+        /// Sum of all samples.
+        sum: f64,
+        /// Smallest sample.
+        min: f64,
+        /// Largest sample.
+        max: f64,
+    },
+}
+
+static REGISTRY: Mutex<BTreeMap<String, MetricValue>> = Mutex::new(BTreeMap::new());
+
+/// Adds `delta` to the named counter, creating it at zero first.
+pub fn counter_add(name: &str, delta: u64) {
+    let mut reg = REGISTRY.lock().unwrap();
+    match reg.get_mut(name) {
+        Some(MetricValue::Counter(v)) => *v += delta,
+        _ => {
+            reg.insert(name.to_string(), MetricValue::Counter(delta));
+        }
+    }
+}
+
+/// Sets the named counter to an absolute value (for sources that already
+/// aggregate, e.g. the pool's global hit count).
+pub fn counter_set(name: &str, value: u64) {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .insert(name.to_string(), MetricValue::Counter(value));
+}
+
+/// Sets the named gauge.
+pub fn gauge_set(name: &str, value: f64) {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .insert(name.to_string(), MetricValue::Gauge(value));
+}
+
+/// Folds one sample into the named histogram.
+pub fn observe(name: &str, sample: f64) {
+    let mut reg = REGISTRY.lock().unwrap();
+    match reg.get_mut(name) {
+        Some(MetricValue::Histogram { count, sum, min, max }) => {
+            *count += 1;
+            *sum += sample;
+            *min = min.min(sample);
+            *max = max.max(sample);
+        }
+        _ => {
+            reg.insert(
+                name.to_string(),
+                MetricValue::Histogram { count: 1, sum: sample, min: sample, max: sample },
+            );
+        }
+    }
+}
+
+/// A sorted copy of every registered metric.
+pub fn snapshot() -> Vec<(String, MetricValue)> {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Reads one metric by exact name.
+pub fn get(name: &str) -> Option<MetricValue> {
+    REGISTRY.lock().unwrap().get(name).copied()
+}
+
+/// Clears the registry (tests, or between independent runs).
+pub fn reset() {
+    REGISTRY.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; give each test its own key prefix so
+    // they can run concurrently.
+
+    #[test]
+    fn counters_accumulate_and_set_overrides() {
+        counter_add("t1_requests", 2);
+        counter_add("t1_requests", 3);
+        assert_eq!(get("t1_requests"), Some(MetricValue::Counter(5)));
+        counter_set("t1_requests", 7);
+        assert_eq!(get("t1_requests"), Some(MetricValue::Counter(7)));
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        gauge_set("t2_rate", 0.25);
+        gauge_set("t2_rate", 0.75);
+        assert_eq!(get("t2_rate"), Some(MetricValue::Gauge(0.75)));
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max() {
+        observe("t3_lat", 4.0);
+        observe("t3_lat", 1.0);
+        observe("t3_lat", 10.0);
+        match get("t3_lat") {
+            Some(MetricValue::Histogram { count, sum, min, max }) => {
+                assert_eq!(count, 3);
+                assert!((sum - 15.0).abs() < 1e-12);
+                assert!((min - 1.0).abs() < 1e-12);
+                assert!((max - 10.0).abs() < 1e-12);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        counter_add("t4_b", 1);
+        counter_add("t4_a", 1);
+        let names: Vec<_> = snapshot()
+            .into_iter()
+            .map(|(k, _)| k)
+            .filter(|k| k.starts_with("t4_"))
+            .collect();
+        assert_eq!(names, ["t4_a", "t4_b"]);
+    }
+}

@@ -22,8 +22,9 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Hard upper bound on the configurable thread count.
 pub const MAX_THREADS: usize = 64;
@@ -65,6 +66,69 @@ pub fn threads() -> usize {
 /// settings; only wall-clock changes.
 pub fn set_threads(n: usize) {
     THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker busy-time accounting (off by default).
+//
+// When enabled (the telemetry layer's `--trace`/`--metrics` runs), each
+// participant of a fork/join batch accumulates the wall-clock time it spent
+// draining tasks into its slot: slot 0 is the submitting thread, slot
+// `id + 1` is pool worker `gnnmark-par-{id}`. Two clock reads per batch per
+// thread — nothing is touched per task, and nothing at all when disabled.
+// ---------------------------------------------------------------------------
+
+static TRACK_BUSY: AtomicBool = AtomicBool::new(false);
+
+static BUSY_NS: [AtomicU64; MAX_THREADS + 1] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; MAX_THREADS + 1]
+};
+
+thread_local! {
+    /// This thread's busy-time slot: workers set `id + 1`; everyone else
+    /// (submitters, inline fallbacks) shares slot 0.
+    static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Enables or disables per-worker busy-time accounting. Off by default;
+/// results are unaffected either way.
+pub fn set_worker_tracking(on: bool) {
+    TRACK_BUSY.store(on, Ordering::Relaxed);
+}
+
+/// Busy nanoseconds per slot (`[0]` = submitter thread, `[i + 1]` = pool
+/// worker `i`), trimmed after the last active slot. All zeros until
+/// [`set_worker_tracking`] is turned on and a parallel kernel runs.
+pub fn worker_busy_ns() -> Vec<u64> {
+    let vals: Vec<u64> = BUSY_NS.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let last = vals.iter().rposition(|&v| v != 0).map_or(0, |i| i + 1);
+    vals[..last.max(1)].to_vec()
+}
+
+/// Zeroes every busy-time slot (per-run accounting).
+pub fn reset_worker_busy() {
+    for slot in &BUSY_NS {
+        slot.store(0, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn busy_start() -> Option<Instant> {
+    if TRACK_BUSY.load(Ordering::Relaxed) {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn busy_end(t0: Option<Instant>) {
+    if let Some(t0) = t0 {
+        let slot = SLOT.with(std::cell::Cell::get);
+        BUSY_NS[slot].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -135,6 +199,7 @@ fn pool() -> &'static Arc<Shared> {
 /// Pulls tasks off `job` until its counter is exhausted; whoever finishes
 /// the last task clears the pool's current job and wakes the submitter.
 fn drain(job: &Arc<Job>, shared: &Shared) {
+    let t0 = busy_start();
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.total {
@@ -157,10 +222,12 @@ fn drain(job: &Arc<Job>, shared: &Shared) {
             shared.done_cv.notify_all();
         }
     }
+    busy_end(t0);
 }
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, id: usize) {
     IN_POOL.with(|f| f.set(true));
+    SLOT.with(|s| s.set(id + 1));
     let mut seen = 0u64;
     loop {
         let job = {
@@ -189,7 +256,7 @@ fn ensure_workers(st: &mut PoolState, shared: &Arc<Shared>, wanted: usize) {
         let id = st.spawned;
         std::thread::Builder::new()
             .name(format!("gnnmark-par-{id}"))
-            .spawn(move || worker_loop(shared))
+            .spawn(move || worker_loop(shared, id))
             .expect("spawn pool worker");
         st.spawned += 1;
     }
@@ -209,17 +276,23 @@ pub fn run(total: usize, f: &(dyn Fn(usize) + Sync)) {
     }
     let t = threads().min(total);
     if t <= 1 || total == 1 || IN_POOL.with(|g| g.get()) {
+        // Nested calls (IN_POOL) skip busy accounting: the enclosing
+        // `drain` is already timing this thread.
+        let t0 = if IN_POOL.with(|g| g.get()) { None } else { busy_start() };
         for i in 0..total {
             f(i);
         }
+        busy_end(t0);
         return;
     }
     // One fork/join at a time; a busy pool means another workload thread is
     // mid-kernel — run inline rather than wait (results are identical).
     let Ok(_submit) = SUBMIT.try_lock() else {
+        let t0 = busy_start();
         for i in 0..total {
             f(i);
         }
+        busy_end(t0);
         return;
     };
     let shared = pool();
@@ -441,6 +514,35 @@ mod tests {
             });
         });
         assert!(caught.is_err());
+        set_threads(prev);
+    }
+
+    #[test]
+    fn worker_busy_tracking_accumulates_when_enabled() {
+        // The pool and the busy counters are process-global and other tests
+        // run concurrently, so assert deltas with slack, never exact values.
+        let prev = threads();
+        set_threads(4);
+        // This test is the only one that ever enables tracking, so before
+        // the enable the counters must stay flat through a parallel run.
+        let base: u64 = worker_busy_ns().iter().sum();
+        run(8, &|_| {
+            std::hint::black_box((0..20_000u64).sum::<u64>());
+        });
+        assert_eq!(
+            worker_busy_ns().iter().sum::<u64>(),
+            base,
+            "disabled tracking must not accumulate"
+        );
+        set_worker_tracking(true);
+        run(64, &|_| {
+            // Enough work per task that at least one participant's batch
+            // registers a nonzero duration.
+            std::hint::black_box((0..20_000u64).sum::<u64>());
+        });
+        set_worker_tracking(false);
+        let after: u64 = worker_busy_ns().iter().sum();
+        assert!(after > base, "busy time accumulated: {base} -> {after}");
         set_threads(prev);
     }
 

@@ -21,6 +21,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::Tensor;
 
@@ -42,7 +43,16 @@ thread_local! {
     static POOL: RefCell<PoolInner> = RefCell::default();
 }
 
-/// Counters describing pool effectiveness (per thread).
+// Cross-thread aggregates, bumped alongside the thread-local counters with
+// relaxed ordering (one uncontended atomic add next to a HashMap probe).
+// These let run-level consumers (the telemetry metrics registry) see pool
+// effectiveness across every worker thread, not just the caller's.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_RECYCLED: AtomicU64 = AtomicU64::new(0);
+
+/// Counters describing pool effectiveness (per thread, or aggregated
+/// across threads via [`global_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
     /// Acquisitions served from a recycled buffer.
@@ -53,6 +63,33 @@ pub struct PoolStats {
     pub recycled: u64,
 }
 
+impl PoolStats {
+    /// Zeroes every counter in place.
+    pub fn reset(&mut self) {
+        *self = PoolStats::default();
+    }
+
+    /// Hits as a fraction of all acquisitions, or 0.0 before any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (saturating, so
+    /// a reset between snapshots can't underflow).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            recycled: self.recycled.saturating_sub(earlier.recycled),
+        }
+    }
+}
+
 fn take(len: usize) -> Option<Vec<f32>> {
     POOL.with(|p| {
         let mut p = p.borrow_mut();
@@ -60,8 +97,10 @@ fn take(len: usize) -> Option<Vec<f32>> {
         if buf.is_some() {
             p.retained_elems -= len;
             p.hits += 1;
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
         } else {
             p.misses += 1;
+            GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
         }
         buf
     })
@@ -110,6 +149,7 @@ pub fn recycle_vec(v: Vec<f32>) {
         bucket.push(v);
         p.retained_elems += len;
         p.recycled += 1;
+        GLOBAL_RECYCLED.fetch_add(1, Ordering::Relaxed);
     });
 }
 
@@ -123,6 +163,36 @@ pub fn stats() -> PoolStats {
             recycled: p.recycled,
         }
     })
+}
+
+/// Pool counters aggregated across **every** thread that has touched a
+/// pool since process start (or since [`reset_global_stats`]).
+pub fn global_stats() -> PoolStats {
+    PoolStats {
+        hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        misses: GLOBAL_MISSES.load(Ordering::Relaxed),
+        recycled: GLOBAL_RECYCLED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the cross-thread aggregate counters so the next read reflects
+/// one run instead of the process lifetime. Thread-local counters and
+/// retained buffers are untouched.
+pub fn reset_global_stats() {
+    GLOBAL_HITS.store(0, Ordering::Relaxed);
+    GLOBAL_MISSES.store(0, Ordering::Relaxed);
+    GLOBAL_RECYCLED.store(0, Ordering::Relaxed);
+}
+
+/// Zeroes this thread's counters while keeping its retained buffers warm
+/// (per-run accounting without giving up reuse).
+pub fn reset_stats() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.hits = 0;
+        p.misses = 0;
+        p.recycled = 0;
+    });
 }
 
 /// Drops every retained buffer and zeroes the counters (tests, and
@@ -182,5 +252,52 @@ mod tests {
         let v = filled(16);
         assert!(v.iter().all(|&x| x == 1.0));
         clear();
+    }
+
+    #[test]
+    fn reset_stats_keeps_warm_buffers() {
+        clear();
+        recycle_vec(vec![0.0; 32]);
+        reset_stats();
+        assert_eq!(stats(), PoolStats::default());
+        // The retained buffer survives the counter reset: next take hits.
+        let _ = filled(32);
+        assert_eq!(stats().hits, 1);
+        clear();
+    }
+
+    #[test]
+    fn stats_reset_and_hit_rate_and_since() {
+        let mut s = PoolStats { hits: 3, misses: 1, recycled: 2 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let earlier = PoolStats { hits: 1, misses: 1, recycled: 0 };
+        assert_eq!(
+            s.since(&earlier),
+            PoolStats { hits: 2, misses: 0, recycled: 2 }
+        );
+        s.reset();
+        assert_eq!(s, PoolStats::default());
+        assert_eq!(s.hit_rate(), 0.0, "no traffic yet");
+    }
+
+    // Other tests in this process also drive the pool concurrently, so the
+    // global counters are asserted as *deltas with slack* (>=), never
+    // exactly.
+    #[test]
+    fn global_stats_aggregate_across_threads() {
+        let before = global_stats();
+        let worker = std::thread::spawn(|| {
+            // Fresh thread → fresh thread-local pool: miss, recycle, hit.
+            let buf = filled(48);
+            recycle_vec(buf);
+            let _ = filled(48);
+        });
+        worker.join().unwrap();
+        // This thread contributes a miss on a length no other test uses.
+        let _ = filled(49);
+        let delta = global_stats().since(&before);
+        assert!(delta.hits >= 1, "worker hit visible globally: {delta:?}");
+        assert!(delta.misses >= 2, "both threads' misses visible: {delta:?}");
+        assert!(delta.recycled >= 1, "worker recycle visible: {delta:?}");
     }
 }

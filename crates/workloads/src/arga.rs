@@ -196,38 +196,59 @@ impl Workload for Arga {
         session.upload_csr(self.adj.matrix());
 
         // ---- discriminator step ----
+        let step_d = gnnmark_telemetry::span!("step");
         self.params().zero_grad();
         session.begin_step();
         let tape = Tape::new();
-        let x = tape.constant(self.graph.features().clone());
-        let z_fake = self.encode(&tape, &x)?.detach();
-        let z_real = tape.constant(Tensor::randn(&[n, self.embed], 1.0, &mut self.rng));
-        let d_fake = self.discriminator.forward(&tape, &z_fake)?;
-        let d_real = self.discriminator.forward(&tape, &z_real)?;
-        let ones = Tensor::ones(&[n, 1]);
-        let zeros_t = Tensor::zeros(&[n, 1]);
-        let d_loss = losses::bce_with_logits(&d_real, &ones)?
-            .add(&losses::bce_with_logits(&d_fake, &zeros_t)?)?;
-        tape.backward(&d_loss)?;
-        self.disc_opt.step(&self.discriminator.params())?;
+        let d_loss = {
+            let _fwd = gnnmark_telemetry::span!("forward");
+            let x = tape.constant(self.graph.features().clone());
+            let z_fake = self.encode(&tape, &x)?.detach();
+            let z_real = tape.constant(Tensor::randn(&[n, self.embed], 1.0, &mut self.rng));
+            let d_fake = self.discriminator.forward(&tape, &z_fake)?;
+            let d_real = self.discriminator.forward(&tape, &z_real)?;
+            let ones = Tensor::ones(&[n, 1]);
+            let zeros_t = Tensor::zeros(&[n, 1]);
+            losses::bce_with_logits(&d_real, &ones)?
+                .add(&losses::bce_with_logits(&d_fake, &zeros_t)?)?
+        };
+        {
+            let _bwd = gnnmark_telemetry::span!("backward");
+            tape.backward(&d_loss)?;
+        }
+        {
+            let _opt = gnnmark_telemetry::span!("optimizer");
+            self.disc_opt.step(&self.discriminator.params())?;
+        }
         session.end_step();
+        drop(step_d);
 
         // ---- generator / reconstruction step ----
+        let _step_g = gnnmark_telemetry::span!("step");
         self.params().zero_grad();
         session.begin_step();
         let tape = Tape::new();
-        let x = tape.constant(self.graph.features().clone());
-        let z = self.encode(&tape, &x)?;
-        // Inner-product decoder over the whole graph.
-        let logits = z.matmul_nt(&z)?;
-        let recon = losses::bce_with_logits(&logits, &self.adj_dense)?;
-        // Adversarial term: fool the discriminator.
-        let d_on_fake = self.discriminator.forward(&tape, &z)?;
-        let ones = Tensor::ones(&[n, 1]);
-        let adv = losses::bce_with_logits(&d_on_fake, &ones)?;
-        let g_loss = recon.add(&adv.mul_scalar(0.1))?;
-        tape.backward(&g_loss)?;
-        self.gen_opt.step(&self.encoder_params())?;
+        let g_loss = {
+            let _fwd = gnnmark_telemetry::span!("forward");
+            let x = tape.constant(self.graph.features().clone());
+            let z = self.encode(&tape, &x)?;
+            // Inner-product decoder over the whole graph.
+            let logits = z.matmul_nt(&z)?;
+            let recon = losses::bce_with_logits(&logits, &self.adj_dense)?;
+            // Adversarial term: fool the discriminator.
+            let d_on_fake = self.discriminator.forward(&tape, &z)?;
+            let ones = Tensor::ones(&[n, 1]);
+            let adv = losses::bce_with_logits(&d_on_fake, &ones)?;
+            recon.add(&adv.mul_scalar(0.1))?
+        };
+        {
+            let _bwd = gnnmark_telemetry::span!("backward");
+            tape.backward(&g_loss)?;
+        }
+        {
+            let _opt = gnnmark_telemetry::span!("optimizer");
+            self.gen_opt.step(&self.encoder_params())?;
+        }
 
         // Negative-edge bookkeeping: sample node pairs and sort their ids
         // (DGL/PyG edge bookkeeping launches sort kernels here).

@@ -159,6 +159,7 @@ impl Workload for Dgcn {
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(self.batch_size) {
+            let _step = gnnmark_telemetry::span!("step");
             let graphs: Vec<Graph> = chunk.iter().map(|&i| self.molecules[i].clone()).collect();
             let batch = BatchedGraph::from_graphs(&graphs)?;
             let edges = EdgeList::from_graph(batch.graph())?;
@@ -172,27 +173,36 @@ impl Workload for Dgcn {
             self.params().zero_grad();
             session.begin_step();
             let tape = Tape::new();
-            let x = tape.constant(batch.graph().features().clone());
-            let mut h = self.embed.forward(&tape, &x)?.relu();
-            for block in &self.blocks {
-                h = block.forward(&tape, &edges, &h)?;
+            let loss = {
+                let _fwd = gnnmark_telemetry::span!("forward");
+                let x = tape.constant(batch.graph().features().clone());
+                let mut h = self.embed.forward(&tape, &x)?.relu();
+                for block in &self.blocks {
+                    h = block.forward(&tape, &edges, &h)?;
+                }
+                // Mean-pool readout via scatter + per-graph rescale.
+                let sums = h.scatter_add_rows(batch.graph_ids(), batch.num_graphs())?;
+                let inv_counts: Vec<f32> = (0..batch.num_graphs())
+                    .map(|i| {
+                        let (s, e) = batch.node_range(i);
+                        1.0 / (e - s).max(1) as f32
+                    })
+                    .collect();
+                let n_graphs = batch.num_graphs();
+                let inv =
+                    tape.constant(gnnmark_tensor::Tensor::from_vec(&[n_graphs], inv_counts)?);
+                let pooled = sums.scale_rows(&inv)?;
+                let logits = self.head.forward(&tape, &pooled)?;
+                losses::cross_entropy(&logits, &labels)?
+            };
+            {
+                let _bwd = gnnmark_telemetry::span!("backward");
+                tape.backward(&loss)?;
             }
-            // Mean-pool readout via scatter + per-graph rescale.
-            let sums = h.scatter_add_rows(batch.graph_ids(), batch.num_graphs())?;
-            let inv_counts: Vec<f32> = (0..batch.num_graphs())
-                .map(|i| {
-                    let (s, e) = batch.node_range(i);
-                    1.0 / (e - s).max(1) as f32
-                })
-                .collect();
-            let n_graphs = batch.num_graphs();
-            let inv =
-                tape.constant(gnnmark_tensor::Tensor::from_vec(&[n_graphs], inv_counts)?);
-            let pooled = sums.scale_rows(&inv)?;
-            let logits = self.head.forward(&tape, &pooled)?;
-            let loss = losses::cross_entropy(&logits, &labels)?;
-            tape.backward(&loss)?;
-            self.opt.step(&self.params())?;
+            {
+                let _opt = gnnmark_telemetry::span!("optimizer");
+                self.opt.step(&self.params())?;
+            }
             session.end_step();
             epoch_loss += loss.value().item()? as f64;
             batches += 1;

@@ -192,6 +192,7 @@ impl GraphWriter {
 
     /// Trains one padded batch of documents; returns the mean token loss.
     fn train_batch(&mut self, session: &mut ProfileSession, docs: &[KnowledgeDoc]) -> Result<f64> {
+        let _step = gnnmark_telemetry::span!("step");
         for doc in docs {
             session.upload(doc.graph.features());
             session.upload_int(&doc.target);
@@ -200,9 +201,18 @@ impl GraphWriter {
         self.params().zero_grad();
         session.begin_step();
         let tape = Tape::new();
-        let loss = self.batch_loss(&tape, docs)?;
-        tape.backward(&loss)?;
-        self.opt.step(&self.params())?;
+        let loss = {
+            let _fwd = gnnmark_telemetry::span!("forward");
+            self.batch_loss(&tape, docs)?
+        };
+        {
+            let _bwd = gnnmark_telemetry::span!("backward");
+            tape.backward(&loss)?;
+        }
+        {
+            let _opt = gnnmark_telemetry::span!("optimizer");
+            self.opt.step(&self.params())?;
+        }
         session.end_step();
         Ok(loss.value().item()? as f64)
     }

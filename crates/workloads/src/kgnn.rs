@@ -261,6 +261,7 @@ impl Workload for Kgnn {
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(self.batch_size) {
+            let _step = gnnmark_telemetry::span!("step");
             let picked: Vec<Sample> =
                 chunk.iter().map(|&i| self.samples[i].clone()).collect();
             let labels: Vec<i64> = picked.iter().map(|s| s.label).collect();
@@ -270,24 +271,33 @@ impl Workload for Kgnn {
             self.params().zero_grad();
             session.begin_step();
             let tape = Tape::new();
-            let base_graphs: Vec<Graph> = picked.iter().map(|s| s.base.clone()).collect();
-            let two_graphs: Vec<Graph> = picked.iter().map(|s| s.two_set.clone()).collect();
-            let mut pooled = vec![
-                Self::stage(&self.conv1, &tape, &base_graphs, session)?,
-                Self::stage(&self.conv2_set, &tape, &two_graphs, session)?,
-            ];
-            if let Some(conv3) = &self.conv3_set {
-                let three_graphs: Vec<Graph> = picked
-                    .iter()
-                    .map(|s| s.three_set.clone().expect("high order has 3-sets"))
-                    .collect();
-                pooled.push(Self::stage(conv3, &tape, &three_graphs, session)?);
+            let loss = {
+                let _fwd = gnnmark_telemetry::span!("forward");
+                let base_graphs: Vec<Graph> = picked.iter().map(|s| s.base.clone()).collect();
+                let two_graphs: Vec<Graph> = picked.iter().map(|s| s.two_set.clone()).collect();
+                let mut pooled = vec![
+                    Self::stage(&self.conv1, &tape, &base_graphs, session)?,
+                    Self::stage(&self.conv2_set, &tape, &two_graphs, session)?,
+                ];
+                if let Some(conv3) = &self.conv3_set {
+                    let three_graphs: Vec<Graph> = picked
+                        .iter()
+                        .map(|s| s.three_set.clone().expect("high order has 3-sets"))
+                        .collect();
+                    pooled.push(Self::stage(conv3, &tape, &three_graphs, session)?);
+                }
+                let cat = Var::concat_cols(&pooled)?;
+                let logits = self.head.forward(&tape, &cat)?;
+                losses::cross_entropy(&logits, &labels)?
+            };
+            {
+                let _bwd = gnnmark_telemetry::span!("backward");
+                tape.backward(&loss)?;
             }
-            let cat = Var::concat_cols(&pooled)?;
-            let logits = self.head.forward(&tape, &cat)?;
-            let loss = losses::cross_entropy(&logits, &labels)?;
-            tape.backward(&loss)?;
-            self.opt.step(&self.params())?;
+            {
+                let _opt = gnnmark_telemetry::span!("optimizer");
+                self.opt.step(&self.params())?;
+            }
             session.end_step();
             epoch_loss += loss.value().item()? as f64;
             batches += 1;

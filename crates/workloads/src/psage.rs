@@ -286,6 +286,7 @@ impl Workload for Psage {
         let features = self.data.item_item.features().clone();
         let mut epoch_loss = 0.0f64;
         for _ in 0..self.batches_per_epoch {
+            let _step = gnnmark_telemetry::span!("step");
             let batch = self.sample_minibatch(None)?;
             // The minibatch's features ship to the device (the paper's
             // sparsity instrumentation hooks exactly this copy).
@@ -297,9 +298,18 @@ impl Workload for Psage {
             self.params().zero_grad();
             session.begin_step();
             let tape = Tape::new();
-            let loss = self.batch_forward(&batch, &tape, true)?;
-            tape.backward(&loss)?;
-            self.opt.step(&self.conv.params())?;
+            let loss = {
+                let _fwd = gnnmark_telemetry::span!("forward");
+                self.batch_forward(&batch, &tape, true)?
+            };
+            {
+                let _bwd = gnnmark_telemetry::span!("backward");
+                tape.backward(&loss)?;
+            }
+            {
+                let _opt = gnnmark_telemetry::span!("optimizer");
+                self.opt.step(&self.conv.params())?;
+            }
             session.end_step();
             epoch_loss += loss.value().item()? as f64;
         }

@@ -178,6 +178,7 @@ impl Workload for Stgcn {
         let max_start = self.data.num_windows(self.history, horizon);
         let mut epoch_loss = 0.0f64;
         for _ in 0..self.batches_per_epoch {
+            let _step = gnnmark_telemetry::span!("step");
             // Assemble a batch of windows: [b, 1, history, n] plus targets.
             let mut xs = Vec::with_capacity(self.batch_size * self.history * n);
             let mut ys = Vec::with_capacity(self.batch_size * n);
@@ -200,18 +201,27 @@ impl Workload for Stgcn {
             self.params().zero_grad();
             session.begin_step();
             let tape = Tape::new();
-            let x = tape.constant(x_batch);
-            let h = self.block1.forward(&tape, &self.adj, &x)?;
-            let h = self.block2.forward(&tape, &self.adj, &h)?;
-            let h = self.out_conv.forward(&tape, &h)?; // [b, c2, 1, n]
-            // Head: per (batch, node) channel vector → predicted speed.
-            let c2 = self.out_conv.c_out();
-            let h2 = reorder_bc1n_to_bn_c(&h, self.batch_size, c2, n)?;
-            let pred = self.head.forward(&tape, &h2)?; // [b·n, 1]
-            let pred = pred.reshape(&[self.batch_size, n])?;
-            let loss = losses::mse(&pred, &y_batch)?;
-            tape.backward(&loss)?;
-            self.opt.step(&self.params())?;
+            let loss = {
+                let _fwd = gnnmark_telemetry::span!("forward");
+                let x = tape.constant(x_batch);
+                let h = self.block1.forward(&tape, &self.adj, &x)?;
+                let h = self.block2.forward(&tape, &self.adj, &h)?;
+                let h = self.out_conv.forward(&tape, &h)?; // [b, c2, 1, n]
+                // Head: per (batch, node) channel vector → predicted speed.
+                let c2 = self.out_conv.c_out();
+                let h2 = reorder_bc1n_to_bn_c(&h, self.batch_size, c2, n)?;
+                let pred = self.head.forward(&tape, &h2)?; // [b·n, 1]
+                let pred = pred.reshape(&[self.batch_size, n])?;
+                losses::mse(&pred, &y_batch)?
+            };
+            {
+                let _bwd = gnnmark_telemetry::span!("backward");
+                tape.backward(&loss)?;
+            }
+            {
+                let _opt = gnnmark_telemetry::span!("optimizer");
+                self.opt.step(&self.params())?;
+            }
             session.end_step();
             epoch_loss += loss.value().item()? as f64;
         }

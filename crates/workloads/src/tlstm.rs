@@ -74,6 +74,7 @@ impl TreeLstm {
         session: &mut ProfileSession,
         batch: &TreeBatch,
     ) -> Result<f64> {
+        let _step = gnnmark_telemetry::span!("step");
         let total = batch.total_nodes();
         let hdim = self.hidden;
         session.upload_int(batch.words());
@@ -82,6 +83,7 @@ impl TreeLstm {
         self.params().zero_grad();
         session.begin_step();
         let tape = Tape::new();
+        let fwd = gnnmark_telemetry::span!("forward");
         let table = tape.read(&self.embed);
 
         // Node embedding input: word id, or the padding row for internal
@@ -135,8 +137,15 @@ impl TreeLstm {
         let all_states = h_all.slice_rows(0, total)?;
         let logits = self.head.forward(&tape, &all_states)?;
         let loss = losses::cross_entropy(&logits, batch.labels())?;
-        tape.backward(&loss)?;
-        self.opt.step(&self.params())?;
+        drop(fwd);
+        {
+            let _bwd = gnnmark_telemetry::span!("backward");
+            tape.backward(&loss)?;
+        }
+        {
+            let _opt = gnnmark_telemetry::span!("optimizer");
+            self.opt.step(&self.params())?;
+        }
         session.end_step();
         Ok(loss.value().item()? as f64)
     }
