@@ -7,10 +7,13 @@
 //! Both files are the `{"benches": [{"name": ..., "median_ns": ...}]}`
 //! format the vendored criterion harness writes. For every benchmark
 //! present in *both* files, the new/baseline median ratio must stay at or
-//! below `--max-ratio` (default 2.0 — generous on purpose, since CI
-//! machines are noisy and the smoke run uses few samples). Benchmarks only
-//! present on one side are reported but never fatal, so adding or retiring
-//! a bench doesn't require regenerating the baseline in the same commit.
+//! below the threshold: `--max-ratio` if given, else the
+//! `GNNMARK_BENCH_MAX_RATIO` environment variable, else 2.0 (generous on
+//! purpose, since CI machines are noisy and the smoke run uses few
+//! samples). A failing run names every offending benchmark in the summary
+//! line. Benchmarks only present on one side are reported but never
+//! fatal, so adding or retiring a bench doesn't require regenerating the
+//! baseline in the same commit.
 //!
 //! Exit codes: 0 = ok, 1 = regression, 2 = usage/parse error.
 
@@ -85,12 +88,14 @@ fn next_number_value(rest: &mut &str) -> Option<f64> {
     Some(v)
 }
 
-fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<bool, String> {
+/// Compares the two reports; returns the offending benchmark names
+/// (empty = pass).
+fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<Vec<String>, String> {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"));
     let baseline = parse_report(&read(baseline_path)?)?;
     let fresh = parse_report(&read(new_path)?)?;
 
-    let mut ok = true;
+    let mut offenders: Vec<String> = Vec::new();
     let mut compared = 0usize;
     for new_entry in &fresh {
         let Some(base) = baseline.iter().find(|b| b.name == new_entry.name) else {
@@ -110,7 +115,7 @@ fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<bool, Stri
             new_entry.name, new_entry.median_ns, base.median_ns
         );
         if ratio > max_ratio {
-            ok = false;
+            offenders.push(format!("{} ({ratio:.2}x)", new_entry.name));
         }
     }
     for base in &baseline {
@@ -121,16 +126,30 @@ fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<bool, Stri
     if compared == 0 {
         return Err("no benchmarks in common between the two reports".to_string());
     }
-    println!(
-        "bench-check: {compared} compared, threshold {max_ratio:.2}x — {}",
-        if ok { "PASS" } else { "FAIL" }
-    );
-    Ok(ok)
+    if offenders.is_empty() {
+        println!("bench-check: {compared} compared, threshold {max_ratio:.2}x — PASS");
+    } else {
+        println!(
+            "bench-check: {compared} compared, threshold {max_ratio:.2}x — FAIL: {}",
+            offenders.join(", ")
+        );
+    }
+    Ok(offenders)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut max_ratio = 2.0f64;
+    // Threshold precedence: --max-ratio flag > GNNMARK_BENCH_MAX_RATIO > 2.0.
+    let mut max_ratio = match std::env::var("GNNMARK_BENCH_MAX_RATIO") {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(r) if r > 0.0 && r.is_finite() => r,
+            _ => {
+                eprintln!("error: GNNMARK_BENCH_MAX_RATIO=`{v}` is not a positive number");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => 2.0,
+    };
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -151,8 +170,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     match run(baseline, fresh, max_ratio) {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
+        Ok(offenders) if offenders.is_empty() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(2)
@@ -195,8 +214,12 @@ mod tests {
         let slow = dir.join("slow.json");
         std::fs::write(&base, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 100}]}").unwrap();
         std::fs::write(&slow, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 250}]}").unwrap();
-        assert!(!run(base.to_str().unwrap(), slow.to_str().unwrap(), 2.0).unwrap());
-        assert!(run(base.to_str().unwrap(), slow.to_str().unwrap(), 3.0).unwrap());
+        let offenders = run(base.to_str().unwrap(), slow.to_str().unwrap(), 2.0).unwrap();
+        assert_eq!(offenders.len(), 1);
+        assert!(offenders[0].starts_with("a ("), "names the offender: {offenders:?}");
+        assert!(run(base.to_str().unwrap(), slow.to_str().unwrap(), 3.0)
+            .unwrap()
+            .is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

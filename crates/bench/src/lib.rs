@@ -22,9 +22,10 @@ use gnnmark::{figures, Result, Table, WorkloadKind};
 /// Every figure target the CLI and benches expose, plus one
 /// single-workload target per paper workload (lower-cased label, e.g.
 /// `gnnmark stgcn`) for focused profiling/observability runs.
-pub const TARGETS: [&str; 26] = [
+pub const TARGETS: [&str; 28] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "roofline", "convergence", "summary", "suite", "ablations", "check", "all", "list",
+    "serve", "sweep",
     "psage-mvl", "psage-nwp", "stgcn", "dgcn", "gw", "kgnnl", "kgnnh", "arga", "tlstm",
 ];
 

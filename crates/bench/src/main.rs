@@ -9,7 +9,15 @@
 //! targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!          roofline convergence summary suite ablations check all list
 //!          psage-mvl psage-nwp stgcn dgcn gw kgnnl kgnnh arga tlstm
+//!
+//! gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]
+//! gnnmark serve [--addr HOST:PORT] [--cache DIR] [--out DIR] [--workers N]
 //! ```
+//!
+//! `sweep` runs a declarative device-ablation campaign through the
+//! op-stream replay cache (train once per workload, replay under every
+//! device config); `serve` exposes the same engine as an HTTP daemon.
+//! See `docs/SERVING.md`.
 //!
 //! `--threads N` (or `GNNMARK_THREADS=N`) sets the CPU thread count of the
 //! tensor kernels. Losses, profiles and figures are bit-identical at every
@@ -50,12 +58,16 @@ use std::time::Duration;
 
 use gnnmark::resilience::{FaultPlan, ResilienceConfig, SuiteReport};
 use gnnmark::suite::SuiteConfig;
-use gnnmark::{Scale, Table};
+use gnnmark::{shutdown, Scale, Table};
 use gnnmark_bench::{render_ablations, render_target_resilient, TARGETS};
+use gnnmark_serve::campaign::CampaignOptions;
+use gnnmark_serve::{run_campaign, serve, CampaignSpec, ServeConfig, StreamCache};
 
 const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] \
 [--seed S] [--csv DIR] [--threads N] [--parallel] [--keep-going] [--timeout SECS] [--retries N] \
-[--checkpoint DIR] [--bless] [--golden DIR] [--trace FILE] [--metrics FILE] [--progress]";
+[--checkpoint DIR] [--bless] [--golden DIR] [--trace FILE] [--metrics FILE] [--progress]
+       gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]
+       gnnmark serve [--addr HOST:PORT] [--cache DIR] [--out DIR] [--workers N]";
 
 struct Args {
     target: String,
@@ -245,7 +257,152 @@ fn emit(tables: &[Table], csv_dir: Option<&str>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// `gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]`:
+/// one-shot offline campaign — capture (train-or-load) every workload
+/// stream once, replay it under every device config, write the merged
+/// JSON and per-config figure CSVs.
+fn run_sweep(mut args: std::env::Args) -> i32 {
+    let mut spec_path = None;
+    let mut cache_dir = "results/serve/cache".to_string();
+    let mut out_dir = "results/serve".to_string();
+    let mut workers = 2usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cache" => match args.next() {
+                Some(v) => cache_dir = v,
+                None => return usage_err("--cache needs a directory"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_dir = v,
+                None => return usage_err("--out needs a directory"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return usage_err("--workers needs a count >= 1"),
+            },
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string());
+            }
+            other => return usage_err(&format!("unknown sweep flag `{other}`")),
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        return usage_err("sweep needs a spec: gnnmark sweep <spec.json>");
+    };
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {spec_path}: {e}");
+            return 1;
+        }
+    };
+    let spec = match CampaignSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {spec_path}: {e}");
+            return 2;
+        }
+    };
+    shutdown::install();
+    let started = std::time::Instant::now();
+    let cache = StreamCache::new(&cache_dir);
+    let opts = CampaignOptions {
+        workers,
+        ..CampaignOptions::default()
+    };
+    match run_campaign(&spec, &cache, &opts) {
+        Ok(out) => {
+            match out.write_to(std::path::Path::new(&out_dir)) {
+                Ok(root) => eprintln!("wrote {}", root.display()),
+                Err(e) => {
+                    eprintln!("error writing results: {e}");
+                    return 1;
+                }
+            }
+            eprintln!(
+                "sweep {}: {} configs x {} workloads, {} training(s), {} cache hit(s), \
+                 {} replay(s) in {:.1}s",
+                spec.name,
+                spec.configs.len(),
+                spec.workloads.len(),
+                out.trainings,
+                out.cache_hits,
+                out.results.len(),
+                started.elapsed().as_secs_f64()
+            );
+            for f in &out.failures {
+                eprintln!("  failed: {f}");
+            }
+            if shutdown::requested() {
+                return shutdown::EXIT_INTERRUPTED;
+            }
+            i32::from(!out.complete())
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `gnnmark serve [--addr A] [--cache DIR] [--out DIR] [--workers N]`:
+/// the benchmark-as-a-service daemon (see `docs/SERVING.md`).
+fn run_serve(mut args: std::env::Args) -> i32 {
+    let mut cfg = ServeConfig::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => cfg.addr = v,
+                None => return usage_err("--addr needs host:port"),
+            },
+            "--cache" => match args.next() {
+                Some(v) => cfg.cache_dir = v.into(),
+                None => return usage_err("--cache needs a directory"),
+            },
+            "--out" => match args.next() {
+                Some(v) => cfg.results_dir = v.into(),
+                None => return usage_err("--out needs a directory"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.workers = n,
+                _ => return usage_err("--workers needs a count >= 1"),
+            },
+            other => return usage_err(&format!("unknown serve flag `{other}`")),
+        }
+    }
+    match serve(&cfg) {
+        Ok(()) => {
+            if shutdown::requested() {
+                shutdown::EXIT_INTERRUPTED
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn usage_err(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    2
+}
+
 fn main() {
+    // `serve` and `sweep` own their flag sets; dispatch before the
+    // figure-target parser sees them.
+    {
+        let mut argv = std::env::args();
+        let _bin = argv.next();
+        match argv.next().as_deref() {
+            Some("sweep") => std::process::exit(run_sweep(argv)),
+            Some("serve") => std::process::exit(run_serve(argv)),
+            _ => {}
+        }
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -254,6 +411,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Graceful shutdown: SIGINT/SIGTERM lets the in-flight workload finish,
+    // skips the rest, and still flushes checkpoints, figures-so-far and the
+    // observability artifacts before exiting with code 130.
+    shutdown::install();
     if args.target == "list" {
         println!("targets:");
         for t in TARGETS {
@@ -342,6 +503,10 @@ fn main() {
                 tables.len(),
                 started.elapsed().as_secs_f64()
             );
+            if shutdown::requested() {
+                eprintln!("interrupted: remaining workloads were skipped");
+                std::process::exit(shutdown::EXIT_INTERRUPTED);
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -362,7 +362,7 @@ pub fn cost_formula_invariants(spec: &DeviceSpec) -> Result<Vec<InvariantReport>
     let w = Tensor::from_fn(&[3, 2, 3, 3], |i| (i % 4) as f32 * 0.25);
     record::start_recording();
     let _ = img.conv2d(&w, gnnmark_tensor::ops::conv::Conv2dSpec::default())?;
-    let macs = (1 * 3 * 3 * 3 * 2 * 3 * 3) as u64; // n·c_out·oh·ow·c_in·kh·kw
+    let macs = (3 * 3 * 3 * 2 * 3 * 3) as u64; // n(=1)·c_out·oh·ow·c_in·kh·kw
     check("conv2d", 2 * macs, cost::conv2d_iops(macs), OpClass::Conv2d);
 
     let keys = IntTensor::from_vec(&[9], vec![5, 2, 8, 1, 9, 0, 3, 7, 4])?;

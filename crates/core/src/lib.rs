@@ -13,6 +13,8 @@
 //! * [`figures`] — Table I and Figures 2–9 as text tables / CSV.
 //! * [`ablations`] — the design-space sweeps DESIGN.md calls out
 //!   (L1 capacity, feature width, NVLink bandwidth, half precision).
+//! * [`shutdown`] — cooperative SIGINT/SIGTERM handling so long runs
+//!   flush checkpoints, metrics and manifests instead of losing them.
 //!
 //! ## Quick start
 //!
@@ -33,6 +35,7 @@ pub mod ablations;
 pub mod figures;
 pub mod observability;
 pub mod resilience;
+pub mod shutdown;
 pub mod suite;
 
 pub use gnnmark_gpusim::DeviceSpec;

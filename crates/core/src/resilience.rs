@@ -326,6 +326,11 @@ pub enum WorkloadStatus {
         /// The panic message.
         message: String,
     },
+    /// Not attempted: a graceful shutdown (SIGINT/SIGTERM, see
+    /// [`crate::shutdown`]) was requested before this workload started.
+    /// Finished workloads keep their checkpoints; a resumed run picks up
+    /// from here.
+    Interrupted,
 }
 
 impl WorkloadStatus {
@@ -337,6 +342,7 @@ impl WorkloadStatus {
             WorkloadStatus::Failed { .. } => "failed",
             WorkloadStatus::TimedOut { .. } => "timed_out",
             WorkloadStatus::Panicked { .. } => "panicked",
+            WorkloadStatus::Interrupted => "interrupted",
         }
     }
 
@@ -350,6 +356,7 @@ impl WorkloadStatus {
                 format!("exceeded {:.3}s deadline", after.as_secs_f64())
             }
             WorkloadStatus::Panicked { message } => format!("panic: {message}"),
+            WorkloadStatus::Interrupted => "skipped: shutdown requested".to_string(),
         }
     }
 }
@@ -525,7 +532,15 @@ impl SuiteReport {
                 .count(),
             self.outcomes.iter().filter(|o| !o.succeeded()).count(),
         ));
-        out
+        gnnmark_telemetry::export::debug_validated("SuiteReport::to_json", out)
+    }
+
+    /// Count of workloads skipped by a graceful-shutdown request.
+    pub fn interrupted(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, WorkloadStatus::Interrupted))
+            .count()
     }
 }
 
@@ -622,6 +637,141 @@ pub fn run_workload_resilient(
                 attempts,
                 wall: started.elapsed(),
                 attempt_log,
+            };
+        }
+        gnnmark_telemetry::mark("retry:scheduled", "resilience");
+        gnnmark_telemetry::metrics::counter_add("gnnmark_resilience_retries_total", 1);
+        std::thread::sleep(rcfg.retry.backoff(attempts));
+    }
+}
+
+/// Terminal state of a generic resilient task (see [`run_task_resilient`]).
+#[derive(Debug)]
+pub enum TaskStatus<T> {
+    /// The task returned `Ok`.
+    Completed(T),
+    /// Every attempt failed with an error.
+    Failed {
+        /// The final attempt's error.
+        error: TensorError,
+    },
+    /// The final attempt exceeded the wall-clock deadline.
+    TimedOut {
+        /// The deadline that was exceeded.
+        after: Duration,
+    },
+    /// The final attempt panicked (isolated on its worker thread).
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+}
+
+/// Outcome of a generic resilient task: status plus attempt accounting.
+#[derive(Debug)]
+pub struct TaskOutcome<T> {
+    /// Terminal status.
+    pub status: TaskStatus<T>,
+    /// Attempts consumed.
+    pub attempts: usize,
+    /// Wall-clock time across all attempts (including backoff sleeps).
+    pub wall: Duration,
+}
+
+impl<T> TaskOutcome<T> {
+    /// The value, when the task completed.
+    pub fn value(self) -> Option<T> {
+        match self.status {
+            TaskStatus::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// One-line failure description (`None` when completed).
+    pub fn failure(&self) -> Option<String> {
+        match &self.status {
+            TaskStatus::Completed(_) => None,
+            TaskStatus::Failed { error } => Some(error.to_string()),
+            TaskStatus::TimedOut { after } => Some(format!(
+                "exceeded {:.3}s deadline",
+                after.as_secs_f64()
+            )),
+            TaskStatus::Panicked { message } => Some(format!("panic: {message}")),
+        }
+    }
+}
+
+enum TaskAttempt<T> {
+    Done(Box<Result<T>>),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Runs an arbitrary fallible task under the same resilience machinery as
+/// [`run_workload_resilient`]: a dedicated worker thread per attempt with
+/// panic isolation, an optional wall-clock deadline, and bounded retries
+/// with exponential backoff. The closure receives the 1-based attempt
+/// index. Used by the `gnnmark-serve` campaign engine for per-job
+/// retries/timeouts.
+///
+/// A timed-out worker thread is detached — it finishes in the background
+/// and its result is discarded, exactly like a timed-out workload attempt.
+pub fn run_task_resilient<T: Send + 'static>(
+    name: &str,
+    rcfg: &ResilienceConfig,
+    task: std::sync::Arc<dyn Fn(usize) -> Result<T> + Send + Sync>,
+) -> TaskOutcome<T> {
+    let started = Instant::now();
+    let max_attempts = rcfg.retry.max_retries + 1;
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let attempt = attempts;
+        let t = std::sync::Arc::clone(&task);
+        let (tx, rx) = mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name(format!("gnnmark-task-{name}"))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| t(attempt)));
+                let msg = match result {
+                    Ok(run) => TaskAttempt::Done(Box::new(run)),
+                    Err(payload) => TaskAttempt::Panicked(panic_message(payload.as_ref())),
+                };
+                // The receiver may have timed out and gone away; fine.
+                let _ = tx.send(msg);
+            });
+        let outcome = if spawned.is_err() {
+            TaskAttempt::Panicked("failed to spawn worker thread".to_string())
+        } else {
+            match rcfg.timeout {
+                Some(deadline) => rx.recv_timeout(deadline).unwrap_or(TaskAttempt::TimedOut),
+                None => rx
+                    .recv()
+                    .unwrap_or_else(|_| TaskAttempt::Panicked("worker vanished".to_string())),
+            }
+        };
+        let status = match outcome {
+            TaskAttempt::Done(res) => match *res {
+                Ok(value) => {
+                    return TaskOutcome {
+                        status: TaskStatus::Completed(value),
+                        attempts,
+                        wall: started.elapsed(),
+                    };
+                }
+                Err(error) => TaskStatus::Failed { error },
+            },
+            TaskAttempt::Panicked(message) => TaskStatus::Panicked { message },
+            TaskAttempt::TimedOut => TaskStatus::TimedOut {
+                after: rcfg.timeout.unwrap_or_default(),
+            },
+        };
+        if attempts >= max_attempts {
+            gnnmark_telemetry::metrics::counter_add("gnnmark_resilience_failures_total", 1);
+            return TaskOutcome {
+                status,
+                attempts,
+                wall: started.elapsed(),
             };
         }
         gnnmark_telemetry::mark("retry:scheduled", "resilience");
@@ -770,6 +920,16 @@ pub fn run_suite_resilient(cfg: &SuiteConfig, rcfg: &ResilienceConfig) -> SuiteR
         .as_ref()
         .map(|dir| Checkpoint::new(dir.clone()));
     let run_one = |kind: WorkloadKind| -> WorkloadOutcome {
+        if crate::shutdown::requested() {
+            gnnmark_telemetry::mark("shutdown:workload-skipped", "resilience");
+            return WorkloadOutcome {
+                kind,
+                status: WorkloadStatus::Interrupted,
+                attempts: 0,
+                wall: Duration::ZERO,
+                attempt_log: Vec::new(),
+            };
+        }
         if let Some(cp) = &checkpoint {
             if let Some(summary) = cp.load_matching(kind, cfg) {
                 gnnmark_telemetry::mark("checkpoint:restored", "resilience");
@@ -889,7 +1049,7 @@ impl RunSummary {
             .map(|l| format!("{l:?}"))
             .collect::<Vec<_>>()
             .join(",");
-        format!(
+        let out = format!(
             "{{\"workload\":{},\"scale\":{},\"epochs\":{},\"seed\":{},\"losses\":[{}],\
              \"steps_per_epoch\":{},\"grad_bytes\":{},\"total_time_ns\":{:?},\
              \"kernel_launches\":{}}}",
@@ -902,7 +1062,8 @@ impl RunSummary {
             self.grad_bytes,
             self.total_time_ns,
             self.kernel_launches,
-        )
+        );
+        gnnmark_telemetry::export::debug_validated("RunSummary::to_json", out)
     }
 
     /// Parses a summary written by [`RunSummary::to_json`]; `None` on any
@@ -1305,6 +1466,70 @@ mod tests {
         std::fs::write(cp.path_for(WorkloadKind::Tlstm), "garbage").unwrap();
         assert!(cp.load_matching(WorkloadKind::Tlstm, &cfg).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generic_task_retries_then_succeeds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = Arc::clone(&calls);
+        let mut rcfg = fast_rcfg().with_retries(2);
+        rcfg.retry.backoff_base = Duration::ZERO;
+        let task: Arc<dyn Fn(usize) -> Result<u32> + Send + Sync> =
+            Arc::new(move |attempt| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                if attempt < 3 {
+                    Err(TensorError::InvalidArgument {
+                        op: "test_task",
+                        reason: format!("transient (attempt {attempt})"),
+                    })
+                } else {
+                    Ok(7)
+                }
+            });
+        let o = run_task_resilient("test", &rcfg, task);
+        assert!(matches!(o.status, TaskStatus::Completed(7)), "{:?}", o.status);
+        assert_eq!(o.attempts, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert!(o.failure().is_none());
+    }
+
+    #[test]
+    fn generic_task_isolates_panics_and_deadlines() {
+        use std::sync::Arc;
+        let rcfg = fast_rcfg();
+        let panicker: Arc<dyn Fn(usize) -> Result<u32> + Send + Sync> =
+            Arc::new(|_| panic!("task exploded"));
+        let o = run_task_resilient("panicker", &rcfg, panicker);
+        assert!(matches!(o.status, TaskStatus::Panicked { .. }), "{:?}", o.status);
+        assert!(o.failure().unwrap().contains("task exploded"));
+
+        let rcfg = fast_rcfg().with_timeout(Duration::from_millis(20));
+        let staller: Arc<dyn Fn(usize) -> Result<u32> + Send + Sync> = Arc::new(|_| {
+            std::thread::sleep(Duration::from_secs(5));
+            Ok(0)
+        });
+        let o = run_task_resilient("staller", &rcfg, staller);
+        assert!(matches!(o.status, TaskStatus::TimedOut { .. }), "{:?}", o.status);
+        assert!(o.failure().unwrap().contains("deadline"));
+    }
+
+    #[test]
+    fn shutdown_request_interrupts_remaining_workloads() {
+        // With shutdown already requested, every workload is skipped as
+        // Interrupted and nothing trains.
+        crate::shutdown::request();
+        let report = run_suite_resilient(&SuiteConfig::test(), &fast_rcfg());
+        crate::shutdown::reset_for_tests();
+        assert_eq!(report.interrupted(), WorkloadKind::ALL.len());
+        assert!(!report.all_succeeded());
+        let o = &report.outcomes[0];
+        assert!(matches!(o.status, WorkloadStatus::Interrupted));
+        assert_eq!(o.status.label(), "interrupted");
+        assert!(o.status.detail().contains("shutdown"));
+        assert_eq!(o.attempts, 0);
+        gnnmark_telemetry::export::validate_json(&report.to_json()).unwrap();
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Cooperative graceful shutdown on SIGINT/SIGTERM.
+//!
+//! Long runs (`gnnmark suite`, `gnnmark serve`) should not lose in-flight
+//! artifacts when the user hits Ctrl-C or the scheduler sends SIGTERM.
+//! [`install`] registers a minimal async-signal-safe handler that only
+//! flips a process-wide [`AtomicBool`]; execution loops poll
+//! [`requested`] at safe points (between workloads, between jobs, between
+//! accepted connections) and wind down: flush the resilience checkpoint,
+//! the telemetry metrics snapshot and the run manifest, then exit.
+//!
+//! The handler is installed at most once; a second signal while shutdown
+//! is already in progress terminates the process immediately (so a double
+//! Ctrl-C still kills a wedged process).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Conventional exit code for "terminated by SIGINT" (128 + 2).
+pub const EXIT_INTERRUPTED: i32 = 130;
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    // `std` already links libc; declaring the two calls we need directly
+    // keeps the crate dependency-free.
+    extern "C" {
+        fn signal(
+            signum: std::ffi::c_int,
+            handler: extern "C" fn(std::ffi::c_int),
+        ) -> usize;
+        fn _exit(status: std::ffi::c_int) -> !;
+    }
+
+    const SIGINT: std::ffi::c_int = 2;
+    const SIGTERM: std::ffi::c_int = 15;
+
+    extern "C" fn on_signal(_signum: std::ffi::c_int) {
+        // Async-signal-safe: one atomic swap; a second signal while
+        // shutdown is already pending terminates immediately (so a double
+        // Ctrl-C still kills a wedged process).
+        if SHUTDOWN.swap(true, Ordering::SeqCst) {
+            unsafe { _exit(super::EXIT_INTERRUPTED) }
+        }
+    }
+
+    pub fn install_handlers() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install_handlers() {}
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent). On non-Unix targets
+/// this is a no-op; [`request`] still works for programmatic shutdown.
+pub fn install() {
+    if !INSTALLED.swap(true, Ordering::SeqCst) {
+        imp::install_handlers();
+    }
+}
+
+/// Whether shutdown has been requested (by signal or [`request`]).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown programmatically — same effect as receiving SIGINT.
+/// Used by tests and by the serve daemon's drain path.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears a pending shutdown request. Only for tests — real runs exit.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_and_reset_clears() {
+        reset_for_tests();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset_for_tests();
+        assert!(!requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}

@@ -1,5 +1,6 @@
 //! Suite execution: build workloads, train them under profiling sessions.
 
+use gnnmark_gpusim::stream::{CapturedRun, CapturedStream, ReplayMeta};
 use gnnmark_gpusim::DeviceSpec;
 use gnnmark_profiler::{ProfileSession, WorkloadProfile};
 use gnnmark_workloads::{Scale, WorkloadKind};
@@ -103,10 +104,68 @@ pub fn run_workload(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<WorkloadPro
 /// Propagates workload construction or training errors, annotated with the
 /// workload label (see [`gnnmark_tensor::TensorError::InWorkload`]).
 pub fn run_workload_full(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunArtifacts> {
-    run_workload_full_inner(kind, cfg).map_err(|e| e.in_workload(kind.label()))
+    run_workload_full_inner(kind, cfg, false)
+        .map(|(art, _)| art)
+        .map_err(|e| e.in_workload(kind.label()))
 }
 
-fn run_workload_full_inner(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunArtifacts> {
+/// Trains and profiles one workload with op-stream capture enabled,
+/// returning the artifacts plus a serializable [`CapturedRun`] that can be
+/// replayed under other device configs without retraining (the unit stored
+/// by the `gnnmark-serve` replay cache).
+///
+/// # Errors
+/// Propagates workload construction or training errors, annotated with the
+/// workload label.
+pub fn run_workload_captured(
+    kind: WorkloadKind,
+    cfg: &SuiteConfig,
+) -> Result<(RunArtifacts, CapturedRun)> {
+    let (artifacts, stream) = run_workload_full_inner(kind, cfg, true)
+        .map_err(|e| e.in_workload(kind.label()))?;
+    let stream = stream.expect("capture was requested");
+    let run = CapturedRun {
+        meta: ReplayMeta {
+            workload: kind.label().to_string(),
+            scale: cfg.scale.label().to_string(),
+            seed: cfg.seed,
+            epochs: cfg.epochs as u32,
+            steps_per_epoch: artifacts.steps_per_epoch,
+            grad_bytes: artifacts.grad_bytes,
+            losses: artifacts.losses.clone(),
+            scaling: artifacts.scaling,
+            quality: artifacts.quality,
+        },
+        stream,
+    };
+    Ok((artifacts, run))
+}
+
+/// Rebuilds [`RunArtifacts`] from a captured run replayed on `device` —
+/// the profile a live training run on that device would have produced,
+/// without retraining. Training metadata (losses, quality, scaling) is
+/// device-independent and comes straight from the capture.
+pub fn artifacts_from_replay(run: &CapturedRun, device: &DeviceSpec) -> RunArtifacts {
+    let profile = gnnmark_profiler::replay_profile(
+        run.meta.workload.clone(),
+        device.clone(),
+        &run.stream,
+    );
+    RunArtifacts {
+        profile,
+        losses: run.meta.losses.clone(),
+        steps_per_epoch: run.meta.steps_per_epoch,
+        grad_bytes: run.meta.grad_bytes,
+        scaling: run.meta.scaling,
+        quality: run.meta.quality,
+    }
+}
+
+fn run_workload_full_inner(
+    kind: WorkloadKind,
+    cfg: &SuiteConfig,
+    capture: bool,
+) -> Result<(RunArtifacts, Option<CapturedStream>)> {
     if let Some(t) = cfg.threads {
         gnnmark_tensor::par::set_threads(t);
     }
@@ -116,6 +175,9 @@ fn run_workload_full_inner(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunA
         kind.build(cfg.scale, cfg.seed)?
     };
     let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
+    if capture {
+        session.enable_capture();
+    }
     let mut losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
         let _ep = gnnmark_telemetry::span!("epoch");
@@ -140,14 +202,23 @@ fn run_workload_full_inner(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<RunA
         }
     }
     let quality = w.quality()?;
-    Ok(RunArtifacts {
-        profile: session.finish(),
-        losses,
-        steps_per_epoch: w.steps_per_epoch(),
-        grad_bytes: w.params().total_bytes(),
-        scaling: w.scaling_behavior(),
-        quality,
-    })
+    let (profile, stream) = if capture {
+        let (p, s) = session.finish_captured();
+        (p, Some(s))
+    } else {
+        (session.finish(), None)
+    };
+    Ok((
+        RunArtifacts {
+            profile,
+            losses,
+            steps_per_epoch: w.steps_per_epoch(),
+            grad_bytes: w.params().total_bytes(),
+            scaling: w.scaling_behavior(),
+            quality,
+        },
+        stream,
+    ))
 }
 
 /// Runs the whole suite (every workload of the paper's figures) and
@@ -282,6 +353,32 @@ mod tests {
         assert_eq!(hard.epochs, None);
         assert_eq!(hard.losses.len(), 2);
         assert!(hard.modeled_ns > easy.modeled_ns);
+    }
+
+    #[test]
+    fn captured_run_replays_to_identical_artifacts() {
+        let cfg = SuiteConfig::test();
+        let (live, run) = run_workload_captured(WorkloadKind::Tlstm, &cfg).unwrap();
+        assert_eq!(run.meta.workload, "TLSTM");
+        assert_eq!(run.meta.scale, "test");
+        assert_eq!(run.meta.losses, live.losses);
+        // Roundtrip through the serialized form, then replay on the same
+        // device: profile must match the live run bit-for-bit.
+        let back = CapturedRun::from_bytes(&run.to_bytes()).unwrap();
+        let replayed = artifacts_from_replay(&back, &cfg.device);
+        assert_eq!(replayed.profile.kernels.len(), live.profile.kernels.len());
+        assert_eq!(
+            replayed.profile.total_time_ns().to_bits(),
+            live.profile.total_time_ns().to_bits()
+        );
+        assert_eq!(replayed.losses, live.losses);
+        assert_eq!(replayed.grad_bytes, live.grad_bytes);
+        // Replaying under a different device yields different timing from
+        // the very same capture — the point of the cache.
+        let ablated = artifacts_from_replay(&back, &DeviceSpec::a100());
+        assert!(
+            ablated.profile.total_kernel_time_ns() < live.profile.total_kernel_time_ns()
+        );
     }
 
     #[test]

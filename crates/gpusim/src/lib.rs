@@ -42,6 +42,7 @@ pub mod model;
 pub mod multigpu;
 pub mod roofline;
 pub mod stall;
+pub mod stream;
 pub mod transfer;
 
 pub use cache::{CacheSim, MemoryTrace};
@@ -51,4 +52,5 @@ pub use model::GpuModel;
 pub use multigpu::{DdpModel, ScalingBehavior};
 pub use roofline::{Bound, RooflinePoint};
 pub use stall::{StallBreakdown, StallReason};
+pub use stream::{CapturedRun, CapturedStream, ReplayMeta, TransferRecord};
 pub use transfer::{Transfer, TransferDirection, TransferEngine};

@@ -1,0 +1,616 @@
+//! Serialization of captured op streams for train-once / replay-many.
+//!
+//! A training run's [`OpEvent`] stream is *device-independent*: every input
+//! to the timing model ([`crate::GpuModel::execute`]) other than the
+//! [`crate::DeviceSpec`] itself is measured from executed computation, and
+//! element-size scaling for half precision is applied inside the model at
+//! simulate time. A stream captured once can therefore be replayed under
+//! any number of device / DDP / interconnect configurations without
+//! retraining — the basis of the `gnnmark-serve` replay cache.
+//!
+//! The on-disk format is a versioned little-endian binary layout with a
+//! trailing FNV-1a checksum. It is written and read only by this module;
+//! bump [`FORMAT_VERSION`] on any layout change so stale cache entries are
+//! rejected rather than misread.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use gnnmark_tensor::instrument::{AccessDesc, OpClass, OpEvent};
+
+use crate::multigpu::ScalingBehavior;
+
+/// Version tag embedded in serialized streams. Readers reject mismatches.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"GNMKSTRM";
+
+/// 64-bit FNV-1a hash — the repo's standard content digest (also used by
+/// the golden-snapshot layer and the serve cache for key hashing).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Interns a string, returning a `&'static str` with the same content.
+///
+/// [`OpEvent::kernel`] is `&'static str`; deserialized streams rebuild it
+/// through this table. Kernel-name cardinality is tiny (a few dozen), so
+/// the intentional leak is bounded.
+pub fn intern_static(s: &str) -> &'static str {
+    static TABLE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut table = TABLE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(hit) = table.iter().find(|k| **k == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+/// One host↔device transfer, stored device-independently.
+///
+/// Only the payload measurements are kept; the modeled transfer *time* is
+/// recomputed at replay from the target device's PCIe bandwidth via
+/// [`crate::TransferEngine::record_raw`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// `true` for host→device, `false` for device→host.
+    pub h2d: bool,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Number of zero-valued elements (sparsity numerator).
+    pub zeros: u64,
+    /// Number of elements.
+    pub elements: u64,
+}
+
+/// The full device-independent op stream of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct CapturedStream {
+    /// Events per training step, in execution order (flattened into
+    /// [`CapturedStream::events`]; `per_step[i]` is step `i`'s count).
+    pub per_step: Vec<u32>,
+    /// All op events, in execution order.
+    pub events: Vec<OpEvent>,
+    /// All host↔device transfers, in execution order.
+    pub transfers: Vec<TransferRecord>,
+}
+
+impl CapturedStream {
+    /// Appends one training step's events.
+    pub fn push_step(&mut self, events: &[OpEvent]) {
+        self.per_step.push(events.len() as u32);
+        self.events.extend_from_slice(events);
+    }
+
+    /// Number of captured steps.
+    pub fn steps(&self) -> u64 {
+        self.per_step.len() as u64
+    }
+}
+
+/// Training metadata captured alongside the stream — everything a replay
+/// needs to rebuild run artifacts without re-running the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayMeta {
+    /// Workload label, e.g. `"STGCN"`.
+    pub workload: String,
+    /// Dataset scale label, e.g. `"small"`.
+    pub scale: String,
+    /// Training seed.
+    pub seed: u64,
+    /// Epochs trained.
+    pub epochs: u32,
+    /// Optimizer steps per epoch.
+    pub steps_per_epoch: u64,
+    /// Gradient payload per step in bytes (DDP all-reduce volume).
+    pub grad_bytes: u64,
+    /// Per-epoch training losses (device-independent).
+    pub losses: Vec<f64>,
+    /// DDP scaling behavior of the workload, if it participates.
+    pub scaling: Option<ScalingBehavior>,
+    /// Final quality metric `(name, value)`, if the workload reports one.
+    pub quality: Option<(&'static str, f64)>,
+}
+
+/// A captured run: metadata plus the op stream. The unit stored by the
+/// replay cache.
+#[derive(Debug, Clone)]
+pub struct CapturedRun {
+    /// Training metadata.
+    pub meta: ReplayMeta,
+    /// The device-independent op stream.
+    pub stream: CapturedStream,
+}
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.i + n > self.b.len() {
+            return Err(format!(
+                "truncated stream: need {n} bytes at offset {}, have {}",
+                self.i,
+                self.b.len() - self.i
+            ));
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in stream string".to_string())
+    }
+}
+
+fn write_access(w: &mut Writer, d: &AccessDesc) {
+    match d {
+        AccessDesc::Sequential { bytes } => {
+            w.u8(0);
+            w.u64(*bytes);
+        }
+        AccessDesc::Strided {
+            stride_bytes,
+            accesses,
+            access_bytes,
+        } => {
+            w.u8(1);
+            w.u64(*stride_bytes);
+            w.u64(*accesses);
+            w.u64(*access_bytes);
+        }
+        AccessDesc::Indexed {
+            indices,
+            row_bytes,
+            table_bytes,
+        } => {
+            w.u8(2);
+            w.u32(indices.len() as u32);
+            for &ix in indices.iter() {
+                w.u32(ix);
+            }
+            w.u64(*row_bytes);
+            w.u64(*table_bytes);
+        }
+        AccessDesc::Random {
+            accesses,
+            access_bytes,
+            region_bytes,
+        } => {
+            w.u8(3);
+            w.u64(*accesses);
+            w.u64(*access_bytes);
+            w.u64(*region_bytes);
+        }
+    }
+}
+
+fn read_access(r: &mut Reader<'_>) -> Result<AccessDesc, String> {
+    match r.u8()? {
+        0 => Ok(AccessDesc::Sequential { bytes: r.u64()? }),
+        1 => Ok(AccessDesc::Strided {
+            stride_bytes: r.u64()?,
+            accesses: r.u64()?,
+            access_bytes: r.u64()?,
+        }),
+        2 => {
+            let n = r.u32()? as usize;
+            let mut indices = Vec::with_capacity(n);
+            for _ in 0..n {
+                indices.push(r.u32()?);
+            }
+            Ok(AccessDesc::Indexed {
+                indices: Arc::new(indices),
+                row_bytes: r.u64()?,
+                table_bytes: r.u64()?,
+            })
+        }
+        3 => Ok(AccessDesc::Random {
+            accesses: r.u64()?,
+            access_bytes: r.u64()?,
+            region_bytes: r.u64()?,
+        }),
+        t => Err(format!("unknown access-desc tag {t}")),
+    }
+}
+
+fn write_event(w: &mut Writer, e: &OpEvent) {
+    let class_ix = OpClass::ALL
+        .iter()
+        .position(|c| *c == e.class)
+        .expect("OpClass::ALL covers every class") as u8;
+    w.u8(class_ix);
+    w.str(e.kernel);
+    w.u64(e.flops);
+    w.u64(e.iops);
+    w.u64(e.bytes_read);
+    w.u64(e.bytes_written);
+    w.u64(e.threads);
+    w.u32(e.reads.len() as u32);
+    for d in &e.reads {
+        write_access(w, d);
+    }
+    w.u32(e.writes.len() as u32);
+    for d in &e.writes {
+        write_access(w, d);
+    }
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<OpEvent, String> {
+    let class_ix = r.u8()? as usize;
+    let class = *OpClass::ALL
+        .get(class_ix)
+        .ok_or_else(|| format!("unknown op-class index {class_ix}"))?;
+    let kernel = intern_static(&r.str()?);
+    let flops = r.u64()?;
+    let iops = r.u64()?;
+    let bytes_read = r.u64()?;
+    let bytes_written = r.u64()?;
+    let threads = r.u64()?;
+    let n_reads = r.u32()? as usize;
+    let mut reads = Vec::with_capacity(n_reads);
+    for _ in 0..n_reads {
+        reads.push(read_access(r)?);
+    }
+    let n_writes = r.u32()? as usize;
+    let mut writes = Vec::with_capacity(n_writes);
+    for _ in 0..n_writes {
+        writes.push(read_access(r)?);
+    }
+    Ok(OpEvent {
+        class,
+        kernel,
+        flops,
+        iops,
+        bytes_read,
+        bytes_written,
+        threads,
+        reads,
+        writes,
+    })
+}
+
+impl CapturedRun {
+    /// Serializes to the versioned binary format (with trailing checksum).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { out: Vec::new() };
+        w.out.extend_from_slice(MAGIC);
+        w.u32(FORMAT_VERSION);
+
+        w.str(&self.meta.workload);
+        w.str(&self.meta.scale);
+        w.u64(self.meta.seed);
+        w.u32(self.meta.epochs);
+        w.u64(self.meta.steps_per_epoch);
+        w.u64(self.meta.grad_bytes);
+        w.u32(self.meta.losses.len() as u32);
+        for &l in &self.meta.losses {
+            w.f64(l);
+        }
+        match self.meta.scaling {
+            None => w.u8(0),
+            Some(ScalingBehavior::DataParallel) => w.u8(1),
+            Some(ScalingBehavior::ReplicatedSampling { redundancy }) => {
+                w.u8(2);
+                w.f64(redundancy);
+            }
+            Some(ScalingBehavior::HostBound { host_fraction }) => {
+                w.u8(3);
+                w.f64(host_fraction);
+            }
+        }
+        match self.meta.quality {
+            None => w.u8(0),
+            Some((name, value)) => {
+                w.u8(1);
+                w.str(name);
+                w.f64(value);
+            }
+        }
+
+        w.u32(self.stream.per_step.len() as u32);
+        for &n in &self.stream.per_step {
+            w.u32(n);
+        }
+        w.u64(self.stream.events.len() as u64);
+        for e in &self.stream.events {
+            write_event(&mut w, e);
+        }
+        w.u32(self.stream.transfers.len() as u32);
+        for t in &self.stream.transfers {
+            w.u8(u8::from(t.h2d));
+            w.u64(t.bytes);
+            w.u64(t.zeros);
+            w.u64(t.elements);
+        }
+
+        let checksum = fnv1a_64(&w.out);
+        w.u64(checksum);
+        w.out
+    }
+
+    /// Deserializes from [`CapturedRun::to_bytes`] output, verifying the
+    /// magic, version and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CapturedRun, String> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err("stream too short".to_string());
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let computed = fnv1a_64(body);
+        if stored != computed {
+            return Err(format!(
+                "stream checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ));
+        }
+        let mut r = Reader { b: body, i: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err("bad stream magic".to_string());
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(format!(
+                "stream format version {version} != supported {FORMAT_VERSION}"
+            ));
+        }
+
+        let workload = r.str()?;
+        let scale = r.str()?;
+        let seed = r.u64()?;
+        let epochs = r.u32()?;
+        let steps_per_epoch = r.u64()?;
+        let grad_bytes = r.u64()?;
+        let n_losses = r.u32()? as usize;
+        let mut losses = Vec::with_capacity(n_losses);
+        for _ in 0..n_losses {
+            losses.push(r.f64()?);
+        }
+        let scaling = match r.u8()? {
+            0 => None,
+            1 => Some(ScalingBehavior::DataParallel),
+            2 => Some(ScalingBehavior::ReplicatedSampling {
+                redundancy: r.f64()?,
+            }),
+            3 => Some(ScalingBehavior::HostBound {
+                host_fraction: r.f64()?,
+            }),
+            t => return Err(format!("unknown scaling tag {t}")),
+        };
+        let quality = match r.u8()? {
+            0 => None,
+            1 => {
+                let name = intern_static(&r.str()?);
+                Some((name, r.f64()?))
+            }
+            t => return Err(format!("unknown quality tag {t}")),
+        };
+
+        let n_steps = r.u32()? as usize;
+        let mut per_step = Vec::with_capacity(n_steps);
+        for _ in 0..n_steps {
+            per_step.push(r.u32()?);
+        }
+        let n_events = r.u64()? as usize;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            events.push(read_event(&mut r)?);
+        }
+        let n_transfers = r.u32()? as usize;
+        let mut transfers = Vec::with_capacity(n_transfers);
+        for _ in 0..n_transfers {
+            transfers.push(TransferRecord {
+                h2d: r.u8()? != 0,
+                bytes: r.u64()?,
+                zeros: r.u64()?,
+                elements: r.u64()?,
+            });
+        }
+        if r.i != body.len() {
+            return Err(format!(
+                "trailing bytes in stream: {} unread",
+                body.len() - r.i
+            ));
+        }
+        Ok(CapturedRun {
+            meta: ReplayMeta {
+                workload,
+                scale,
+                seed,
+                epochs,
+                steps_per_epoch,
+                grad_bytes,
+                losses,
+                scaling,
+                quality,
+            },
+            stream: CapturedStream {
+                per_step,
+                events,
+                transfers,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> CapturedRun {
+        let mut stream = CapturedStream::default();
+        stream.push_step(&[
+            OpEvent {
+                class: OpClass::Gemm,
+                kernel: "sgemm",
+                flops: 1000,
+                iops: 10,
+                bytes_read: 4096,
+                bytes_written: 1024,
+                threads: 256,
+                reads: vec![
+                    AccessDesc::Sequential { bytes: 4096 },
+                    AccessDesc::Strided {
+                        stride_bytes: 128,
+                        accesses: 32,
+                        access_bytes: 4,
+                    },
+                ],
+                writes: vec![AccessDesc::Sequential { bytes: 1024 }],
+            },
+            OpEvent {
+                class: OpClass::Gather,
+                kernel: "gather_rows",
+                flops: 0,
+                iops: 64,
+                bytes_read: 2048,
+                bytes_written: 2048,
+                threads: 64,
+                reads: vec![AccessDesc::Indexed {
+                    indices: Arc::new(vec![3, 1, 4, 1, 5]),
+                    row_bytes: 64,
+                    table_bytes: 8192,
+                }],
+                writes: vec![AccessDesc::Random {
+                    accesses: 5,
+                    access_bytes: 64,
+                    region_bytes: 8192,
+                }],
+            },
+        ]);
+        stream.push_step(&[]);
+        stream.transfers.push(TransferRecord {
+            h2d: true,
+            bytes: 400,
+            zeros: 30,
+            elements: 100,
+        });
+        stream.transfers.push(TransferRecord {
+            h2d: false,
+            bytes: 8,
+            zeros: 0,
+            elements: 2,
+        });
+        CapturedRun {
+            meta: ReplayMeta {
+                workload: "STGCN".to_string(),
+                scale: "tiny".to_string(),
+                seed: 42,
+                epochs: 3,
+                steps_per_epoch: 7,
+                grad_bytes: 123_456,
+                losses: vec![1.5, 0.9, 0.6],
+                scaling: Some(ScalingBehavior::ReplicatedSampling { redundancy: 0.15 }),
+                quality: Some(("accuracy", 0.87)),
+            },
+            stream,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let run = sample_run();
+        let bytes = run.to_bytes();
+        let back = CapturedRun::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.meta, run.meta);
+        assert_eq!(back.stream.per_step, run.stream.per_step);
+        assert_eq!(back.stream.transfers, run.stream.transfers);
+        assert_eq!(back.stream.events.len(), run.stream.events.len());
+        for (a, b) in back.stream.events.iter().zip(&run.stream.events) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.flops, b.flops);
+            assert_eq!(a.iops, b.iops);
+            assert_eq!(a.bytes_read, b.bytes_read);
+            assert_eq!(a.bytes_written, b.bytes_written);
+            assert_eq!(a.threads, b.threads);
+            assert_eq!(a.reads.len(), b.reads.len());
+            assert_eq!(a.writes.len(), b.writes.len());
+        }
+        // Serialization is deterministic.
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let run = sample_run();
+        let mut bytes = run.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let err = CapturedRun::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let run = sample_run();
+        let bytes = run.to_bytes();
+        assert!(CapturedRun::from_bytes(&bytes[..bytes.len() - 9]).is_err());
+        assert!(CapturedRun::from_bytes(&bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let run = sample_run();
+        let mut bytes = run.to_bytes();
+        bytes[8] = 99; // version field follows the 8-byte magic
+        // Fix up the checksum so only the version check fires.
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a_64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = CapturedRun::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn interner_returns_stable_references() {
+        let a = intern_static("sgemm_test_kernel");
+        let b = intern_static("sgemm_test_kernel");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "sgemm_test_kernel");
+    }
+}

@@ -84,6 +84,19 @@ impl TransferEngine {
         });
     }
 
+    /// Records a transfer from pre-measured payload counts, re-timing it
+    /// under this engine's device. Used when replaying a captured stream
+    /// ([`crate::stream::TransferRecord`]) on a different device config.
+    pub fn record_raw(
+        &mut self,
+        direction: TransferDirection,
+        bytes: u64,
+        zeros: u64,
+        elements: u64,
+    ) {
+        self.record(direction, bytes, zeros, elements);
+    }
+
     /// Uploads a dense tensor, counting its zeros.
     pub fn upload(&mut self, t: &Tensor) {
         let zeros = t.as_slice().iter().filter(|v| **v == 0.0).count() as u64;

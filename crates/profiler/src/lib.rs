@@ -29,11 +29,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod profile;
+pub mod replay;
 pub mod session;
 pub mod table;
 pub mod trace;
 
 pub use profile::{ClassStats, FigureCategory, WorkloadProfile};
+pub use replay::replay_profile;
 pub use session::ProfileSession;
 pub use table::Table;
 pub use trace::{to_chrome_trace, to_merged_chrome_trace};

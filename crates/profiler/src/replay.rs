@@ -1,0 +1,119 @@
+//! Rebuilding a [`WorkloadProfile`] from a captured op stream.
+//!
+//! A stream captured by [`crate::ProfileSession::finish_captured`] (or
+//! deserialized from the serve replay cache) contains everything the GPU
+//! model needs; replaying it under a different [`DeviceSpec`] produces the
+//! profile that device *would* have yielded, without re-running training.
+//! Replaying under the capture-time device reproduces the original profile
+//! exactly: the model is deterministic and consumes events in order from a
+//! fresh state, the same way a live session does.
+
+use gnnmark_gpusim::stream::CapturedStream;
+use gnnmark_gpusim::{DeviceSpec, GpuModel, TransferDirection, TransferEngine};
+
+use crate::profile::WorkloadProfile;
+
+/// Replays a captured op stream on a device, producing the aggregate
+/// profile a live [`crate::ProfileSession`] on that device would build.
+pub fn replay_profile(
+    name: impl Into<String>,
+    spec: DeviceSpec,
+    stream: &CapturedStream,
+) -> WorkloadProfile {
+    let _sp = gnnmark_telemetry::span!("replay", "gpu-model");
+    let mut gpu = GpuModel::new(spec.clone());
+    let mut kernels = Vec::with_capacity(stream.events.len());
+    for e in &stream.events {
+        kernels.push(gpu.execute(e));
+    }
+    let mut transfers = TransferEngine::new(&spec);
+    for t in &stream.transfers {
+        let direction = if t.h2d {
+            TransferDirection::HostToDevice
+        } else {
+            TransferDirection::DeviceToHost
+        };
+        transfers.record_raw(direction, t.bytes, t.zeros, t.elements);
+    }
+    WorkloadProfile::build(name.into(), spec, kernels, transfers, stream.steps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProfileSession;
+    use gnnmark_tensor::Tensor;
+
+    fn captured_session() -> (WorkloadProfile, CapturedStream) {
+        let mut s = ProfileSession::new("replay-test", DeviceSpec::v100());
+        s.enable_capture();
+        s.upload(&Tensor::zeros(&[64]));
+        s.begin_step();
+        let x = Tensor::ones(&[32, 32]);
+        let y = x.matmul(&x).unwrap();
+        let _ = y.relu();
+        s.end_step();
+        s.begin_step();
+        let _ = x.softmax_rows();
+        s.end_step();
+        s.download(&Tensor::ones(&[8]));
+        s.finish_captured()
+    }
+
+    #[test]
+    fn same_device_replay_reproduces_the_profile() {
+        let (live, stream) = captured_session();
+        let replayed = replay_profile("replay-test", DeviceSpec::v100(), &stream);
+        assert_eq!(replayed.steps, live.steps);
+        assert_eq!(replayed.kernels.len(), live.kernels.len());
+        for (a, b) in replayed.kernels.iter().zip(&live.kernels) {
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits(), "kernel {}", a.kernel);
+            assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+        }
+        assert_eq!(
+            replayed.total_time_ns().to_bits(),
+            live.total_time_ns().to_bits()
+        );
+        assert_eq!(replayed.mean_sparsity.to_bits(), live.mean_sparsity.to_bits());
+        assert_eq!(replayed.h2d_bytes, live.h2d_bytes);
+        assert_eq!(replayed.sparsity_series, live.sparsity_series);
+    }
+
+    #[test]
+    fn different_device_changes_timing_but_not_work() {
+        let (live, stream) = captured_session();
+        let replayed = replay_profile("replay-test", DeviceSpec::a100(), &stream);
+        assert_eq!(replayed.kernels.len(), live.kernels.len());
+        // Same measured work...
+        assert_eq!(replayed.instr.total(), live.instr.total());
+        // ...different modeled time on faster hardware.
+        assert!(replayed.total_kernel_time_ns() < live.total_kernel_time_ns());
+    }
+
+    #[test]
+    fn replay_survives_serialization() {
+        use gnnmark_gpusim::stream::{CapturedRun, ReplayMeta};
+        let (live, stream) = captured_session();
+        let run = CapturedRun {
+            meta: ReplayMeta {
+                workload: "replay-test".to_string(),
+                scale: "tiny".to_string(),
+                seed: 1,
+                epochs: 1,
+                steps_per_epoch: 2,
+                grad_bytes: 0,
+                losses: vec![],
+                scaling: None,
+                quality: None,
+            },
+            stream,
+        };
+        let back = CapturedRun::from_bytes(&run.to_bytes()).unwrap();
+        let replayed = replay_profile("replay-test", DeviceSpec::v100(), &back.stream);
+        assert_eq!(
+            replayed.total_time_ns().to_bits(),
+            live.total_time_ns().to_bits()
+        );
+    }
+}

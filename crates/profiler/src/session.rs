@@ -1,6 +1,9 @@
 //! Profiling sessions wrapping a training run.
 
-use gnnmark_gpusim::{DeviceSpec, GpuModel, KernelMetrics, TransferEngine};
+use gnnmark_gpusim::stream::{CapturedStream, TransferRecord};
+use gnnmark_gpusim::{
+    DeviceSpec, GpuModel, KernelMetrics, TransferDirection, TransferEngine,
+};
 use gnnmark_tensor::{record, CsrMatrix, IntTensor, Tensor};
 
 use crate::profile::WorkloadProfile;
@@ -21,6 +24,7 @@ pub struct ProfileSession {
     steps: u64,
     in_step: bool,
     modeled_ns: f64,
+    capture: Option<CapturedStream>,
 }
 
 impl ProfileSession {
@@ -35,7 +39,23 @@ impl ProfileSession {
             steps: 0,
             in_step: false,
             modeled_ns: 0.0,
+            capture: None,
         }
+    }
+
+    /// Turns on op-stream capture: every step's events are retained (in
+    /// addition to being simulated) so the run can be serialized and later
+    /// replayed under other device configs via
+    /// [`crate::replay::replay_profile`]. Call before the first step.
+    pub fn enable_capture(&mut self) {
+        if self.capture.is_none() {
+            self.capture = Some(CapturedStream::default());
+        }
+    }
+
+    /// Whether op-stream capture is enabled.
+    pub fn capture_enabled(&self) -> bool {
+        self.capture.is_some()
     }
 
     /// Starts capturing ops on this thread.
@@ -58,6 +78,9 @@ impl ProfileSession {
         self.in_step = false;
         self.steps += 1;
         let events = record::stop_recording();
+        if let Some(cap) = self.capture.as_mut() {
+            cap.push_step(&events);
+        }
         self.simulate(&events);
     }
 
@@ -128,6 +151,32 @@ impl ProfileSession {
             self.transfers,
             self.steps,
         )
+    }
+
+    /// Finishes the session and also returns the captured op stream.
+    ///
+    /// The stream's transfer list is filled from this session's measured
+    /// transfers (payload counts only — times are recomputed at replay).
+    ///
+    /// # Panics
+    /// Panics if a step is still open or capture was never enabled.
+    pub fn finish_captured(mut self) -> (WorkloadProfile, CapturedStream) {
+        let mut stream = self
+            .capture
+            .take()
+            .expect("finish_captured without enable_capture");
+        stream.transfers = self
+            .transfers
+            .transfers()
+            .iter()
+            .map(|t| TransferRecord {
+                h2d: t.direction == TransferDirection::HostToDevice,
+                bytes: t.bytes,
+                zeros: t.zeros,
+                elements: t.elements,
+            })
+            .collect();
+        (self.finish(), stream)
     }
 
     /// Finishes the session even if a step is still open — the aborted

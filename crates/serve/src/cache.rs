@@ -1,0 +1,248 @@
+//! Content-addressed on-disk cache of captured op streams.
+//!
+//! One cache entry is one serialized [`CapturedRun`]: the full op-event
+//! stream plus device-independent training metadata of one real training
+//! run. The key is everything that determines the stream —
+//! workload, dataset scale, seed, epoch count — plus a code-version salt,
+//! so entries written by an older stream format or model revision are
+//! invalidated by construction rather than misread.
+//!
+//! Device configuration is deliberately *not* part of the key: the stream
+//! is device-independent (element-size scaling and timing happen inside
+//! the gpusim model at replay), which is what lets one training run serve
+//! arbitrarily many device-ablation configs.
+//!
+//! Telemetry: `gnnmark_serve_cache_hits_total`,
+//! `gnnmark_serve_cache_misses_total` and
+//! `gnnmark_serve_trainings_total` count lookups and actual trainings —
+//! tests assert a second identical submission does not retrain.
+
+use std::path::{Path, PathBuf};
+
+use gnnmark::suite::{run_workload_captured, SuiteConfig};
+use gnnmark::Result;
+use gnnmark_gpusim::stream::{fnv1a_64, CapturedRun, FORMAT_VERSION};
+use gnnmark_workloads::{Scale, WorkloadKind};
+
+/// The built-in component of the cache salt. Bumps with the stream format;
+/// bump the trailing revision manually when the *timing-relevant* tensor
+/// instrumentation changes without a format change.
+const CODE_SALT: &str = "gnnmark-stream-v1";
+
+/// The cache salt: `GNNMARK_CACHE_SALT` env override (operators can force
+/// a cold cache fleet-wide) or the built-in code-version salt.
+pub fn cache_salt() -> String {
+    std::env::var("GNNMARK_CACHE_SALT")
+        .unwrap_or_else(|_| format!("{CODE_SALT}+fmt{FORMAT_VERSION}"))
+}
+
+/// Everything that determines a captured op stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Which workload trains.
+    pub workload: WorkloadKind,
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Dataset/initialization seed.
+    pub seed: u64,
+    /// Epochs trained.
+    pub epochs: usize,
+}
+
+impl CacheKey {
+    /// Stable entry identifier: human-readable prefix plus a 16-hex-digit
+    /// FNV-1a digest of the full key material (including the salt).
+    pub fn id(&self) -> String {
+        let material = format!(
+            "{}|{}|{}|{}|{}",
+            self.workload.label(),
+            self.scale.label(),
+            self.seed,
+            self.epochs,
+            cache_salt(),
+        );
+        format!(
+            "{}-{}-s{}-e{}-{:016x}",
+            self.workload.label(),
+            self.scale.label(),
+            self.seed,
+            self.epochs,
+            fnv1a_64(material.as_bytes()),
+        )
+    }
+
+    /// The [`SuiteConfig`] a cache miss trains under. The device is the
+    /// default V100 — it shapes only the capture-time profile, never the
+    /// stream, so any device choice yields the same cache entry.
+    pub fn suite_config(&self) -> SuiteConfig {
+        let mut cfg = SuiteConfig::test();
+        cfg.scale = self.scale;
+        cfg.seed = self.seed;
+        cfg.epochs = self.epochs;
+        cfg
+    }
+
+    /// `true` when a deserialized run's metadata matches this key
+    /// (defense against digest collisions and hand-edited cache dirs).
+    pub fn matches(&self, run: &CapturedRun) -> bool {
+        run.meta.workload == self.workload.label()
+            && run.meta.scale == self.scale.label()
+            && run.meta.seed == self.seed
+            && run.meta.epochs as usize == self.epochs
+    }
+}
+
+/// On-disk store of captured runs, one `<id>.stream` file per key.
+#[derive(Debug, Clone)]
+pub struct StreamCache {
+    dir: PathBuf,
+}
+
+impl StreamCache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StreamCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key is stored at.
+    pub fn path_for(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.stream", key.id()))
+    }
+
+    /// Loads a key's captured run, if present and intact. Corrupted or
+    /// mismatched entries are treated as absent (and left in place for
+    /// inspection).
+    pub fn load(&self, key: &CacheKey) -> Option<CapturedRun> {
+        let bytes = std::fs::read(self.path_for(key)).ok()?;
+        let run = CapturedRun::from_bytes(&bytes).ok()?;
+        key.matches(&run).then_some(run)
+    }
+
+    /// Stores a captured run under a key (write-then-rename, so readers
+    /// never observe a torn entry).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn store(&self, key: &CacheKey, run: &CapturedRun) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(key);
+        let tmp = path.with_extension("stream.tmp");
+        std::fs::write(&tmp, run.to_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// The cache's core operation: return the key's captured run, training
+    /// it (once) on a miss. Bumps the hit/miss/training counters.
+    ///
+    /// # Errors
+    /// Propagates training errors on a miss; a failed training stores
+    /// nothing, so the next call retries.
+    pub fn get_or_train(&self, key: &CacheKey) -> Result<CapturedRun> {
+        if let Some(run) = self.load(key) {
+            gnnmark_telemetry::metrics::counter_add("gnnmark_serve_cache_hits_total", 1);
+            return Ok(run);
+        }
+        gnnmark_telemetry::metrics::counter_add("gnnmark_serve_cache_misses_total", 1);
+        let _sp = gnnmark_telemetry::Span::enter_cat(
+            format!("train:{}", key.id()),
+            "serve-cache",
+        );
+        let (_artifacts, run) = run_workload_captured(key.workload, &key.suite_config())?;
+        gnnmark_telemetry::metrics::counter_add("gnnmark_serve_trainings_total", 1);
+        // A write failure only costs a retrain next time; the run is good.
+        let _ = self.store(key, &run);
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cache(tag: &str) -> StreamCache {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnmark_cache_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StreamCache::new(dir)
+    }
+
+    #[test]
+    fn key_id_is_stable_and_distinguishes() {
+        let a = CacheKey {
+            workload: WorkloadKind::Tlstm,
+            scale: Scale::Test,
+            seed: 42,
+            epochs: 1,
+        };
+        assert_eq!(a.id(), a.id());
+        assert!(a.id().starts_with("TLSTM-test-s42-e1-"));
+        let b = CacheKey { seed: 43, ..a };
+        assert_ne!(a.id(), b.id());
+        let c = CacheKey { epochs: 2, ..a };
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn miss_trains_then_hit_loads() {
+        let cache = tmp_cache("hitmiss");
+        let key = CacheKey {
+            workload: WorkloadKind::Tlstm,
+            scale: Scale::Test,
+            seed: 42,
+            epochs: 1,
+        };
+        let t0 = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
+            .map_or(0, |m| m.as_counter());
+        let first = cache.get_or_train(&key).unwrap();
+        let t1 = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
+            .map_or(0, |m| m.as_counter());
+        assert_eq!(t1, t0 + 1, "miss trains");
+        assert!(cache.path_for(&key).exists());
+        let second = cache.get_or_train(&key).unwrap();
+        let t2 = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
+            .map_or(0, |m| m.as_counter());
+        assert_eq!(t2, t1, "hit does not retrain");
+        assert_eq!(first.to_bytes(), second.to_bytes(), "hit is byte-identical");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupted_entry_is_a_miss() {
+        let cache = tmp_cache("corrupt");
+        let key = CacheKey {
+            workload: WorkloadKind::Tlstm,
+            scale: Scale::Test,
+            seed: 7,
+            epochs: 1,
+        };
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.path_for(&key), b"definitely not a stream").unwrap();
+        assert!(cache.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn mismatched_entry_is_rejected() {
+        let cache = tmp_cache("mismatch");
+        let key_a = CacheKey {
+            workload: WorkloadKind::Tlstm,
+            scale: Scale::Test,
+            seed: 1,
+            epochs: 1,
+        };
+        let key_b = CacheKey { seed: 2, ..key_a };
+        let run = cache.get_or_train(&key_a).unwrap();
+        // Plant key A's bytes at key B's path: metadata check rejects it.
+        std::fs::write(cache.path_for(&key_b), run.to_bytes()).unwrap();
+        assert!(cache.load(&key_b).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,498 @@
+//! The campaign engine: expand a [`CampaignSpec`] into a two-phase job
+//! DAG and execute it on a bounded worker pool.
+//!
+//! * **Phase 1 — capture.** One job per workload (the replay-cache key
+//!   space of the campaign): [`StreamCache::get_or_train`] under the
+//!   suite's resilient task runner (retries, deadline, panic isolation).
+//!   Only cache misses actually train.
+//! * **Phase 2 — replay.** One job per (config × workload): the captured
+//!   stream replays through a fresh gpusim model built from the config's
+//!   [`DeviceSpec`]. Replay is pure simulation — milliseconds, not
+//!   minutes.
+//!
+//! Every job writes its result into a pre-sized slot indexed by its
+//! position in the expanded job list, and the merged output is rendered
+//! by iterating those slots in order — so the merged JSON and the figure
+//! CSVs are byte-identical across runs and worker counts, and contain no
+//! wall-clock values.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gnnmark::resilience::{run_task_resilient, ResilienceConfig};
+use gnnmark::suite::{artifacts_from_replay, RunArtifacts};
+use gnnmark::{figures, shutdown};
+use gnnmark_gpusim::{CapturedRun, DdpModel};
+use gnnmark_telemetry::export::debug_validated;
+
+use crate::cache::{CacheKey, StreamCache};
+use crate::spec::{CampaignSpec, DeviceConfig};
+
+/// Execution knobs for a campaign (none of these affect the merged
+/// output bytes, only how fast they are produced).
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads for the job queue (clamped to at least 1).
+    pub workers: usize,
+    /// Retry/timeout policy applied to each capture (training) job.
+    pub resilience: ResilienceConfig,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            workers: 2,
+            resilience: ResilienceConfig::default().with_retries(1),
+        }
+    }
+}
+
+/// One replayed (config × workload) cell of the campaign.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Config name (from the spec).
+    pub config: String,
+    /// Workload label.
+    pub workload: String,
+    /// The replayed artifacts under the config's device.
+    pub artifacts: RunArtifacts,
+    /// Modeled DDP epoch time for the config's GPU count (ns), when the
+    /// workload participates in multi-GPU scaling and `gpus > 1`.
+    pub ddp_epoch_ns: Option<f64>,
+}
+
+/// The result of a completed campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The spec that ran.
+    pub spec: CampaignSpec,
+    /// Captures that were already present in the cache.
+    pub cache_hits: usize,
+    /// Captures that had to train.
+    pub trainings: usize,
+    /// Every successful replay, in deterministic (config, workload) order.
+    pub results: Vec<ReplayResult>,
+    /// One line per failed or skipped job, in deterministic order.
+    pub failures: Vec<String>,
+    /// Deterministic merged result document (validated JSON; no
+    /// wall-clock values).
+    pub merged_json: String,
+}
+
+impl CampaignOutcome {
+    /// `true` when every expanded job produced a result.
+    pub fn complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Per-config figure tables as `(config, file_name, csv)` triples, in
+    /// deterministic order.
+    pub fn figure_csvs(&self) -> Vec<(String, String, String)> {
+        let mut out = Vec::new();
+        for cfg in &self.spec.configs {
+            let runs: Vec<RunArtifacts> = self
+                .results
+                .iter()
+                .filter(|r| r.config == cfg.name)
+                .map(|r| r.artifacts.clone())
+                .collect();
+            if runs.is_empty() {
+                continue;
+            }
+            let profiles: Vec<_> = runs.iter().map(|r| r.profile.clone()).collect();
+            let tables = [
+                ("summary.csv", figures::suite_summary(&runs)),
+                ("fig2_time_breakdown.csv", figures::fig2_time_breakdown(&profiles)),
+                ("fig4_throughput.csv", figures::fig4_throughput(&profiles)),
+                ("fig9_scaling.csv", figures::fig9_scaling(&runs)),
+                ("convergence.csv", figures::fig_convergence(&runs)),
+            ];
+            for (file, table) in tables {
+                out.push((cfg.name.clone(), file.to_string(), table.to_csv()));
+            }
+        }
+        out
+    }
+
+    /// Writes `merged.json` plus per-config figure CSVs under `dir`
+    /// (`<dir>/<campaign>/merged.json`, `<dir>/<campaign>/<config>/*.csv`).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let root = dir.join(&self.spec.name);
+        std::fs::create_dir_all(&root)?;
+        std::fs::write(root.join("merged.json"), &self.merged_json)?;
+        for (config, file, csv) in self.figure_csvs() {
+            let cfg_dir = root.join(&config);
+            std::fs::create_dir_all(&cfg_dir)?;
+            std::fs::write(cfg_dir.join(file), csv)?;
+        }
+        Ok(root)
+    }
+}
+
+/// Runs `n_jobs` closures on `workers` threads, each writing into its own
+/// slot — results are position-stable regardless of which worker ran
+/// which job. Checks the process shutdown flag between jobs.
+fn run_jobs<T: Send>(
+    n_jobs: usize,
+    workers: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<Option<T>> {
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = workers.clamp(1, n_jobs.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if shutdown::requested() {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n_jobs {
+                    return;
+                }
+                let out = job(i);
+                slots.lock().unwrap()[i] = Some(out);
+            });
+        }
+    });
+    slots.into_inner().unwrap()
+}
+
+/// Deterministic JSON float: plain `{}` formatting (shortest-roundtrip)
+/// with NaN/inf mapped to `null` so the document always validates.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the merged campaign document. Deliberately excluded: wall
+/// clock, worker count, and cache hit/miss tallies — everything here is
+/// a pure function of the spec and the captured streams, so a replayed
+/// campaign is byte-identical to a from-scratch one.
+fn merged_json(spec: &CampaignSpec, results: &[ReplayResult], failures: &[String]) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push('{');
+    s.push_str(&format!("\"campaign\":\"{}\",", json_escape(&spec.name)));
+    s.push_str(&format!("\"scale\":\"{}\",", spec.scale.label()));
+    s.push_str(&format!("\"seed\":{},", spec.seed));
+    s.push_str(&format!("\"epochs\":{},", spec.epochs));
+    s.push_str("\"configs\":[");
+    for (ci, cfg) in spec.configs.iter().enumerate() {
+        if ci > 0 {
+            s.push(',');
+        }
+        s.push('{');
+        s.push_str(&format!("\"name\":\"{}\",", json_escape(&cfg.name)));
+        s.push_str(&format!("\"device\":\"{}\",", json_escape(&cfg.base)));
+        s.push_str(&format!("\"gpus\":{},", cfg.gpus));
+        s.push_str("\"workloads\":[");
+        let mut first = true;
+        for r in results.iter().filter(|r| r.config == cfg.name) {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let p = &r.artifacts.profile;
+            s.push('{');
+            s.push_str(&format!("\"workload\":\"{}\",", json_escape(&r.workload)));
+            s.push_str(&format!("\"kernels\":{},", p.kernels.len()));
+            s.push_str(&format!(
+                "\"kernel_time_ms\":{},",
+                json_f64(p.total_kernel_time_ns() / 1e6)
+            ));
+            s.push_str(&format!(
+                "\"transfer_time_ms\":{},",
+                json_f64(p.transfer_time_ns / 1e6)
+            ));
+            s.push_str(&format!(
+                "\"total_time_ms\":{},",
+                json_f64(p.total_time_ns() / 1e6)
+            ));
+            s.push_str(&format!(
+                "\"final_loss\":{},",
+                r.artifacts
+                    .losses
+                    .last()
+                    .map_or("null".to_string(), |l| json_f64(*l))
+            ));
+            match r.artifacts.quality {
+                Some((name, v)) => s.push_str(&format!(
+                    "\"quality\":{{\"metric\":\"{}\",\"value\":{}}},",
+                    json_escape(name),
+                    json_f64(v)
+                )),
+                None => s.push_str("\"quality\":null,"),
+            }
+            s.push_str(&format!(
+                "\"ddp_epoch_ms\":{}",
+                r.ddp_epoch_ns
+                    .map_or("null".to_string(), |ns| json_f64(ns / 1e6))
+            ));
+            s.push('}');
+        }
+        s.push_str("]}");
+    }
+    s.push_str("],\"failures\":[");
+    for (i, f) in failures.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\"", json_escape(f)));
+    }
+    s.push_str("]}");
+    debug_validated("campaign merged.json", s)
+}
+
+fn replay_one(
+    cfg: &DeviceConfig,
+    workload_label: &str,
+    run: &CapturedRun,
+) -> Result<ReplayResult, String> {
+    let device = cfg.to_device_spec()?;
+    let artifacts = artifacts_from_replay(run, &device);
+    let ddp_epoch_ns = match (cfg.gpus > 1, artifacts.scaling) {
+        (true, Some(behavior)) => {
+            let epochs = run.meta.epochs.max(1) as f64;
+            let single_epoch_ns = artifacts.profile.total_time_ns() / epochs;
+            Some(DdpModel::new(device).epoch_time_ns(
+                single_epoch_ns,
+                artifacts.steps_per_epoch,
+                artifacts.grad_bytes,
+                behavior,
+                cfg.gpus,
+            ))
+        }
+        _ => None,
+    };
+    Ok(ReplayResult {
+        config: cfg.name.clone(),
+        workload: workload_label.to_string(),
+        artifacts,
+        ddp_epoch_ns,
+    })
+}
+
+/// Executes a campaign: capture phase (train-or-load every workload's
+/// stream), then replay phase (every config × workload), then the
+/// deterministic merge.
+///
+/// # Errors
+/// Only campaign-level failures (e.g. every capture failed) are errors;
+/// individual job failures are recorded in the outcome's `failures`.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    cache: &StreamCache,
+    opts: &CampaignOptions,
+) -> Result<CampaignOutcome, String> {
+    let _span = gnnmark_telemetry::Span::enter_cat(
+        format!("campaign:{}", spec.name),
+        "serve-campaign",
+    );
+
+    // Phase 1 — capture. One job per workload; hits/misses decided by the
+    // entry's presence on disk before the call (counters are global and
+    // shared with other in-process work, so they can't attribute per
+    // campaign).
+    let keys: Vec<CacheKey> = spec
+        .workloads
+        .iter()
+        .map(|&workload| CacheKey {
+            workload,
+            scale: spec.scale,
+            seed: spec.seed,
+            epochs: spec.epochs,
+        })
+        .collect();
+    let pre_cached: Vec<bool> = keys.iter().map(|k| cache.path_for(k).exists()).collect();
+
+    let captures: Vec<Option<Result<CapturedRun, String>>> =
+        run_jobs(keys.len(), opts.workers, |i| {
+            let key = keys[i];
+            let cache = cache.clone();
+            let outcome = run_task_resilient(
+                &format!("capture:{}", key.id()),
+                &opts.resilience,
+                Arc::new(move |_attempt| cache.get_or_train(&key)),
+            );
+            match outcome.status {
+                gnnmark::resilience::TaskStatus::Completed(run) => Ok(run),
+                _ => Err(outcome
+                    .failure()
+                    .unwrap_or_else(|| "unknown failure".to_string())),
+            }
+        });
+
+    let mut failures = Vec::new();
+    let mut streams: Vec<Option<CapturedRun>> = Vec::with_capacity(keys.len());
+    let mut cache_hits = 0usize;
+    let mut trainings = 0usize;
+    for (i, cap) in captures.into_iter().enumerate() {
+        let label = spec.workloads[i].label();
+        match cap {
+            Some(Ok(run)) => {
+                if pre_cached[i] {
+                    cache_hits += 1;
+                } else {
+                    trainings += 1;
+                }
+                streams.push(Some(run));
+            }
+            Some(Err(e)) => {
+                failures.push(format!("capture {label}: {e}"));
+                streams.push(None);
+            }
+            None => {
+                failures.push(format!("capture {label}: skipped (shutdown requested)"));
+                streams.push(None);
+            }
+        }
+    }
+    if streams.iter().all(Option::is_none) {
+        return Err(format!(
+            "campaign {}: every capture failed: {}",
+            spec.name,
+            failures.join("; ")
+        ));
+    }
+
+    // Phase 2 — replay. Jobs expand config-major so per-config results are
+    // contiguous; each job owns slot (ci * workloads + wi).
+    let n_workloads = spec.workloads.len();
+    let n_jobs = spec.configs.len() * n_workloads;
+    let replays: Vec<Option<Result<ReplayResult, String>>> =
+        run_jobs(n_jobs, opts.workers, |i| {
+            let cfg = &spec.configs[i / n_workloads];
+            let wi = i % n_workloads;
+            match &streams[wi] {
+                Some(run) => replay_one(cfg, spec.workloads[wi].label(), run),
+                None => Err("capture unavailable".to_string()),
+            }
+        });
+
+    let mut results = Vec::new();
+    for (i, rep) in replays.into_iter().enumerate() {
+        let cfg = &spec.configs[i / n_workloads];
+        let label = spec.workloads[i % n_workloads].label();
+        match rep {
+            Some(Ok(r)) => results.push(r),
+            Some(Err(e)) => failures.push(format!("replay {}/{label}: {e}", cfg.name)),
+            None => failures.push(format!(
+                "replay {}/{label}: skipped (shutdown requested)",
+                cfg.name
+            )),
+        }
+    }
+
+    let merged = merged_json(spec, &results, &failures);
+    Ok(CampaignOutcome {
+        spec: spec.clone(),
+        cache_hits,
+        trainings,
+        results,
+        failures,
+        merged_json: merged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn tiny_spec(name: &str) -> CampaignSpec {
+        CampaignSpec::parse(&format!(
+            r#"{{"name":"{name}","scale":"test","seed":42,"epochs":1,
+                "workloads":["TLSTM"],
+                "configs":[{{"name":"v100","device":"v100"}},
+                           {{"name":"a100","device":"a100"}},
+                           {{"name":"v100-ddp4","device":"v100","gpus":4}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnmark_campaign_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn campaign_trains_once_and_replays_everywhere() {
+        let dir = tmp_dir("once");
+        let cache = StreamCache::new(&dir);
+        let spec = tiny_spec("c1");
+        let out = run_campaign(&spec, &cache, &CampaignOptions::default()).unwrap();
+        assert!(out.complete(), "failures: {:?}", out.failures);
+        assert_eq!(out.trainings, 1, "one workload trains exactly once");
+        assert_eq!(out.cache_hits, 0);
+        assert_eq!(out.results.len(), 3, "one result per config");
+        // The DDP config has a modeled epoch time; single-GPU ones do not.
+        assert!(out.results.iter().any(|r| r.ddp_epoch_ns.is_some()));
+        // Second run of the same campaign: pure cache.
+        let out2 = run_campaign(&spec, &cache, &CampaignOptions::default()).unwrap();
+        assert_eq!(out2.trainings, 0);
+        assert_eq!(out2.cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merged_output_is_byte_identical_across_worker_counts() {
+        let dir = tmp_dir("det");
+        let cache = StreamCache::new(&dir);
+        let spec = tiny_spec("c2");
+        let mut blobs = Vec::new();
+        for workers in [1, 4] {
+            let opts = CampaignOptions {
+                workers,
+                ..CampaignOptions::default()
+            };
+            let out = run_campaign(&spec, &cache, &opts).unwrap();
+            assert!(out.complete());
+            blobs.push((out.merged_json.clone(), out.figure_csvs()));
+        }
+        assert_eq!(blobs[0].0, blobs[1].0, "merged JSON differs by workers");
+        assert_eq!(blobs[0].1, blobs[1].1, "figure CSVs differ by workers");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outputs_write_to_disk() {
+        let dir = tmp_dir("write");
+        let cache = StreamCache::new(dir.join("cache"));
+        let spec = tiny_spec("c3");
+        let out = run_campaign(&spec, &cache, &CampaignOptions::default()).unwrap();
+        let root = out.write_to(&dir.join("results")).unwrap();
+        assert!(root.join("merged.json").is_file());
+        assert!(root.join("v100").join("summary.csv").is_file());
+        assert!(root.join("a100").join("fig4_throughput.csv").is_file());
+        let merged = std::fs::read_to_string(root.join("merged.json")).unwrap();
+        let v = gnnmark_telemetry::export::parse_json(&merged).unwrap();
+        assert_eq!(v.get("campaign").and_then(|x| x.as_str()), Some("c3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,484 @@
+//! Dependency-free HTTP/1.1 serving front-end.
+//!
+//! A single-threaded accept loop on `std::net::TcpListener` plus one
+//! background worker that drains the job queue. Endpoints:
+//!
+//! | Method | Path                        | Meaning                                  |
+//! |--------|-----------------------------|------------------------------------------|
+//! | GET    | `/healthz`                  | liveness probe (`ok`)                    |
+//! | GET    | `/metrics`                  | Prometheus text exposition               |
+//! | POST   | `/jobs`                     | submit one replay job (JSON body)        |
+//! | POST   | `/campaigns`                | submit a campaign spec (JSON body)       |
+//! | GET    | `/jobs/<id>`                | job status JSON                          |
+//! | GET    | `/jobs/<id>/artifacts`      | artifact name list JSON                  |
+//! | GET    | `/jobs/<id>/artifacts/<n>`  | one artifact body (CSV or JSON)          |
+//!
+//! A single job body is a one-workload, one-config campaign written
+//! flat: `{"workload": "TLSTM", "scale": "test", "seed": 42,
+//! "epochs": 1, "device": "v100", "l1_kb": 64, ...}` — it goes through
+//! the same replay cache, so resubmitting an identical job never
+//! retrains.
+//!
+//! On SIGINT/SIGTERM (`gnnmark::shutdown`) the accept loop stops taking
+//! connections, the worker finishes the job in flight, queued jobs are
+//! marked failed, and a final metrics snapshot is written next to the
+//! results before the daemon returns.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use gnnmark::shutdown;
+use gnnmark_telemetry::export::{metrics_prometheus, parse_json, JsonValue};
+use gnnmark_telemetry::metrics;
+
+use crate::cache::StreamCache;
+use crate::campaign::{run_campaign, CampaignOptions};
+use crate::spec::CampaignSpec;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:8642`.
+    pub addr: String,
+    /// Replay-cache directory.
+    pub cache_dir: PathBuf,
+    /// Directory campaign results and the shutdown metrics snapshot are
+    /// written under.
+    pub results_dir: PathBuf,
+    /// Worker threads per campaign.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8642".to_string(),
+            cache_dir: PathBuf::from("results/serve/cache"),
+            results_dir: PathBuf::from("results/serve"),
+            workers: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+impl JobState {
+    fn label(&self) -> &str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+struct JobRecord {
+    spec: CampaignSpec,
+    state: JobState,
+    /// `(name, body)` pairs, e.g. `("merged.json", …)`, `("v100/summary.csv", …)`.
+    artifacts: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: Vec<JobRecord>,
+    pending: VecDeque<usize>,
+    closed: bool,
+}
+
+struct Daemon {
+    q: Mutex<Queue>,
+    wake: Condvar,
+    cache: StreamCache,
+    opts: CampaignOptions,
+    results_dir: PathBuf,
+}
+
+impl Daemon {
+    fn submit(&self, spec: CampaignSpec) -> usize {
+        let mut q = self.q.lock().unwrap();
+        let id = q.jobs.len();
+        q.jobs.push(JobRecord {
+            spec,
+            state: JobState::Queued,
+            artifacts: Vec::new(),
+        });
+        q.pending.push_back(id);
+        self.wake.notify_one();
+        id
+    }
+
+    /// Worker loop: run queued jobs until the queue is closed.
+    fn work(&self) {
+        loop {
+            let (id, spec) = {
+                let mut q = self.q.lock().unwrap();
+                loop {
+                    if let Some(id) = q.pending.pop_front() {
+                        q.jobs[id].state = JobState::Running;
+                        break (id, q.jobs[id].spec.clone());
+                    }
+                    if q.closed {
+                        return;
+                    }
+                    q = self.wake.wait(q).unwrap();
+                }
+            };
+            metrics::counter_add("gnnmark_serve_jobs_started_total", 1);
+            let done = match run_campaign(&spec, &self.cache, &self.opts) {
+                Ok(out) => {
+                    let mut artifacts =
+                        vec![("merged.json".to_string(), out.merged_json.clone())];
+                    for (config, file, csv) in out.figure_csvs() {
+                        artifacts.push((format!("{config}/{file}"), csv));
+                    }
+                    let _ = out.write_to(&self.results_dir);
+                    if out.complete() {
+                        (JobState::Done, artifacts)
+                    } else {
+                        (
+                            JobState::Failed(out.failures.join("; ")),
+                            artifacts,
+                        )
+                    }
+                }
+                Err(e) => (JobState::Failed(e), Vec::new()),
+            };
+            let mut q = self.q.lock().unwrap();
+            q.jobs[id].state = done.0;
+            q.jobs[id].artifacts = done.1;
+            metrics::counter_add("gnnmark_serve_jobs_finished_total", 1);
+        }
+    }
+
+    /// Closes the queue: the worker exits once the in-flight job (if any)
+    /// finishes, and everything still pending is marked failed.
+    fn close(&self) {
+        let mut q = self.q.lock().unwrap();
+        q.closed = true;
+        while let Some(id) = q.pending.pop_front() {
+            q.jobs[id].state = JobState::Failed("daemon shut down".to_string());
+        }
+        self.wake.notify_all();
+    }
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn error(status: u16, msg: &str) -> Response {
+        Self::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", msg.replace('"', "'")),
+        )
+    }
+}
+
+/// Turns a flat single-job JSON body into a one-config campaign spec.
+fn single_job_spec(v: &JsonValue, id_hint: usize) -> Result<CampaignSpec, String> {
+    let workload = v
+        .get("workload")
+        .and_then(|x| x.as_str())
+        .ok_or("missing field \"workload\"")?;
+    let scale = v.get("scale").and_then(|x| x.as_str()).unwrap_or("test");
+    let seed = v.get("seed").and_then(|x| x.as_u64()).unwrap_or(42);
+    let epochs = v.get("epochs").and_then(|x| x.as_u64()).unwrap_or(1);
+    let device = v.get("device").and_then(|x| x.as_str()).unwrap_or("v100");
+    let mut cfg = format!("{{\"name\":\"{device}\",\"device\":\"{device}\"");
+    for key in ["l1_kb", "nvlink_gbps", "gpus"] {
+        if let Some(x) = v.get(key).and_then(|x| x.as_f64()) {
+            cfg.push_str(&format!(",\"{key}\":{x}"));
+        }
+    }
+    if let Some(true) = v.get("half_precision").and_then(|x| x.as_bool()) {
+        cfg.push_str(",\"half_precision\":true");
+    }
+    cfg.push('}');
+    CampaignSpec::parse(&format!(
+        r#"{{"name":"job-{id_hint}","scale":"{scale}","seed":{seed},"epochs":{epochs},
+            "workloads":["{workload}"],"configs":[{cfg}]}}"#
+    ))
+}
+
+fn job_status_json(id: usize, rec: &JobRecord) -> String {
+    let detail = match &rec.state {
+        JobState::Failed(e) => format!(",\"detail\":\"{}\"", e.replace('"', "'")),
+        _ => String::new(),
+    };
+    format!(
+        "{{\"id\":{id},\"campaign\":\"{}\",\"state\":\"{}\",\"artifacts\":{}{detail}}}",
+        rec.spec.name,
+        rec.state.label(),
+        rec.artifacts.len(),
+    )
+}
+
+fn handle(daemon: &Daemon, method: &str, path: &str, body: &str) -> Response {
+    match (method, path) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: metrics_prometheus(&metrics::snapshot()),
+        },
+        ("POST", "/jobs") => {
+            let v = match parse_json(body) {
+                Ok(v) => v,
+                Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+            };
+            let id_hint = daemon.q.lock().unwrap().jobs.len();
+            match single_job_spec(&v, id_hint) {
+                Ok(spec) => {
+                    let id = daemon.submit(spec);
+                    Response::json(202, format!("{{\"id\":{id}}}"))
+                }
+                Err(e) => Response::error(400, &e),
+            }
+        }
+        ("POST", "/campaigns") => match CampaignSpec::parse(body) {
+            Ok(spec) => {
+                let id = daemon.submit(spec);
+                Response::json(202, format!("{{\"id\":{id}}}"))
+            }
+            Err(e) => Response::error(400, &e),
+        },
+        ("GET", p) if p.starts_with("/jobs/") => {
+            let rest = &p["/jobs/".len()..];
+            let (id_s, tail) = match rest.find('/') {
+                Some(i) => (&rest[..i], &rest[i + 1..]),
+                None => (rest, ""),
+            };
+            let Ok(id) = id_s.parse::<usize>() else {
+                return Response::error(400, "job id must be an integer");
+            };
+            let q = daemon.q.lock().unwrap();
+            let Some(rec) = q.jobs.get(id) else {
+                return Response::error(404, "no such job");
+            };
+            match tail {
+                "" => Response::json(200, job_status_json(id, rec)),
+                "artifacts" => {
+                    let names: Vec<String> = rec
+                        .artifacts
+                        .iter()
+                        .map(|(n, _)| format!("\"{n}\""))
+                        .collect();
+                    Response::json(200, format!("[{}]", names.join(",")))
+                }
+                name => {
+                    let name = name.strip_prefix("artifacts/").unwrap_or(name);
+                    match rec.artifacts.iter().find(|(n, _)| n == name) {
+                        Some((n, body)) => {
+                            let ct = if n.ends_with(".json") {
+                                "application/json"
+                            } else {
+                                "text/csv"
+                            };
+                            Response {
+                                status: 200,
+                                content_type: ct,
+                                body: body.clone(),
+                            }
+                        }
+                        None => Response::error(404, "no such artifact"),
+                    }
+                }
+            }
+        }
+        _ => Response::error(404, "unknown route"),
+    }
+}
+
+/// Reads one HTTP/1.1 request: `(method, path, body)`.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, String)> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            break;
+        }
+        let h = h.trim();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            content_length = v.min(4 << 20); // 4 MiB request cap
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((method, path, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
+    let reason = match r.status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        r.status,
+        reason,
+        r.content_type,
+        r.body.len(),
+        r.body
+    )?;
+    stream.flush()
+}
+
+/// Runs the daemon until SIGINT/SIGTERM (or [`shutdown::request`] from
+/// another thread, which is how tests stop it).
+///
+/// # Errors
+/// Propagates socket errors from binding the listen address.
+pub fn serve(cfg: &ServeConfig) -> std::io::Result<()> {
+    shutdown::install();
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let daemon = Arc::new(Daemon {
+        q: Mutex::new(Queue::default()),
+        wake: Condvar::new(),
+        cache: StreamCache::new(&cfg.cache_dir),
+        opts: CampaignOptions {
+            workers: cfg.workers,
+            ..CampaignOptions::default()
+        },
+        results_dir: cfg.results_dir.clone(),
+    });
+    let worker = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || daemon.work())
+    };
+    eprintln!("gnnmark-serve listening on http://{local}");
+
+    while !shutdown::requested() {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let daemon = Arc::clone(&daemon);
+                // One thread per connection; requests are tiny and
+                // Connection: close keeps lifetimes bounded.
+                std::thread::spawn(move || {
+                    if let Ok((method, path, body)) = read_request(&mut stream) {
+                        let resp = handle(&daemon, &method, &path, &body);
+                        let _ = write_response(&mut stream, &resp);
+                    }
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Graceful drain: finish the in-flight job, fail what's still queued,
+    // and leave a final metrics snapshot next to the results.
+    eprintln!("gnnmark-serve: shutdown requested, draining");
+    daemon.close();
+    let _ = worker.join();
+    std::fs::create_dir_all(&cfg.results_dir)?;
+    std::fs::write(
+        cfg.results_dir.join("final_metrics.prom"),
+        metrics_prometheus(&metrics::snapshot()),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_respond() {
+        let daemon = Daemon {
+            q: Mutex::new(Queue::default()),
+            wake: Condvar::new(),
+            cache: StreamCache::new(std::env::temp_dir().join("gnnmark_http_unit")),
+            opts: CampaignOptions::default(),
+            results_dir: std::env::temp_dir().join("gnnmark_http_unit_results"),
+        };
+        assert_eq!(handle(&daemon, "GET", "/healthz", "").status, 200);
+        assert_eq!(handle(&daemon, "GET", "/metrics", "").status, 200);
+        assert_eq!(handle(&daemon, "GET", "/nope", "").status, 404);
+        assert_eq!(handle(&daemon, "GET", "/jobs/0", "").status, 404);
+        assert_eq!(handle(&daemon, "POST", "/jobs", "not json").status, 400);
+        assert_eq!(
+            handle(&daemon, "POST", "/jobs", r#"{"workload":"NOPE"}"#).status,
+            400
+        );
+        assert_eq!(
+            handle(&daemon, "POST", "/campaigns", r#"{"name":"x"}"#).status,
+            400
+        );
+        // A valid submission queues (the worker isn't running here, so it
+        // stays queued — status is readable immediately).
+        let r = handle(&daemon, "POST", "/jobs", r#"{"workload":"TLSTM"}"#);
+        assert_eq!(r.status, 202);
+        assert!(r.body.contains("\"id\":0"));
+        let st = handle(&daemon, "GET", "/jobs/0", "");
+        assert_eq!(st.status, 200);
+        assert!(st.body.contains("\"state\":\"queued\""), "{}", st.body);
+    }
+
+    #[test]
+    fn single_job_body_expands_to_one_config_campaign() {
+        let v = parse_json(
+            r#"{"workload":"TLSTM","device":"a100","gpus":4,"half_precision":true}"#,
+        )
+        .unwrap();
+        let spec = single_job_spec(&v, 7).unwrap();
+        assert_eq!(spec.name, "job-7");
+        assert_eq!(spec.workloads.len(), 1);
+        assert_eq!(spec.configs.len(), 1);
+        assert_eq!(spec.configs[0].gpus, 4);
+        assert!(spec.configs[0].half_precision);
+    }
+}

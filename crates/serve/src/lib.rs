@@ -1,0 +1,37 @@
+//! # gnnmark-serve
+//!
+//! Benchmark-as-a-service on top of the GNNMark stack — three layers:
+//!
+//! * [`cache`] — a content-addressed on-disk store of captured op streams
+//!   (key: workload + scale + seed + epochs + code-version salt). Training
+//!   happens once per key; every device/DDP/interconnect configuration
+//!   afterwards replays the stream through the gpusim timing model. An
+//!   N-config ablation sweep costs 1×train + N×simulate instead of
+//!   N×(train + simulate).
+//! * [`campaign`] — a declarative sweep engine: a JSON spec ([`spec`])
+//!   expands to a two-phase job DAG (capture phase, then replay phase)
+//!   executed on a bounded worker queue with per-job retries/timeouts from
+//!   `gnnmark::resilience`. Job ordering is deterministic, so a campaign's
+//!   merged result JSON is byte-identical across runs and worker counts.
+//! * [`http`] — a dependency-free HTTP/1.1 daemon on
+//!   `std::net::TcpListener` (`gnnmark serve --addr`): submit jobs and
+//!   campaigns, poll status, fetch figure-CSV artifacts, scrape
+//!   `/metrics` in Prometheus format. Shuts down gracefully on
+//!   SIGINT/SIGTERM, draining in-flight jobs and flushing a final metrics
+//!   snapshot.
+//!
+//! The one-shot `gnnmark sweep <spec.json>` CLI path reuses [`campaign`]
+//! directly, without the daemon.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod campaign;
+pub mod http;
+pub mod spec;
+
+pub use cache::{CacheKey, StreamCache};
+pub use campaign::{run_campaign, CampaignOutcome};
+pub use http::{serve, ServeConfig};
+pub use spec::{CampaignSpec, DeviceConfig};

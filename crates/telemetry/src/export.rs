@@ -198,6 +198,108 @@ pub fn validate_json(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Routes a hand-built JSON document through [`validate_json`] before it
+/// leaves the producer: in debug/test builds a malformed document panics
+/// with `context` naming the writer (the trailing-comma class of bug the
+/// trace exporter once shipped); release builds pass the string through
+/// untouched. Writers return the validated string, so call sites read as
+/// `debug_validated("suite status", out)`.
+#[must_use]
+pub fn debug_validated(context: &str, json: String) -> String {
+    debug_assert!(
+        validate_json(&json).is_ok(),
+        "{context} produced invalid JSON ({}): {json}",
+        validate_json(&json).unwrap_err(),
+    );
+    json
+}
+
+/// A parsed JSON value — the read side of the dependency-free JSON
+/// toolkit (the write side being the exporters above). Used by the serve
+/// subsystem to parse campaign specs and job submissions with the same
+/// grammar [`validate_json`] enforces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys keep the last value on
+    /// lookup, like every mainstream parser).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (last occurrence wins); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64` (rejects negatives and fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64).then_some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document into a [`JsonValue`] tree using the
+/// same recursive-descent grammar as [`validate_json`]. Returns a
+/// position-annotated message on the first error.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(v)
+}
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
@@ -331,6 +433,144 @@ impl Parser<'_> {
         }
     }
 
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(b'n') => {
+                self.literal("null")?;
+                Ok(JsonValue::Null)
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                self.number()?;
+                std::str::from_utf8(&self.b[start..self.i])
+                    .ok()
+                    .and_then(|t| t.parse().ok())
+                    .map(JsonValue::Number)
+                    .ok_or_else(|| self.err("unparseable number"))
+            }
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    /// Like [`Parser::string`] but decodes the content (escapes resolved).
+    fn parse_string(&mut self) -> Result<String, String> {
+        let start = self.i;
+        self.string()?;
+        // The validated span includes both quotes; decode the body.
+        let body = &self.b[start + 1..self.i - 1];
+        let mut out = String::with_capacity(body.len());
+        let mut k = 0;
+        while k < body.len() {
+            if body[k] == b'\\' {
+                k += 1;
+                match body[k] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&body[k + 1..k + 5])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        k += 4;
+                    }
+                    _ => unreachable!("validator rejected unknown escapes"),
+                }
+                k += 1;
+            } else {
+                // Copy a raw (already UTF-8-valid) run up to the next escape.
+                let run_end = body[k..]
+                    .iter()
+                    .position(|&c| c == b'\\')
+                    .map_or(body.len(), |p| k + p);
+                out.push_str(
+                    std::str::from_utf8(&body[k..run_end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+                k = run_end;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.i += 1; // '['
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.i += 1; // '{'
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:`"));
+            }
+            self.i += 1;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
     fn object(&mut self) -> Result<(), String> {
         self.i += 1; // '{'
         self.skip_ws();
@@ -451,6 +691,46 @@ mod tests {
             status: "ok".into(),
         };
         validate_json(&m.to_json()).expect("empty-workloads manifest parses");
+    }
+
+    #[test]
+    fn parse_json_builds_values() {
+        let v = parse_json(
+            "{\"name\": \"gcn\\n\", \"seed\": 42, \"ratio\": 2.5, \"ok\": true, \
+             \"none\": null, \"xs\": [1, 2, 3], \"nested\": {\"k\": \"v\"}}",
+        )
+        .expect("parses");
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("gcn\n"));
+        assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(v.get("ratio").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        let xs = v.get("xs").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[0].as_u64(), Some(1));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(nested.get("k").and_then(JsonValue::as_str), Some("v"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_json_handles_escapes_and_rejects_bad_input() {
+        let v = parse_json("\"a\\u0041\\t\\\\b\"").unwrap();
+        assert_eq!(v.as_str(), Some("aA\t\\b"));
+        assert!(parse_json("{\"a\": 1,}").is_err());
+        assert!(parse_json("[1 2]").is_err());
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\": 1} x").is_err());
+        // as_u64 rejects negatives and fractions.
+        assert_eq!(parse_json("-3").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse_json("7").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn debug_validated_passes_through_valid_json() {
+        let s = debug_validated("test", "{\"a\": 1}".to_string());
+        assert_eq!(s, "{\"a\": 1}");
     }
 
     #[test]

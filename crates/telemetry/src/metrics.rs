@@ -35,6 +35,17 @@ pub enum MetricValue {
     },
 }
 
+impl MetricValue {
+    /// The counter value, or 0 for non-counter metrics — convenient for
+    /// "did this counter move" assertions in tests.
+    pub fn as_counter(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) => *v,
+            _ => 0,
+        }
+    }
+}
+
 static REGISTRY: Mutex<BTreeMap<String, MetricValue>> = Mutex::new(BTreeMap::new());
 
 /// Adds `delta` to the named counter, creating it at zero first.

@@ -48,6 +48,28 @@ pub enum Scale {
     Paper,
 }
 
+impl Scale {
+    /// Lower-case label used in CLI flags, cache keys and campaign specs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses a [`Scale::label`] string (case-insensitive; `"tiny"` is an
+    /// accepted alias for `test`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "test" | "tiny" => Some(Scale::Test),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
 /// Static description of a workload (one row of Table I).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadInfo {
@@ -165,6 +187,14 @@ impl WorkloadKind {
             WorkloadKind::ArgaCora => "ARGA",
             WorkloadKind::Tlstm => "TLSTM",
         }
+    }
+
+    /// Parses a [`WorkloadKind::label`] string (case-insensitive).
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label().eq_ignore_ascii_case(s))
     }
 
     /// Builds the workload at a scale with a deterministic seed.

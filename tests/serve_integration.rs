@@ -1,0 +1,229 @@
+//! End-to-end tests of the serving subsystem: replay-cache reuse,
+//! campaign determinism across worker counts, the HTTP daemon over a
+//! real loopback socket, and graceful shutdown draining.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gnnmark_serve::campaign::CampaignOptions;
+use gnnmark_serve::{run_campaign, serve, CampaignSpec, ServeConfig, StreamCache};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gnnmark_serveit_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ablation_spec(name: &str) -> CampaignSpec {
+    CampaignSpec::parse(&format!(
+        r#"{{"name":"{name}","scale":"test","seed":42,"epochs":1,
+            "workloads":["TLSTM","ARGA"],
+            "configs":[
+                {{"name":"v100","device":"v100"}},
+                {{"name":"a100","device":"a100"}},
+                {{"name":"v100-l1-64k","device":"v100","l1_kb":64}},
+                {{"name":"v100-nvl-150","device":"v100","nvlink_gbps":150}},
+                {{"name":"a100-fp16","device":"a100","half_precision":true}},
+                {{"name":"v100-ddp4","device":"v100","gpus":4}}
+            ]}}"#
+    ))
+    .unwrap()
+}
+
+/// A second identical submission is a pure cache hit: the training
+/// counter does not move and the merged output is unchanged.
+#[test]
+fn resubmitted_campaign_never_retrains() {
+    let dir = tmp("resubmit");
+    let cache = StreamCache::new(dir.join("cache"));
+    let spec = ablation_spec("resubmit");
+    let opts = CampaignOptions::default();
+
+    let first = run_campaign(&spec, &cache, &opts).unwrap();
+    assert!(first.complete(), "failures: {:?}", first.failures);
+    assert_eq!(first.trainings, 2, "two workloads train on a cold cache");
+    assert_eq!(first.results.len(), 12, "6 configs x 2 workloads");
+
+    let t_before = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
+        .map_or(0, |m| m.as_counter());
+    let second = run_campaign(&spec, &cache, &opts).unwrap();
+    let t_after = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
+        .map_or(0, |m| m.as_counter());
+    assert_eq!(t_after, t_before, "resubmission must not retrain");
+    assert_eq!(second.trainings, 0);
+    assert_eq!(second.cache_hits, 2);
+    assert_eq!(
+        first.merged_json, second.merged_json,
+        "replayed output must be byte-identical to the from-scratch run"
+    );
+    assert_eq!(first.figure_csvs(), second.figure_csvs());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same spec at different worker counts produces byte-identical
+/// merged JSON and figure CSVs on disk.
+#[test]
+fn campaign_output_is_worker_count_invariant() {
+    let dir = tmp("workers");
+    let cache = StreamCache::new(dir.join("cache"));
+    let spec = ablation_spec("workers");
+    let mut written: Vec<Vec<(PathBuf, Vec<u8>)>> = Vec::new();
+    for workers in [1, 3, 8] {
+        let opts = CampaignOptions {
+            workers,
+            ..CampaignOptions::default()
+        };
+        let out = run_campaign(&spec, &cache, &opts).unwrap();
+        assert!(out.complete(), "failures: {:?}", out.failures);
+        let root = out.write_to(&dir.join(format!("w{workers}"))).unwrap();
+        let mut files = Vec::new();
+        collect_files(&root, &mut files);
+        files.sort();
+        written.push(
+            files
+                .into_iter()
+                .map(|p| {
+                    let rel = p.strip_prefix(&root).unwrap().to_path_buf();
+                    (rel, std::fs::read(&p).unwrap())
+                })
+                .collect(),
+        );
+    }
+    assert_eq!(written[0], written[1], "1 vs 3 workers");
+    assert_eq!(written[1], written[2], "3 vs 8 workers");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn collect_files(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.is_dir() {
+            collect_files(&p, out);
+        } else {
+            out.push(p);
+        }
+    }
+}
+
+fn http(addr: &str, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    let status: u16 = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = buf
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Full daemon lifecycle on a loopback socket: submit a job over raw
+/// HTTP, poll to completion, fetch artifacts and metrics, then shut down
+/// gracefully via the shutdown flag (the signal handler's code path).
+#[test]
+fn daemon_serves_jobs_and_drains_on_shutdown() {
+    let dir = tmp("daemon");
+    // Port 0 would be ideal but the daemon prints, not returns, its bound
+    // address — derive a port from the pid to avoid collisions instead.
+    let addr = format!("127.0.0.1:{}", 20000 + std::process::id() % 20000);
+    let cfg = ServeConfig {
+        addr: addr.clone(),
+        cache_dir: dir.join("cache"),
+        results_dir: dir.join("results"),
+        workers: 2,
+    };
+    let server = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || serve(&cfg))
+    };
+
+    // Wait for the listener.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if TcpStream::connect(&addr).is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon never bound {addr}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (st, body) = get(&addr, "/healthz");
+    assert_eq!((st, body.trim()), (200, "ok"));
+
+    let (st, body) = post(&addr, "/jobs", r#"{"workload":"TLSTM","device":"a100"}"#);
+    assert_eq!(st, 202, "{body}");
+    assert!(body.contains("\"id\":0"));
+
+    // Poll until the job finishes (a Test-scale TLSTM run is fast).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (st, body) = get(&addr, "/jobs/0");
+        assert_eq!(st, 200);
+        if body.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(
+            !body.contains("\"state\":\"failed\""),
+            "job failed: {body}"
+        );
+        assert!(Instant::now() < deadline, "job never finished: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (st, listing) = get(&addr, "/jobs/0/artifacts");
+    assert_eq!(st, 200);
+    assert!(listing.contains("merged.json"), "{listing}");
+    let (st, merged) = get(&addr, "/jobs/0/artifacts/merged.json");
+    assert_eq!(st, 200);
+    let v = gnnmark_telemetry::export::parse_json(&merged).unwrap();
+    assert_eq!(v.get("campaign").and_then(|x| x.as_str()), Some("job-0"));
+    let (st, csv) = get(&addr, "/jobs/0/artifacts/a100/summary.csv");
+    assert_eq!(st, 200);
+    assert!(csv.contains("TLSTM"), "{csv}");
+
+    let (st, metrics) = get(&addr, "/metrics");
+    assert_eq!(st, 200);
+    assert!(!metrics.trim().is_empty(), "metrics exposition is empty");
+    assert!(
+        metrics.contains("gnnmark_serve_jobs_finished_total"),
+        "{metrics}"
+    );
+
+    // Graceful shutdown: same flag the SIGINT/SIGTERM handler sets.
+    gnnmark::shutdown::request();
+    server.join().unwrap().unwrap();
+    assert!(
+        cfg.results_dir.join("final_metrics.prom").is_file(),
+        "drain must flush a final metrics snapshot"
+    );
+    gnnmark::shutdown::reset_for_tests();
+    let _ = std::fs::remove_dir_all(&dir);
+}
