@@ -12,12 +12,22 @@
 //!
 //! gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]
 //! gnnmark serve [--addr HOST:PORT] [--cache DIR] [--out DIR] [--workers N]
+//!               [--store DIR] [--worker-id ID] [--lease-ttl SECS]
+//! gnnmark loadtest [--addr HOST:PORT] [--path P] [--rps R] [--concurrency N]
+//!                  [--duration SECS] [--error-budget F] [--saturation-probe SECS]
+//!                  [--out FILE] [--csv FILE]
+//!                  [--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]
 //! ```
 //!
 //! `sweep` runs a declarative device-ablation campaign through the
 //! op-stream replay cache (train once per workload, replay under every
-//! device config); `serve` exposes the same engine as an HTTP daemon.
-//! See `docs/SERVING.md`.
+//! device config); `serve` exposes the same engine as an HTTP daemon
+//! backed by a crash-recoverable WAL job store — point several daemons at
+//! the same `--store` directory to scale out, with lease-arbitrated
+//! claims and exactly-once completion. `loadtest` drives the daemon's
+//! HTTP API open- or closed-loop and reports p50/p95/p99 latency,
+//! saturation RPS and the error budget; `--chaos` SIGKILLs and restarts
+//! a worker mid-run to measure recovery time. See `docs/SERVING.md`.
 //!
 //! `--threads N` (or `GNNMARK_THREADS=N`) sets the CPU thread count of the
 //! tensor kernels. Losses, profiles and figures are bit-identical at every
@@ -61,13 +71,20 @@ use gnnmark::suite::SuiteConfig;
 use gnnmark::{shutdown, Scale, Table};
 use gnnmark_bench::{render_ablations, render_target_resilient, TARGETS};
 use gnnmark_serve::campaign::CampaignOptions;
-use gnnmark_serve::{run_campaign, serve, CampaignSpec, ServeConfig, StreamCache};
+use gnnmark_serve::loadtest::ChaosOptions;
+use gnnmark_serve::{
+    run_campaign, run_loadtest, serve, CampaignSpec, LoadtestOptions, ServeConfig, StreamCache,
+};
 
 const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] \
 [--seed S] [--csv DIR] [--threads N] [--parallel] [--keep-going] [--timeout SECS] [--retries N] \
 [--checkpoint DIR] [--bless] [--golden DIR] [--trace FILE] [--metrics FILE] [--progress]
        gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]
-       gnnmark serve [--addr HOST:PORT] [--cache DIR] [--out DIR] [--workers N]";
+       gnnmark serve [--addr HOST:PORT] [--cache DIR] [--out DIR] [--workers N] \
+[--store DIR] [--worker-id ID] [--lease-ttl SECS]
+       gnnmark loadtest [--addr HOST:PORT] [--path P] [--rps R] [--concurrency N] \
+[--duration SECS] [--error-budget F] [--saturation-probe SECS] [--out FILE] [--csv FILE] \
+[--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]";
 
 struct Args {
     target: String,
@@ -306,10 +323,12 @@ fn run_sweep(mut args: std::env::Args) -> i32 {
     shutdown::install();
     let started = std::time::Instant::now();
     let cache = StreamCache::new(&cache_dir);
-    let opts = CampaignOptions {
+    let mut opts = CampaignOptions {
         workers,
         ..CampaignOptions::default()
     };
+    // `GNNMARK_FAULT` drills the sweep path like any suite run.
+    opts.resilience = opts.resilience.with_faults(FaultPlan::from_env());
     match run_campaign(&spec, &cache, &opts) {
         Ok(out) => {
             match out.write_to(std::path::Path::new(&out_dir)) {
@@ -345,8 +364,11 @@ fn run_sweep(mut args: std::env::Args) -> i32 {
     }
 }
 
-/// `gnnmark serve [--addr A] [--cache DIR] [--out DIR] [--workers N]`:
-/// the benchmark-as-a-service daemon (see `docs/SERVING.md`).
+/// `gnnmark serve [--addr A] [--cache DIR] [--out DIR] [--workers N]
+/// [--store DIR] [--worker-id ID] [--lease-ttl SECS]`: the
+/// benchmark-as-a-service daemon over the durable job store (see
+/// `docs/SERVING.md`). Several daemons sharing one `--store` directory
+/// form a worker pool.
 fn run_serve(mut args: std::env::Args) -> i32 {
     let mut cfg = ServeConfig::default();
     while let Some(a) = args.next() {
@@ -367,6 +389,20 @@ fn run_serve(mut args: std::env::Args) -> i32 {
                 Some(n) if n >= 1 => cfg.workers = n,
                 _ => return usage_err("--workers needs a count >= 1"),
             },
+            "--store" => match args.next() {
+                Some(v) => cfg.store_dir = v.into(),
+                None => return usage_err("--store needs a directory"),
+            },
+            "--worker-id" => match args.next() {
+                Some(v) => cfg.worker_id = v,
+                None => return usage_err("--worker-id needs an identifier"),
+            },
+            "--lease-ttl" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s.is_finite() => {
+                    cfg.lease_ttl = Duration::from_secs_f64(s);
+                }
+                _ => return usage_err("--lease-ttl needs positive seconds"),
+            },
             other => return usage_err(&format!("unknown serve flag `{other}`")),
         }
     }
@@ -377,6 +413,133 @@ fn run_serve(mut args: std::env::Args) -> i32 {
             } else {
                 0
             }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `gnnmark loadtest [...]`: the SLO load harness. Exit code 0 when the
+/// error budget held, 1 on budget overrun or harness failure.
+fn run_loadtest_cli(mut args: std::env::Args) -> i32 {
+    let mut opts = LoadtestOptions::default();
+    let mut out_file: Option<String> = None;
+    let mut csv_file: Option<String> = None;
+    let mut chaos = false;
+    let mut kill_after = 3.0f64;
+    let mut store_dir = "results/serve/chaos/store".to_string();
+    let mut cache_dir = "results/serve/cache".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => opts.addr = v,
+                None => return usage_err("--addr needs host:port"),
+            },
+            "--path" => match args.next() {
+                Some(v) => opts.path = v,
+                None => return usage_err("--path needs a request path"),
+            },
+            "--rps" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r >= 0.0 && r.is_finite() => opts.rps = r,
+                _ => return usage_err("--rps needs a non-negative rate"),
+            },
+            "--concurrency" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => opts.concurrency = n,
+                _ => return usage_err("--concurrency needs a count >= 1"),
+            },
+            "--duration" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s.is_finite() => {
+                    opts.duration = Duration::from_secs_f64(s);
+                }
+                _ => return usage_err("--duration needs positive seconds"),
+            },
+            "--error-budget" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(b) if (0.0..=1.0).contains(&b) => opts.error_budget = b,
+                _ => return usage_err("--error-budget needs a ratio in [0, 1]"),
+            },
+            "--saturation-probe" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s.is_finite() => {
+                    opts.saturation_probe = Some(Duration::from_secs_f64(s));
+                }
+                _ => return usage_err("--saturation-probe needs positive seconds"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_file = Some(v),
+                None => return usage_err("--out needs a file path"),
+            },
+            "--csv" => match args.next() {
+                Some(v) => csv_file = Some(v),
+                None => return usage_err("--csv needs a file path"),
+            },
+            "--chaos" => chaos = true,
+            "--kill-after" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s.is_finite() => kill_after = s,
+                _ => return usage_err("--kill-after needs positive seconds"),
+            },
+            "--store" => match args.next() {
+                Some(v) => store_dir = v,
+                None => return usage_err("--store needs a directory"),
+            },
+            "--cache" => match args.next() {
+                Some(v) => cache_dir = v,
+                None => return usage_err("--cache needs a directory"),
+            },
+            other => return usage_err(&format!("unknown loadtest flag `{other}`")),
+        }
+    }
+    if chaos {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: cannot locate own binary for chaos drill: {e}");
+                return 1;
+            }
+        };
+        // Short lease TTL so the killed worker's jobs requeue within the
+        // run, making recovery measurable instead of TTL-bound.
+        opts.chaos = Some(ChaosOptions {
+            exe,
+            args: vec![
+                "serve".into(),
+                "--addr".into(),
+                opts.addr.clone(),
+                "--store".into(),
+                store_dir.clone(),
+                "--cache".into(),
+                cache_dir.clone(),
+                "--out".into(),
+                format!("{store_dir}/out"),
+                "--lease-ttl".into(),
+                "2".into(),
+            ],
+            kill_after: Duration::from_secs_f64(kill_after),
+        });
+    }
+    match run_loadtest(&opts) {
+        Ok(report) => {
+            let json = report.to_json();
+            println!("{json}");
+            for (path, body) in [(&out_file, &json), (&csv_file, &report.to_figure_csv())] {
+                if let Some(path) = path {
+                    if let Some(dir) = std::path::Path::new(path).parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    if let Err(e) = std::fs::write(path, body) {
+                        eprintln!("error writing {path}: {e}");
+                        return 1;
+                    }
+                    eprintln!("wrote {path}");
+                }
+            }
+            if !report.error_budget_ok {
+                eprintln!(
+                    "error budget overrun: {}/{} requests failed (budget {})",
+                    report.errors, report.requests, report.error_budget
+                );
+            }
+            i32::from(!report.error_budget_ok)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -400,6 +563,7 @@ fn main() {
         match argv.next().as_deref() {
             Some("sweep") => std::process::exit(run_sweep(argv)),
             Some("serve") => std::process::exit(run_serve(argv)),
+            Some("loadtest") => std::process::exit(run_loadtest_cli(argv)),
             _ => {}
         }
     }

@@ -220,6 +220,13 @@ impl FaultPlan {
     }
 
     fn get(&self, label: &str) -> Option<&Fault> {
+        self.fault_for(label)
+    }
+
+    /// The fault registered for a workload label, if any. Public so other
+    /// execution paths (e.g. the serve daemon's job workers) can honor
+    /// the same plan outside `run_workload_resilient`.
+    pub fn fault_for(&self, label: &str) -> Option<&Fault> {
         self.by_workload.get(label)
     }
 

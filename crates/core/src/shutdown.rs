@@ -13,9 +13,11 @@
 //! Ctrl-C still kills a wedged process).
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 static INSTALLED: AtomicBool = AtomicBool::new(false);
+static DRAIN_HOOKS: Mutex<Vec<Box<dyn FnOnce() + Send>>> = Mutex::new(Vec::new());
 
 /// Conventional exit code for "terminated by SIGINT" (128 + 2).
 pub const EXIT_INTERRUPTED: i32 = 130;
@@ -84,6 +86,26 @@ pub fn reset_for_tests() {
     SHUTDOWN.store(false, Ordering::SeqCst);
 }
 
+/// Registers a hook to run when the process drains (graceful shutdown).
+///
+/// Hooks are NOT run from the signal handler — they run when a draining
+/// execution loop calls [`run_drain_hooks`] at a safe point, after
+/// in-flight work has finished. The serve daemon uses this for the final
+/// write-ahead-log flush and compaction, so a `SIGTERM`'d daemon leaves a
+/// clean store behind.
+pub fn on_drain(hook: impl FnOnce() + Send + 'static) {
+    DRAIN_HOOKS.lock().unwrap().push(Box::new(hook));
+}
+
+/// Runs (and consumes) every registered drain hook, in registration
+/// order. Idempotent: a second call is a no-op until new hooks register.
+pub fn run_drain_hooks() {
+    let hooks: Vec<_> = std::mem::take(&mut *DRAIN_HOOKS.lock().unwrap());
+    for hook in hooks {
+        hook();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +124,25 @@ mod tests {
     fn install_is_idempotent() {
         install();
         install();
+    }
+
+    #[test]
+    fn drain_hooks_run_once_in_order() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let runs = Arc::new(AtomicUsize::new(0));
+        for tag in ["a", "b"] {
+            let order = Arc::clone(&order);
+            let runs = Arc::clone(&runs);
+            on_drain(move || {
+                order.lock().unwrap().push(tag);
+                runs.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        run_drain_hooks();
+        run_drain_hooks(); // consumed: no double-run
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b"]);
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
     }
 }

@@ -16,10 +16,10 @@
 //! CSVs are byte-identical across runs and worker counts, and contain no
 //! wall-clock values.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use gnnmark::resilience::{run_task_resilient, ResilienceConfig};
+use gnnmark::resilience::{run_task_resilient, Fault, ResilienceConfig};
 use gnnmark::suite::{artifacts_from_replay, RunArtifacts};
 use gnnmark::{figures, shutdown};
 use gnnmark_gpusim::{CapturedRun, DdpModel};
@@ -28,14 +28,33 @@ use gnnmark_telemetry::export::debug_validated;
 use crate::cache::{CacheKey, StreamCache};
 use crate::spec::{CampaignSpec, DeviceConfig};
 
+/// Progress sink called with short human-readable messages as phases
+/// advance. The daemon persists these into the durable job store.
+pub type ProgressSink = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// Execution knobs for a campaign (none of these affect the merged
 /// output bytes, only how fast they are produced).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignOptions {
     /// Worker threads for the job queue (clamped to at least 1).
     pub workers: usize,
-    /// Retry/timeout policy applied to each capture (training) job.
+    /// Retry/timeout policy applied to each capture (training) job. Its
+    /// [`FaultPlan`](gnnmark::resilience::FaultPlan) is honored inside
+    /// the capture closure, so daemon job workers are drillable via
+    /// `GNNMARK_FAULT` exactly like suite runs.
     pub resilience: ResilienceConfig,
+    /// Where to send progress messages; `None` keeps campaigns silent.
+    pub progress: Option<ProgressSink>,
+}
+
+impl std::fmt::Debug for CampaignOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignOptions")
+            .field("workers", &self.workers)
+            .field("resilience", &self.resilience)
+            .field("progress", &self.progress.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl Default for CampaignOptions {
@@ -43,6 +62,15 @@ impl Default for CampaignOptions {
         CampaignOptions {
             workers: 2,
             resilience: ResilienceConfig::default().with_retries(1),
+            progress: None,
+        }
+    }
+}
+
+impl CampaignOptions {
+    fn report(&self, msg: &str) {
+        if let Some(progress) = &self.progress {
+            progress(msg);
         }
     }
 }
@@ -74,6 +102,11 @@ pub struct CampaignOutcome {
     pub results: Vec<ReplayResult>,
     /// One line per failed or skipped job, in deterministic order.
     pub failures: Vec<String>,
+    /// Resilient-runner attempts consumed by the capture phase (1 per
+    /// workload when nothing fails; more under injected/transient faults).
+    pub attempts: u64,
+    /// Deterministic faults injected into capture jobs (chaos drills).
+    pub faults_injected: u64,
     /// Deterministic merged result document (validated JSON; no
     /// wall-clock values).
     pub merged_json: String,
@@ -265,6 +298,47 @@ fn merged_json(spec: &CampaignSpec, results: &[ReplayResult], failures: &[String
     debug_validated("campaign merged.json", s)
 }
 
+/// Applies an injected fault inside a capture closure. The
+/// `run_task_resilient` path wraps an arbitrary closure (no training
+/// loop of its own), so the serving tier injects here, honoring the same
+/// `GNNMARK_FAULT` grammar as suite runs. `NanLoss` is approximated as a
+/// transient error: the daemon cannot reach into the cached training
+/// loop to flip a loss value, but the retry/requeue behavior under
+/// drill is identical.
+fn apply_capture_fault(
+    label: &str,
+    fault: &Fault,
+    attempt: usize,
+    injected: &AtomicU64,
+) -> gnnmark::Result<()> {
+    match fault {
+        Fault::Panic => {
+            injected.fetch_add(1, Ordering::SeqCst);
+            gnnmark_telemetry::mark("fault:injected", "serve");
+            panic!("injected panic in capture {label}");
+        }
+        Fault::TransientError { failures } | Fault::NanLoss { failures, .. }
+            if attempt <= *failures =>
+        {
+            injected.fetch_add(1, Ordering::SeqCst);
+            gnnmark_telemetry::mark("fault:injected", "serve");
+            Err(gnnmark_tensor::TensorError::InvalidArgument {
+                op: "fault_injection",
+                reason: format!(
+                    "injected transient error in capture {label} (attempt {attempt})"
+                ),
+            })
+        }
+        Fault::Stall { duration } => {
+            injected.fetch_add(1, Ordering::SeqCst);
+            gnnmark_telemetry::mark("fault:injected", "serve");
+            std::thread::sleep(*duration);
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
 fn replay_one(
     cfg: &DeviceConfig,
     workload_label: &str,
@@ -327,21 +401,37 @@ pub fn run_campaign(
         .collect();
     let pre_cached: Vec<bool> = keys.iter().map(|k| cache.path_for(k).exists()).collect();
 
+    let faults_injected = Arc::new(AtomicU64::new(0));
+    let total_attempts = AtomicU64::new(0);
     let captures: Vec<Option<Result<CapturedRun, String>>> =
         run_jobs(keys.len(), opts.workers, |i| {
             let key = keys[i];
+            let label = spec.workloads[i].label();
             let cache = cache.clone();
+            let fault = opts.resilience.faults.fault_for(label).cloned();
+            let injected = Arc::clone(&faults_injected);
             let outcome = run_task_resilient(
                 &format!("capture:{}", key.id()),
                 &opts.resilience,
-                Arc::new(move |_attempt| cache.get_or_train(&key)),
+                Arc::new(move |attempt| {
+                    if let Some(fault) = &fault {
+                        apply_capture_fault(label, fault, attempt, &injected)?;
+                    }
+                    cache.get_or_train(&key)
+                }),
             );
-            match outcome.status {
+            total_attempts.fetch_add(outcome.attempts as u64, Ordering::SeqCst);
+            let res = match outcome.status {
                 gnnmark::resilience::TaskStatus::Completed(run) => Ok(run),
                 _ => Err(outcome
                     .failure()
                     .unwrap_or_else(|| "unknown failure".to_string())),
-            }
+            };
+            opts.report(&format!(
+                "capture {label}: {}",
+                if res.is_ok() { "ok" } else { "failed" }
+            ));
+            res
         });
 
     let mut failures = Vec::new();
@@ -381,6 +471,7 @@ pub fn run_campaign(
     // contiguous; each job owns slot (ci * workloads + wi).
     let n_workloads = spec.workloads.len();
     let n_jobs = spec.configs.len() * n_workloads;
+    opts.report(&format!("replay: {n_jobs} jobs"));
     let replays: Vec<Option<Result<ReplayResult, String>>> =
         run_jobs(n_jobs, opts.workers, |i| {
             let cfg = &spec.configs[i / n_workloads];
@@ -412,6 +503,8 @@ pub fn run_campaign(
         trainings,
         results,
         failures,
+        attempts: total_attempts.into_inner(),
+        faults_injected: faults_injected.load(Ordering::SeqCst),
         merged_json: merged,
     })
 }
@@ -477,6 +570,41 @@ mod tests {
         }
         assert_eq!(blobs[0].0, blobs[1].0, "merged JSON differs by workers");
         assert_eq!(blobs[0].1, blobs[1].1, "figure CSVs differ by workers");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_transient_fault_is_retried_and_counted() {
+        use gnnmark::resilience::FaultPlan;
+        let dir = tmp_dir("fault");
+        let cache = StreamCache::new(&dir);
+        let spec = CampaignSpec::parse(
+            r#"{"name":"flt","scale":"test","seed":42,"epochs":1,
+                "workloads":["TLSTM"],
+                "configs":[{"name":"v100","device":"v100"}]}"#,
+        )
+        .unwrap();
+        let messages = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&messages);
+        let opts = CampaignOptions {
+            resilience: ResilienceConfig::default().with_retries(2).with_faults(
+                FaultPlan::none().inject("TLSTM", Fault::TransientError { failures: 1 }),
+            ),
+            progress: Some(Arc::new(move |msg: &str| {
+                sink.lock().unwrap().push(msg.to_string())
+            })),
+            ..CampaignOptions::default()
+        };
+        let out = run_campaign(&spec, &cache, &opts).unwrap();
+        assert!(out.complete(), "failures: {:?}", out.failures);
+        assert_eq!(out.faults_injected, 1, "first attempt injects");
+        assert_eq!(out.attempts, 2, "transient fault costs one retry");
+        let msgs = messages.lock().unwrap();
+        assert!(
+            msgs.iter().any(|m| m.contains("capture TLSTM: ok")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.starts_with("replay:")), "{msgs:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

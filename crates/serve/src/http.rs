@@ -1,12 +1,19 @@
-//! Dependency-free HTTP/1.1 serving front-end.
+//! Dependency-free HTTP/1.1 serving front-end over the durable job
+//! store.
 //!
 //! A single-threaded accept loop on `std::net::TcpListener` plus one
-//! background worker that drains the job queue. Endpoints:
+//! background worker that claims jobs out of the WAL-backed
+//! [`JobStore`] via lock-file [leases](crate::lease). Any number of
+//! `gnnmark serve --store <dir>` processes may share one store: job ids
+//! are allocated under the store's cross-process mutex, claims are
+//! arbitrated by lease files, and a worker that stops heartbeating loses
+//! its lease so the job is re-queued and retried elsewhere.
 //!
 //! | Method | Path                        | Meaning                                  |
 //! |--------|-----------------------------|------------------------------------------|
 //! | GET    | `/healthz`                  | liveness probe (`ok`)                    |
 //! | GET    | `/metrics`                  | Prometheus text exposition               |
+//! | GET    | `/jobs`                     | all jobs, id-ordered JSON array          |
 //! | POST   | `/jobs`                     | submit one replay job (JSON body)        |
 //! | POST   | `/campaigns`                | submit a campaign spec (JSON body)       |
 //! | GET    | `/jobs/<id>`                | job status JSON                          |
@@ -19,17 +26,20 @@
 //! the same replay cache, so resubmitting an identical job never
 //! retrains.
 //!
-//! On SIGINT/SIGTERM (`gnnmark::shutdown`) the accept loop stops taking
-//! connections, the worker finishes the job in flight, queued jobs are
-//! marked failed, and a final metrics snapshot is written next to the
-//! results before the daemon returns.
+//! On SIGINT/SIGTERM (`gnnmark::shutdown`) the daemon keeps serving
+//! reads — status polls, artifact fetches, `/healthz`, `/metrics` — but
+//! answers new submissions with `503` + `Retry-After` while the worker
+//! finishes its in-flight job. Still-queued jobs stay `queued` in the
+//! durable store and are picked up by a peer or the next restart; the
+//! drain hook compacts the WAL and a final metrics snapshot is written
+//! next to the results before the daemon returns.
 
-use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use gnnmark::shutdown;
 use gnnmark_telemetry::export::{metrics_prometheus, parse_json, JsonValue};
@@ -37,7 +47,12 @@ use gnnmark_telemetry::metrics;
 
 use crate::cache::StreamCache;
 use crate::campaign::{run_campaign, CampaignOptions};
+use crate::lease::{Lease, LeaseManager};
 use crate::spec::CampaignSpec;
+use crate::store::{json_escape, JobStore, StoredJob};
+
+/// Times a worker-killed job may be re-queued before failing terminally.
+const MAX_REQUEUES: u64 = 3;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -46,11 +61,18 @@ pub struct ServeConfig {
     pub addr: String,
     /// Replay-cache directory.
     pub cache_dir: PathBuf,
-    /// Directory campaign results and the shutdown metrics snapshot are
-    /// written under.
+    /// Directory the shutdown metrics snapshot is written under.
     pub results_dir: PathBuf,
     /// Worker threads per campaign.
     pub workers: usize,
+    /// Durable job store directory (WAL, snapshot, leases, artifacts).
+    /// Point several daemons at the same directory to scale out.
+    pub store_dir: PathBuf,
+    /// Worker identity for lease claims; empty = `worker-<pid>`.
+    pub worker_id: String,
+    /// Lease TTL: a worker that misses heartbeats for this long loses
+    /// its in-flight job to a peer (or its own restart).
+    pub lease_ttl: Duration,
 }
 
 impl Default for ServeConfig {
@@ -60,117 +82,181 @@ impl Default for ServeConfig {
             cache_dir: PathBuf::from("results/serve/cache"),
             results_dir: PathBuf::from("results/serve"),
             workers: 2,
+            store_dir: PathBuf::from("results/serve/store"),
+            worker_id: String::new(),
+            lease_ttl: Duration::from_secs(10),
         }
     }
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum JobState {
-    Queued,
-    Running,
-    Done,
-    Failed(String),
-}
-
-impl JobState {
-    fn label(&self) -> &str {
-        match self {
-            JobState::Queued => "queued",
-            JobState::Running => "running",
-            JobState::Done => "done",
-            JobState::Failed(_) => "failed",
-        }
-    }
-}
-
-struct JobRecord {
-    spec: CampaignSpec,
-    state: JobState,
-    /// `(name, body)` pairs, e.g. `("merged.json", …)`, `("v100/summary.csv", …)`.
-    artifacts: Vec<(String, String)>,
-}
-
-#[derive(Default)]
-struct Queue {
-    jobs: Vec<JobRecord>,
-    pending: VecDeque<usize>,
-    closed: bool,
 }
 
 struct Daemon {
-    q: Mutex<Queue>,
-    wake: Condvar,
+    store: Arc<JobStore>,
+    leases: LeaseManager,
     cache: StreamCache,
     opts: CampaignOptions,
-    results_dir: PathBuf,
+    /// Set once shutdown is requested: submissions get `503 Retry-After`
+    /// while reads keep flowing.
+    draining: AtomicBool,
 }
 
 impl Daemon {
-    fn submit(&self, spec: CampaignSpec) -> usize {
-        let mut q = self.q.lock().unwrap();
-        let id = q.jobs.len();
-        q.jobs.push(JobRecord {
-            spec,
-            state: JobState::Queued,
-            artifacts: Vec::new(),
-        });
-        q.pending.push_back(id);
-        self.wake.notify_one();
-        id
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || shutdown::requested()
     }
 
-    /// Worker loop: run queued jobs until the queue is closed.
+    /// Validates and durably submits a campaign spec body. The spec text
+    /// itself is what's persisted — recovery re-parses it.
+    fn submit_campaign(&self, body: &str) -> Result<u64, String> {
+        let spec = CampaignSpec::parse(body)?;
+        self.store
+            .submit_with(|_id| (spec.name.clone(), body.to_string()))
+            .map_err(|e| format!("store append failed: {e}"))
+    }
+
+    /// Validates and durably submits a flat single-job body.
+    fn submit_single(&self, v: &JsonValue) -> Result<u64, String> {
+        single_job_spec(v, 0)?; // validate before allocating an id
+        self.store
+            .submit_with(|id| {
+                let text = single_job_spec_json(v, id);
+                (format!("job-{id}"), text)
+            })
+            .map_err(|e| format!("store append failed: {e}"))
+    }
+
+    /// Worker loop: recover dead peers' jobs, claim the next queued job
+    /// under a lease, run it, and durably record the outcome. Exits once
+    /// shutdown is requested and the in-flight job (if any) finished.
     fn work(&self) {
         loop {
-            let (id, spec) = {
-                let mut q = self.q.lock().unwrap();
-                loop {
-                    if let Some(id) = q.pending.pop_front() {
-                        q.jobs[id].state = JobState::Running;
-                        break (id, q.jobs[id].spec.clone());
-                    }
-                    if q.closed {
-                        return;
-                    }
-                    q = self.wake.wait(q).unwrap();
-                }
+            if shutdown::requested() {
+                return;
+            }
+            let _ = self.store.refresh();
+            let _ = self
+                .store
+                .recover_dead(MAX_REQUEUES, |id| self.leases.is_dead(id));
+            let Some(job) = self.store.next_queued() else {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
             };
-            metrics::counter_add("gnnmark_serve_jobs_started_total", 1);
-            let done = match run_campaign(&spec, &self.cache, &self.opts) {
-                Ok(out) => {
-                    let mut artifacts =
-                        vec![("merged.json".to_string(), out.merged_json.clone())];
-                    for (config, file, csv) in out.figure_csvs() {
-                        artifacts.push((format!("{config}/{file}"), csv));
+            match self.leases.try_claim(job.id) {
+                Ok(Some(lease)) => {
+                    if self
+                        .store
+                        .record_claim(job.id, self.leases.worker_id())
+                        .is_err()
+                    {
+                        lease.release();
+                        continue;
                     }
-                    let _ = out.write_to(&self.results_dir);
-                    if out.complete() {
-                        (JobState::Done, artifacts)
-                    } else {
-                        (
-                            JobState::Failed(out.failures.join("; ")),
-                            artifacts,
-                        )
-                    }
+                    self.run_job(&job, lease);
                 }
-                Err(e) => (JobState::Failed(e), Vec::new()),
-            };
-            let mut q = self.q.lock().unwrap();
-            q.jobs[id].state = done.0;
-            q.jobs[id].artifacts = done.1;
-            metrics::counter_add("gnnmark_serve_jobs_finished_total", 1);
+                // Lost the claim race (or a transient fs error): another
+                // worker owns it; wait for the claim record to land.
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
         }
     }
 
-    /// Closes the queue: the worker exits once the in-flight job (if any)
-    /// finishes, and everything still pending is marked failed.
-    fn close(&self) {
-        let mut q = self.q.lock().unwrap();
-        q.closed = true;
-        while let Some(id) = q.pending.pop_front() {
-            q.jobs[id].state = JobState::Failed("daemon shut down".to_string());
+    /// Runs one claimed job under a heartbeat thread and records the
+    /// outcome — but only if the lease is still ours, so a worker that
+    /// stalled past its TTL defers to whichever peer stole the job.
+    fn run_job(&self, job: &StoredJob, lease: Lease) {
+        metrics::counter_add("gnnmark_serve_jobs_started_total", 1);
+        let worker = self.leases.worker_id().to_string();
+        let id = job.id;
+        let spec = match CampaignSpec::parse(&job.spec_json) {
+            Ok(spec) => spec,
+            Err(e) => {
+                let _ = self
+                    .store
+                    .record_failed(id, &worker, &format!("invalid stored spec: {e}"), 0, 0);
+                lease.release();
+                return;
+            }
+        };
+
+        let lease = Arc::new(lease);
+        let stop_hb = Arc::new(AtomicBool::new(false));
+        let hb = {
+            let lease = Arc::clone(&lease);
+            let stop = Arc::clone(&stop_hb);
+            let tick = (self.leases.ttl() / 3).max(Duration::from_millis(50));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if !lease.heartbeat().unwrap_or(false) {
+                        return; // lease lost — the thief owns the job now
+                    }
+                }
+            })
+        };
+
+        let mut opts = self.opts.clone();
+        {
+            let store = Arc::clone(&self.store);
+            opts.progress = Some(Arc::new(move |msg: &str| {
+                let _ = store.record_progress(id, msg);
+            }));
         }
-        self.wake.notify_all();
+        let result = run_campaign(&spec, &self.cache, &opts);
+        stop_hb.store(true, Ordering::SeqCst);
+        let _ = hb.join();
+
+        match result {
+            Ok(out) => {
+                let rel = format!("jobs/job-{id}");
+                let result_dir = format!("{rel}/{}", spec.name);
+                let written = out.write_to(&self.store.dir().join(&rel));
+                let mut artifacts = vec!["merged.json".to_string()];
+                for (config, file, _) in out.figure_csvs() {
+                    artifacts.push(format!("{config}/{file}"));
+                }
+                if !lease.still_held() {
+                    // Stolen mid-run: the thief records completion; ours
+                    // would be dropped by first-done-wins anyway.
+                    metrics::counter_add("gnnmark_serve_jobs_abandoned_total", 1);
+                } else if let Err(e) = written {
+                    let _ = self.store.record_failed(
+                        id,
+                        &worker,
+                        &format!("writing artifacts failed: {e}"),
+                        out.attempts,
+                        out.faults_injected,
+                    );
+                } else if out.complete() {
+                    let _ = self.store.record_done(
+                        id,
+                        &worker,
+                        &result_dir,
+                        &artifacts,
+                        out.attempts,
+                        out.faults_injected,
+                    );
+                } else {
+                    let _ = self.store.record_failed(
+                        id,
+                        &worker,
+                        &out.failures.join("; "),
+                        out.attempts,
+                        out.faults_injected,
+                    );
+                }
+            }
+            Err(e) => {
+                if lease.still_held() {
+                    let _ = self.store.record_failed(id, &worker, &e, 0, 0);
+                }
+            }
+        }
+        if let Ok(lease) = Arc::try_unwrap(lease) {
+            lease.release();
+        }
+        metrics::counter_add("gnnmark_serve_jobs_finished_total", 1);
     }
 }
 
@@ -178,6 +264,8 @@ struct Response {
     status: u16,
     content_type: &'static str,
     body: String,
+    /// `Retry-After` seconds (drain-mode 503s).
+    retry_after: Option<u64>,
 }
 
 impl Response {
@@ -186,6 +274,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -194,6 +283,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -203,14 +293,20 @@ impl Response {
             format!("{{\"error\":\"{}\"}}", msg.replace('"', "'")),
         )
     }
+
+    /// Drain-mode refusal for new submissions: clients should retry
+    /// against a peer worker or after the restart.
+    fn unavailable() -> Response {
+        let mut r = Self::error(503, "draining: submissions refused, retry later");
+        r.retry_after = Some(5);
+        r
+    }
 }
 
-/// Turns a flat single-job JSON body into a one-config campaign spec.
-fn single_job_spec(v: &JsonValue, id_hint: usize) -> Result<CampaignSpec, String> {
-    let workload = v
-        .get("workload")
-        .and_then(|x| x.as_str())
-        .ok_or("missing field \"workload\"")?;
+/// The flat single-job body expanded into campaign-spec JSON text (this
+/// exact text is persisted in the job store and re-parsed on recovery).
+fn single_job_spec_json(v: &JsonValue, id: u64) -> String {
+    let workload = v.get("workload").and_then(|x| x.as_str()).unwrap_or("");
     let scale = v.get("scale").and_then(|x| x.as_str()).unwrap_or("test");
     let seed = v.get("seed").and_then(|x| x.as_u64()).unwrap_or(42);
     let epochs = v.get("epochs").and_then(|x| x.as_u64()).unwrap_or(1);
@@ -225,22 +321,42 @@ fn single_job_spec(v: &JsonValue, id_hint: usize) -> Result<CampaignSpec, String
         cfg.push_str(",\"half_precision\":true");
     }
     cfg.push('}');
-    CampaignSpec::parse(&format!(
-        r#"{{"name":"job-{id_hint}","scale":"{scale}","seed":{seed},"epochs":{epochs},
+    format!(
+        r#"{{"name":"job-{id}","scale":"{scale}","seed":{seed},"epochs":{epochs},
             "workloads":["{workload}"],"configs":[{cfg}]}}"#
-    ))
+    )
 }
 
-fn job_status_json(id: usize, rec: &JobRecord) -> String {
-    let detail = match &rec.state {
-        JobState::Failed(e) => format!(",\"detail\":\"{}\"", e.replace('"', "'")),
-        _ => String::new(),
+/// Turns a flat single-job JSON body into a one-config campaign spec.
+fn single_job_spec(v: &JsonValue, id: u64) -> Result<CampaignSpec, String> {
+    if v.get("workload").and_then(|x| x.as_str()).is_none() {
+        return Err("missing field \"workload\"".to_string());
+    }
+    CampaignSpec::parse(&single_job_spec_json(v, id))
+}
+
+fn job_status_json(job: &StoredJob) -> String {
+    let detail = if job.detail.is_empty() {
+        String::new()
+    } else {
+        format!(",\"detail\":\"{}\"", json_escape(&job.detail))
     };
+    let worker = job
+        .worker
+        .as_deref()
+        .map_or("null".to_string(), |w| format!("\"{}\"", json_escape(w)));
     format!(
-        "{{\"id\":{id},\"campaign\":\"{}\",\"state\":\"{}\",\"artifacts\":{}{detail}}}",
-        rec.spec.name,
-        rec.state.label(),
-        rec.artifacts.len(),
+        "{{\"id\":{},\"campaign\":\"{}\",\"state\":\"{}\",\"artifacts\":{},\
+         \"worker\":{worker},\"attempts\":{},\"requeues\":{},\"faults\":{},\
+         \"progress\":\"{}\"{detail}}}",
+        job.id,
+        json_escape(&job.name),
+        job.state.label(),
+        job.artifacts.len(),
+        job.attempts,
+        job.requeues,
+        job.faults_injected,
+        json_escape(&job.progress),
     )
 }
 
@@ -251,67 +367,86 @@ fn handle(daemon: &Daemon, method: &str, path: &str, body: &str) -> Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             body: metrics_prometheus(&metrics::snapshot()),
+            retry_after: None,
         },
+        ("GET", "/jobs") => {
+            let _ = daemon.store.refresh();
+            let rows: Vec<String> = daemon
+                .store
+                .jobs()
+                .iter()
+                .map(job_status_json)
+                .collect();
+            Response::json(200, format!("[{}]", rows.join(",")))
+        }
         ("POST", "/jobs") => {
+            if daemon.draining() {
+                return Response::unavailable();
+            }
             let v = match parse_json(body) {
                 Ok(v) => v,
                 Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
             };
-            let id_hint = daemon.q.lock().unwrap().jobs.len();
-            match single_job_spec(&v, id_hint) {
-                Ok(spec) => {
-                    let id = daemon.submit(spec);
-                    Response::json(202, format!("{{\"id\":{id}}}"))
-                }
+            match daemon.submit_single(&v) {
+                Ok(id) => Response::json(202, format!("{{\"id\":{id}}}")),
                 Err(e) => Response::error(400, &e),
             }
         }
-        ("POST", "/campaigns") => match CampaignSpec::parse(body) {
-            Ok(spec) => {
-                let id = daemon.submit(spec);
-                Response::json(202, format!("{{\"id\":{id}}}"))
+        ("POST", "/campaigns") => {
+            if daemon.draining() {
+                return Response::unavailable();
             }
-            Err(e) => Response::error(400, &e),
-        },
+            match daemon.submit_campaign(body) {
+                Ok(id) => Response::json(202, format!("{{\"id\":{id}}}")),
+                Err(e) => Response::error(400, &e),
+            }
+        }
         ("GET", p) if p.starts_with("/jobs/") => {
             let rest = &p["/jobs/".len()..];
             let (id_s, tail) = match rest.find('/') {
                 Some(i) => (&rest[..i], &rest[i + 1..]),
                 None => (rest, ""),
             };
-            let Ok(id) = id_s.parse::<usize>() else {
+            let Ok(id) = id_s.parse::<u64>() else {
                 return Response::error(400, "job id must be an integer");
             };
-            let q = daemon.q.lock().unwrap();
-            let Some(rec) = q.jobs.get(id) else {
+            let _ = daemon.store.refresh();
+            let Some(job) = daemon.store.job(id) else {
                 return Response::error(404, "no such job");
             };
             match tail {
-                "" => Response::json(200, job_status_json(id, rec)),
+                "" => Response::json(200, job_status_json(&job)),
                 "artifacts" => {
-                    let names: Vec<String> = rec
+                    let names: Vec<String> = job
                         .artifacts
                         .iter()
-                        .map(|(n, _)| format!("\"{n}\""))
+                        .map(|n| format!("\"{}\"", json_escape(n)))
                         .collect();
                     Response::json(200, format!("[{}]", names.join(",")))
                 }
                 name => {
                     let name = name.strip_prefix("artifacts/").unwrap_or(name);
-                    match rec.artifacts.iter().find(|(n, _)| n == name) {
-                        Some((n, body)) => {
-                            let ct = if n.ends_with(".json") {
+                    // Only names the completing worker recorded are
+                    // servable — the WAL record is the whitelist, so no
+                    // request path ever escapes the store directory.
+                    let (Some(result_dir), true) =
+                        (&job.result_dir, job.artifacts.iter().any(|n| n == name))
+                    else {
+                        return Response::error(404, "no such artifact");
+                    };
+                    let path = daemon.store.dir().join(result_dir).join(name);
+                    match std::fs::read_to_string(&path) {
+                        Ok(body) => Response {
+                            status: 200,
+                            content_type: if name.ends_with(".json") {
                                 "application/json"
                             } else {
                                 "text/csv"
-                            };
-                            Response {
-                                status: 200,
-                                content_type: ct,
-                                body: body.clone(),
-                            }
-                        }
-                        None => Response::error(404, "no such artifact"),
+                            },
+                            body,
+                            retry_after: None,
+                        },
+                        Err(_) => Response::error(404, "artifact missing on disk"),
                     }
                 }
             }
@@ -322,7 +457,6 @@ fn handle(daemon: &Daemon, method: &str, path: &str, body: &str) -> Response {
 
 /// Reads one HTTP/1.1 request: `(method, path, body)`.
 fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String, String)> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -359,58 +493,140 @@ fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
         202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
         _ => "Error",
     };
+    let retry = r
+        .retry_after
+        .map_or(String::new(), |s| format!("Retry-After: {s}\r\n"));
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         r.status,
         reason,
         r.content_type,
         r.body.len(),
+        retry,
         r.body
     )?;
     stream.flush()
 }
 
+/// One accepted connection: enforce read/write deadlines so a stalled
+/// client can't pin a server thread, answer `408` when the request never
+/// arrives, and record per-status counters plus a latency histogram.
+fn handle_connection(daemon: &Daemon, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let started = Instant::now();
+    let resp = match read_request(stream) {
+        Ok((method, path, body)) => handle(daemon, &method, &path, &body),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            metrics::counter_add("gnnmark_serve_read_timeouts_total", 1);
+            Response::error(408, "timed out reading request")
+        }
+        Err(_) => return, // client went away mid-request
+    };
+    metrics::counter_add(
+        &format!(
+            "gnnmark_serve_responses_total{{status=\"{}\"}}",
+            resp.status
+        ),
+        1,
+    );
+    metrics::observe(
+        "gnnmark_serve_request_seconds",
+        started.elapsed().as_secs_f64(),
+    );
+    let _ = write_response(stream, &resp);
+}
+
 /// Runs the daemon until SIGINT/SIGTERM (or [`shutdown::request`] from
-/// another thread, which is how tests stop it).
+/// another thread, which is how tests stop it). On startup, replays the
+/// store's WAL and re-queues jobs whose workers died mid-flight.
 ///
 /// # Errors
-/// Propagates socket errors from binding the listen address.
+/// Propagates socket errors from binding the listen address and
+/// filesystem errors from opening the store.
 pub fn serve(cfg: &ServeConfig) -> std::io::Result<()> {
     shutdown::install();
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
+
+    let store = Arc::new(JobStore::open(&cfg.store_dir)?);
+    let worker_id = if cfg.worker_id.is_empty() {
+        format!("worker-{}", std::process::id())
+    } else {
+        cfg.worker_id.clone()
+    };
+    let leases = LeaseManager::new(&cfg.store_dir, worker_id, cfg.lease_ttl);
+    let recovered = store.recover_dead(MAX_REQUEUES, |id| leases.is_dead(id))?;
+    if !recovered.is_empty() {
+        eprintln!(
+            "gnnmark-serve: re-queued {} job(s) from dead workers: {recovered:?}",
+            recovered.len()
+        );
+    }
+    {
+        // Final WAL flush on drain: fold the log into a fresh snapshot so
+        // the next open replays nothing.
+        let store = Arc::clone(&store);
+        shutdown::on_drain(move || {
+            let _ = store.compact();
+        });
+    }
+
     let daemon = Arc::new(Daemon {
-        q: Mutex::new(Queue::default()),
-        wake: Condvar::new(),
+        store,
+        leases,
         cache: StreamCache::new(&cfg.cache_dir),
-        opts: CampaignOptions {
-            workers: cfg.workers,
-            ..CampaignOptions::default()
+        opts: {
+            let mut opts = CampaignOptions {
+                workers: cfg.workers,
+                ..CampaignOptions::default()
+            };
+            // `GNNMARK_FAULT` drills daemon job workers like any suite run;
+            // injected faults are counted into the durable job record.
+            opts.resilience = opts
+                .resilience
+                .clone()
+                .with_faults(gnnmark::resilience::FaultPlan::from_env());
+            opts
         },
-        results_dir: cfg.results_dir.clone(),
+        draining: AtomicBool::new(false),
     });
     let worker = {
         let daemon = Arc::clone(&daemon);
         std::thread::spawn(move || daemon.work())
     };
-    eprintln!("gnnmark-serve listening on http://{local}");
+    eprintln!(
+        "gnnmark-serve [{}] listening on http://{local} (store: {})",
+        daemon.leases.worker_id(),
+        cfg.store_dir.display()
+    );
 
-    while !shutdown::requested() {
+    // Accept loop. Once shutdown is requested, reads keep being served
+    // (and submissions 503) until the worker's in-flight job completes.
+    loop {
+        if shutdown::requested() {
+            if !daemon.draining.swap(true, Ordering::SeqCst) {
+                eprintln!("gnnmark-serve: shutdown requested, draining");
+            }
+            if worker.is_finished() {
+                break;
+            }
+        }
         match listener.accept() {
             Ok((mut stream, _)) => {
                 let daemon = Arc::clone(&daemon);
                 // One thread per connection; requests are tiny and
                 // Connection: close keeps lifetimes bounded.
-                std::thread::spawn(move || {
-                    if let Ok((method, path, body)) = read_request(&mut stream) {
-                        let resp = handle(&daemon, &method, &path, &body);
-                        let _ = write_response(&mut stream, &resp);
-                    }
-                });
+                std::thread::spawn(move || handle_connection(&daemon, &mut stream));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -419,11 +635,8 @@ pub fn serve(cfg: &ServeConfig) -> std::io::Result<()> {
         }
     }
 
-    // Graceful drain: finish the in-flight job, fail what's still queued,
-    // and leave a final metrics snapshot next to the results.
-    eprintln!("gnnmark-serve: shutdown requested, draining");
-    daemon.close();
     let _ = worker.join();
+    shutdown::run_drain_hooks();
     std::fs::create_dir_all(&cfg.results_dir)?;
     std::fs::write(
         cfg.results_dir.join("final_metrics.prom"),
@@ -436,15 +649,25 @@ pub fn serve(cfg: &ServeConfig) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
+    fn test_daemon(tag: &str) -> Daemon {
+        let root = std::env::temp_dir().join(format!(
+            "gnnmark_http_unit_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store_dir = root.join("store");
+        Daemon {
+            store: Arc::new(JobStore::open(&store_dir).unwrap()),
+            leases: LeaseManager::new(&store_dir, "unit", Duration::from_secs(10)),
+            cache: StreamCache::new(root.join("cache")),
+            opts: CampaignOptions::default(),
+            draining: AtomicBool::new(false),
+        }
+    }
+
     #[test]
     fn routes_respond() {
-        let daemon = Daemon {
-            q: Mutex::new(Queue::default()),
-            wake: Condvar::new(),
-            cache: StreamCache::new(std::env::temp_dir().join("gnnmark_http_unit")),
-            opts: CampaignOptions::default(),
-            results_dir: std::env::temp_dir().join("gnnmark_http_unit_results"),
-        };
+        let daemon = test_daemon("routes");
         assert_eq!(handle(&daemon, "GET", "/healthz", "").status, 200);
         assert_eq!(handle(&daemon, "GET", "/metrics", "").status, 200);
         assert_eq!(handle(&daemon, "GET", "/nope", "").status, 404);
@@ -458,14 +681,59 @@ mod tests {
             handle(&daemon, "POST", "/campaigns", r#"{"name":"x"}"#).status,
             400
         );
-        // A valid submission queues (the worker isn't running here, so it
-        // stays queued — status is readable immediately).
+        // A valid submission is durably queued (no worker runs here, so
+        // it stays queued — status is readable immediately).
         let r = handle(&daemon, "POST", "/jobs", r#"{"workload":"TLSTM"}"#);
         assert_eq!(r.status, 202);
         assert!(r.body.contains("\"id\":0"));
         let st = handle(&daemon, "GET", "/jobs/0", "");
         assert_eq!(st.status, 200);
         assert!(st.body.contains("\"state\":\"queued\""), "{}", st.body);
+        let listing = handle(&daemon, "GET", "/jobs", "");
+        assert_eq!(listing.status, 200);
+        assert!(listing.body.contains("\"id\":0"), "{}", listing.body);
+        let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
+    }
+
+    #[test]
+    fn submissions_survive_a_new_store_handle() {
+        let daemon = test_daemon("durable");
+        let r = handle(
+            &daemon,
+            "POST",
+            "/jobs",
+            r#"{"workload":"TLSTM","device":"a100"}"#,
+        );
+        assert_eq!(r.status, 202);
+        // A second handle on the same directory — the restart code path —
+        // sees the job without any in-memory state.
+        let reopened = JobStore::open(daemon.store.dir()).unwrap();
+        let job = reopened.job(0).expect("job must be durable");
+        assert_eq!(job.name, "job-0");
+        assert!(job.spec_json.contains("\"workloads\":[\"TLSTM\"]"));
+        let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
+    }
+
+    #[test]
+    fn draining_rejects_submissions_but_serves_reads() {
+        let daemon = test_daemon("drain");
+        let r = handle(&daemon, "POST", "/jobs", r#"{"workload":"TLSTM"}"#);
+        assert_eq!(r.status, 202);
+        daemon.draining.store(true, Ordering::SeqCst);
+        let refused = handle(&daemon, "POST", "/jobs", r#"{"workload":"TLSTM"}"#);
+        assert_eq!(refused.status, 503);
+        assert_eq!(refused.retry_after, Some(5), "503 must carry Retry-After");
+        assert_eq!(
+            handle(&daemon, "POST", "/campaigns", "{}").status,
+            503,
+            "campaign submissions are refused too"
+        );
+        // Reads keep working for clients polling in-flight jobs.
+        assert_eq!(handle(&daemon, "GET", "/healthz", "").status, 200);
+        assert_eq!(handle(&daemon, "GET", "/jobs/0", "").status, 200);
+        assert_eq!(handle(&daemon, "GET", "/jobs", "").status, 200);
+        assert_eq!(handle(&daemon, "GET", "/metrics", "").status, 200);
+        let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
     }
 
     #[test]

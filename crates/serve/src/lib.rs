@@ -1,6 +1,6 @@
 //! # gnnmark-serve
 //!
-//! Benchmark-as-a-service on top of the GNNMark stack — three layers:
+//! Benchmark-as-a-service on top of the GNNMark stack:
 //!
 //! * [`cache`] — a content-addressed on-disk store of captured op streams
 //!   (key: workload + scale + seed + epochs + code-version salt). Training
@@ -10,15 +10,30 @@
 //!   N×(train + simulate).
 //! * [`campaign`] — a declarative sweep engine: a JSON spec ([`spec`])
 //!   expands to a two-phase job DAG (capture phase, then replay phase)
-//!   executed on a bounded worker queue with per-job retries/timeouts from
-//!   `gnnmark::resilience`. Job ordering is deterministic, so a campaign's
-//!   merged result JSON is byte-identical across runs and worker counts.
+//!   executed on a bounded worker queue with per-job retries/timeouts and
+//!   deterministic fault injection from `gnnmark::resilience`. Job
+//!   ordering is deterministic, so a campaign's merged result JSON is
+//!   byte-identical across runs and worker counts.
+//! * [`store`] — a dependency-free write-ahead-logged job store
+//!   (length-prefixed, FNV-1a-checksummed records, torn-tail truncation,
+//!   snapshot compaction). Every submission, claim, state transition and
+//!   result path is durable: a `kill -9`'d daemon restarts against the
+//!   same `--store` directory, replays the log, re-queues jobs that died
+//!   mid-flight, and — thanks to [`cache`] — finishes them without
+//!   retraining, byte-identical to an uninterrupted run.
+//! * [`lease`] — lock-file-arbitrated job claims with TTL expiry and
+//!   heartbeats, so N `gnnmark serve --store <dir>` processes share one
+//!   queue with exactly-once completion.
 //! * [`http`] — a dependency-free HTTP/1.1 daemon on
 //!   `std::net::TcpListener` (`gnnmark serve --addr`): submit jobs and
 //!   campaigns, poll status, fetch figure-CSV artifacts, scrape
-//!   `/metrics` in Prometheus format. Shuts down gracefully on
-//!   SIGINT/SIGTERM, draining in-flight jobs and flushing a final metrics
-//!   snapshot.
+//!   `/metrics` in Prometheus format. On SIGINT/SIGTERM it drains:
+//!   reads keep working, new submissions get `503 Retry-After`, and the
+//!   WAL is compacted on exit.
+//! * [`loadtest`] — an open/closed-loop SLO load harness
+//!   (`gnnmark loadtest`): p50/p95/p99 latency, saturation RPS, error
+//!   budget, and a `--chaos` drill that SIGKILLs and restarts a worker
+//!   mid-run to measure recovery time.
 //!
 //! The one-shot `gnnmark sweep <spec.json>` CLI path reuses [`campaign`]
 //! directly, without the daemon.
@@ -29,9 +44,15 @@
 pub mod cache;
 pub mod campaign;
 pub mod http;
+pub mod lease;
+pub mod loadtest;
 pub mod spec;
+pub mod store;
 
 pub use cache::{CacheKey, StreamCache};
 pub use campaign::{run_campaign, CampaignOutcome};
 pub use http::{serve, ServeConfig};
+pub use lease::{Lease, LeaseManager};
+pub use loadtest::{run_loadtest, LoadtestOptions, LoadtestReport};
 pub use spec::{CampaignSpec, DeviceConfig};
+pub use store::{JobState, JobStore, StoredJob};

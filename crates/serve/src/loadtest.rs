@@ -1,0 +1,485 @@
+//! Open/closed-loop load generator for the serving daemon's HTTP API.
+//!
+//! * **Closed loop** (`rps = 0`): `concurrency` workers issue requests
+//!   back-to-back for the duration. The achieved request rate *is* the
+//!   saturation throughput of the daemon at that concurrency.
+//! * **Open loop** (`rps > 0`): arrivals are scheduled on a fixed grid
+//!   (`i / rps`), and each request's latency is measured from its
+//!   *scheduled* start — so a daemon that falls behind accumulates
+//!   queueing delay in the percentiles instead of silently back-pressuring
+//!   the generator (the coordinated-omission trap).
+//!
+//! The report carries p50/p95/p99/max latency, achieved RPS, the error
+//! budget verdict, and — in `--chaos` mode — the measured recovery time:
+//! the generator spawns its own daemon, SIGKILLs it mid-run, restarts it
+//! against the same store, and times how long `/healthz` takes to come
+//! back. Output renders as validated JSON plus a figure CSV of the
+//! latency quantiles.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gnnmark_telemetry::export::debug_validated;
+use gnnmark_telemetry::metrics;
+
+/// Chaos drill: the generator owns a daemon child process and murders it
+/// mid-run.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Binary to spawn (normally `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Arguments, e.g. `["serve", "--addr", …, "--store", …]`.
+    pub args: Vec<String>,
+    /// When into the run the SIGKILL lands.
+    pub kill_after: Duration,
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadtestOptions {
+    /// Target daemon address (`host:port`).
+    pub addr: String,
+    /// Request path to drive (default `/healthz`).
+    pub path: String,
+    /// Open-loop arrival rate; `0` selects the closed loop.
+    pub rps: f64,
+    /// Concurrent generator workers.
+    pub concurrency: usize,
+    /// Main measurement window.
+    pub duration: Duration,
+    /// Highest tolerable `errors / requests` ratio.
+    pub error_budget: f64,
+    /// After an open-loop run, also probe saturation with a short closed
+    /// loop of this length.
+    pub saturation_probe: Option<Duration>,
+    /// Kill-and-restart drill (the generator spawns the daemon itself).
+    pub chaos: Option<ChaosOptions>,
+}
+
+impl Default for LoadtestOptions {
+    fn default() -> Self {
+        LoadtestOptions {
+            addr: "127.0.0.1:8642".to_string(),
+            path: "/healthz".to_string(),
+            rps: 0.0,
+            concurrency: 4,
+            duration: Duration::from_secs(10),
+            error_budget: 0.01,
+            saturation_probe: None,
+            chaos: None,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// `"open"` or `"closed"`.
+    pub mode: &'static str,
+    /// Requests issued in the measurement window.
+    pub requests: u64,
+    /// Non-2xx responses plus transport failures.
+    pub errors: u64,
+    /// Wall time of the measurement window (seconds).
+    pub duration_s: f64,
+    /// Completed requests per second.
+    pub achieved_rps: f64,
+    /// Latency percentiles (milliseconds). Open-loop latencies include
+    /// schedule slip (queueing delay).
+    pub p50_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_ms: f64,
+    /// Worst observed latency (ms).
+    pub max_ms: f64,
+    /// Closed-loop saturation throughput (the run itself when closed,
+    /// the trailing probe when open, absent otherwise).
+    pub saturation_rps: Option<f64>,
+    /// Chaos mode: `/healthz` downtime across the kill + restart (ms).
+    pub recovery_ms: Option<f64>,
+    /// Error budget from the options, echoed for the report.
+    pub error_budget: f64,
+    /// Whether `errors / requests` stayed within the budget.
+    pub error_budget_ok: bool,
+}
+
+impl LoadtestReport {
+    /// The report as validated JSON.
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or("null".to_string(), |x| format!("{x:.3}"))
+        }
+        let s = format!(
+            "{{\"mode\":\"{}\",\"requests\":{},\"errors\":{},\"duration_s\":{:.3},\
+             \"achieved_rps\":{:.1},\"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\
+             \"p99\":{:.3},\"max\":{:.3}}},\"saturation_rps\":{},\"recovery_ms\":{},\
+             \"error_budget\":{},\"error_budget_ok\":{}}}",
+            self.mode,
+            self.requests,
+            self.errors,
+            self.duration_s,
+            self.achieved_rps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+            opt(self.saturation_rps),
+            opt(self.recovery_ms),
+            self.error_budget,
+            self.error_budget_ok,
+        );
+        debug_validated("loadtest report", s)
+    }
+
+    /// Figure CSV of the latency quantiles.
+    pub fn to_figure_csv(&self) -> String {
+        format!(
+            "quantile,latency_ms\n0.50,{:.3}\n0.95,{:.3}\n0.99,{:.3}\n1.00,{:.3}\n",
+            self.p50_ms, self.p95_ms, self.p99_ms, self.max_ms
+        )
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample (ms).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One `GET` with `Connection: close`; `Ok(status)` or `Err` on any
+/// transport failure.
+fn one_request(addr: &str, path: &str) -> Result<u16, ()> {
+    let mut stream = TcpStream::connect(addr).map_err(|_| ())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|_| ())?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .map_err(|_| ())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|_| ())?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).map_err(|_| ())?;
+    let head = String::from_utf8_lossy(&buf);
+    head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or(())
+}
+
+struct Tally {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+impl Tally {
+    fn new() -> Tally {
+        Tally {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies_ms: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record(&self, latency_ms: f64, ok: bool) {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        self.latencies_ms.lock().unwrap().push(latency_ms);
+        metrics::counter_add("gnnmark_loadtest_requests_total", 1);
+        if !ok {
+            metrics::counter_add("gnnmark_loadtest_errors_total", 1);
+        }
+        metrics::observe("gnnmark_loadtest_latency_seconds", latency_ms / 1e3);
+    }
+}
+
+/// Closed loop: `concurrency` workers hammer back-to-back for `duration`.
+fn run_closed(opts: &LoadtestOptions, duration: Duration, tally: &Tally) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..opts.concurrency.max(1) {
+            s.spawn(|| {
+                while t0.elapsed() < duration {
+                    let start = Instant::now();
+                    let ok = matches!(one_request(&opts.addr, &opts.path), Ok(s) if (200..300).contains(&s));
+                    tally.record(start.elapsed().as_secs_f64() * 1e3, ok);
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Open loop: arrivals on the `i / rps` grid, latency measured from the
+/// scheduled arrival so queueing delay is charged to the daemon.
+fn run_open(opts: &LoadtestOptions, tally: &Tally) -> f64 {
+    let t0 = Instant::now();
+    let next = AtomicU64::new(0);
+    let interval = 1.0 / opts.rps.max(1e-9);
+    std::thread::scope(|s| {
+        for _ in 0..opts.concurrency.max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let scheduled = i as f64 * interval;
+                if scheduled >= opts.duration.as_secs_f64() {
+                    return;
+                }
+                let now = t0.elapsed().as_secs_f64();
+                if scheduled > now {
+                    std::thread::sleep(Duration::from_secs_f64(scheduled - now));
+                }
+                let ok = matches!(one_request(&opts.addr, &opts.path), Ok(s) if (200..300).contains(&s));
+                let latency = t0.elapsed().as_secs_f64() - scheduled;
+                tally.record(latency * 1e3, ok);
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn spawn_daemon(chaos: &ChaosOptions) -> Result<Child, String> {
+    Command::new(&chaos.exe)
+        .args(&chaos.args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawning daemon for chaos drill: {e}"))
+}
+
+/// Polls `/healthz` until it answers 200; the wait in milliseconds, or
+/// `Err` past the deadline.
+pub fn wait_for_health(addr: &str, deadline: Duration) -> Result<f64, String> {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if matches!(one_request(addr, "/healthz"), Ok(200)) {
+            return Ok(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Err(format!("daemon at {addr} not healthy after {deadline:?}"))
+}
+
+/// Runs the load test (and the chaos drill, when configured).
+///
+/// # Errors
+/// Only harness-level failures (chaos daemon never became healthy, spawn
+/// failure) are errors; request failures are tallied into the report.
+pub fn run_loadtest(opts: &LoadtestOptions) -> Result<LoadtestReport, String> {
+    let mut child: Option<Child> = None;
+    if let Some(chaos) = &opts.chaos {
+        child = Some(spawn_daemon(chaos)?);
+        wait_for_health(&opts.addr, Duration::from_secs(60))?;
+    }
+
+    let tally = Tally::new();
+    let recovery = Mutex::new(None::<f64>);
+    let stop_chaos = AtomicBool::new(false);
+    let mut chaos_err = None;
+    let (elapsed, mode) = std::thread::scope(|s| {
+        let chaos_handle = opts.chaos.as_ref().map(|chaos| {
+            let taken = child.take();
+            let stop = &stop_chaos;
+            let recovery = &recovery;
+            s.spawn(move || -> Result<Option<Child>, String> {
+                let mut child = taken;
+                let t0 = Instant::now();
+                while t0.elapsed() < chaos.kill_after {
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(child);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                if let Some(c) = child.as_mut() {
+                    let _ = c.kill(); // SIGKILL: no drain, torn WAL tail and all
+                    let _ = c.wait();
+                    metrics::counter_add("gnnmark_loadtest_chaos_kills_total", 1);
+                }
+                let down = Instant::now();
+                let mut respawned = spawn_daemon(chaos)?;
+                match wait_for_health(&opts.addr, Duration::from_secs(60)) {
+                    Ok(_) => {
+                        *recovery.lock().unwrap() =
+                            Some(down.elapsed().as_secs_f64() * 1e3);
+                        Ok(Some(respawned))
+                    }
+                    Err(e) => {
+                        let _ = respawned.kill();
+                        Err(e)
+                    }
+                }
+            })
+        });
+        let result = if opts.rps > 0.0 {
+            (run_open(opts, &tally), "open")
+        } else {
+            (run_closed(opts, opts.duration, &tally), "closed")
+        };
+        stop_chaos.store(true, Ordering::SeqCst);
+        if let Some(h) = chaos_handle {
+            match h.join().unwrap_or_else(|_| Err("chaos thread panicked".into())) {
+                Ok(c) => child = c,
+                Err(e) => chaos_err = Some(e),
+            }
+        }
+        result
+    });
+    if let Some(mut c) = child {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+    if let Some(e) = chaos_err {
+        return Err(e);
+    }
+
+    let requests = tally.requests.load(Ordering::SeqCst);
+    let errors = tally.errors.load(Ordering::SeqCst);
+    let mut lat = tally.latencies_ms.into_inner().unwrap();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let achieved_rps = if elapsed > 0.0 {
+        requests as f64 / elapsed
+    } else {
+        0.0
+    };
+
+    let saturation_rps = if mode == "closed" {
+        Some(achieved_rps)
+    } else if let Some(probe) = opts.saturation_probe {
+        let probe_tally = Tally::new();
+        let probe_s = run_closed(opts, probe, &probe_tally);
+        let n = probe_tally.requests.load(Ordering::SeqCst);
+        (probe_s > 0.0).then(|| n as f64 / probe_s)
+    } else {
+        None
+    };
+
+    Ok(LoadtestReport {
+        mode,
+        requests,
+        errors,
+        duration_s: elapsed,
+        achieved_rps,
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+        max_ms: lat.last().copied().unwrap_or(0.0),
+        saturation_rps,
+        recovery_ms: recovery.into_inner().unwrap(),
+        error_budget: opts.error_budget,
+        error_budget_ok: errors as f64 <= opts.error_budget * requests as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A minimal in-test HTTP server answering every request with the
+    /// given status line.
+    fn stub_server(status: &'static str) -> (String, std::sync::Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        listener.set_nonblocking(true).unwrap();
+        std::thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut s, _)) => {
+                        let mut buf = [0u8; 1024];
+                        let _ = s.read(&mut buf);
+                        let _ = s.write_all(
+                            format!(
+                                "HTTP/1.1 {status}\r\nContent-Length: 2\r\n\
+                                 Connection: close\r\n\r\nok"
+                            )
+                            .as_bytes(),
+                        );
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        });
+        (addr, stop)
+    }
+
+    fn quick_opts(addr: &str) -> LoadtestOptions {
+        LoadtestOptions {
+            addr: addr.to_string(),
+            concurrency: 2,
+            duration: Duration::from_millis(250),
+            ..LoadtestOptions::default()
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn closed_loop_measures_a_healthy_server() {
+        let (addr, stop) = stub_server("200 OK");
+        let report = run_loadtest(&quick_opts(&addr)).unwrap();
+        stop.store(true, Ordering::SeqCst);
+        assert_eq!(report.mode, "closed");
+        assert!(report.requests > 0, "no requests completed");
+        assert_eq!(report.errors, 0, "healthy server produced errors");
+        assert!(report.error_budget_ok);
+        assert!(report.achieved_rps > 0.0);
+        assert_eq!(report.saturation_rps, Some(report.achieved_rps));
+        assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.max_ms);
+        // The report renders as valid JSON and a well-formed CSV.
+        let json = report.to_json();
+        let v = gnnmark_telemetry::export::parse_json(&json).unwrap();
+        assert_eq!(v.get("mode").and_then(|x| x.as_str()), Some("closed"));
+        assert!(v.get("latency_ms").and_then(|x| x.get("p99")).is_some());
+        assert!(report.to_figure_csv().starts_with("quantile,latency_ms\n"));
+    }
+
+    #[test]
+    fn open_loop_paces_arrivals_and_counts_failures() {
+        let (addr, stop) = stub_server("500 Internal Server Error");
+        let mut opts = quick_opts(&addr);
+        opts.rps = 40.0;
+        opts.duration = Duration::from_millis(300);
+        let report = run_loadtest(&opts).unwrap();
+        stop.store(true, Ordering::SeqCst);
+        assert_eq!(report.mode, "open");
+        // 40 rps over 0.3 s schedules 12 arrivals.
+        assert_eq!(report.requests, 12, "open loop must honor the schedule");
+        assert_eq!(report.errors, 12, "every 500 is an error");
+        assert!(!report.error_budget_ok);
+        assert!(report.recovery_ms.is_none());
+    }
+
+    #[test]
+    fn transport_failures_count_against_the_budget() {
+        // Nothing listens here: every connect fails fast.
+        let mut opts = quick_opts("127.0.0.1:1");
+        opts.rps = 50.0;
+        opts.duration = Duration::from_millis(100);
+        let report = run_loadtest(&opts).unwrap();
+        assert!(report.requests > 0);
+        assert_eq!(report.errors, report.requests);
+        assert!(!report.error_budget_ok);
+    }
+}

@@ -1,0 +1,1026 @@
+//! Durable, crash-recoverable job store: an append-only write-ahead log
+//! plus a periodic snapshot, shared by every daemon process pointed at
+//! the same `--store` directory.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <store>/
+//!   wal.log        8-byte LE generation header, then framed records
+//!   snapshot.json  compacted job table (generation, jobs[])
+//!   wal.lock       cross-process append mutex (lock file)
+//!   locks/         per-job lease files (see `lease`)
+//!   jobs/          job result artifacts (merged.json, figure CSVs)
+//! ```
+//!
+//! ## Record framing
+//!
+//! Every record is `u32 LE payload-length | u64 LE FNV-1a(payload) |
+//! payload`, where the payload is one self-describing JSON object
+//! (`{"type":"submit",...}`). A reader stops at the first frame whose
+//! length or checksum does not verify — that is by construction the torn
+//! tail of a crashed writer, and the next mutex-holding appender
+//! truncates it away before appending. Records never change once
+//! written; recovery is a pure left-fold over `snapshot + log`.
+//!
+//! ## Fold semantics (exactly-once by construction)
+//!
+//! * `submit` inserts a job in `queued`; duplicate ids are ignored.
+//! * `claim` moves `queued → running` and names the claiming worker.
+//! * `done` is **first-writer-wins**: a second `done` for the same job
+//!   (possible only under a lease-steal race) is dropped, so a job
+//!   completes exactly once no matter how many workers raced.
+//! * `failed` is ignored once a job is `done`.
+//! * `requeue` only applies to a `running` job (so two workers
+//!   concurrently detecting the same dead lease cannot double-requeue).
+//!
+//! A job found `running` at recovery whose lease has expired is re-queued
+//! (`requeues` is incremented and capped) — a `SIGKILL`'d worker loses
+//! the job to a peer or to its own restart, and the replay cache
+//! guarantees the re-run never re-trains an already-captured stream.
+//!
+//! ## Compaction
+//!
+//! Appends under one mutex acquisition also fold into the in-memory
+//! view; every `COMPACT_EVERY` records (or on demand at drain) the view
+//! is written to `snapshot.json` (write-then-rename, fsync'd) and the
+//! log is replaced by an empty one with a bumped generation header.
+//! Other processes detect the generation change and reload.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use gnnmark_gpusim::stream::fnv1a_64;
+use gnnmark_telemetry::export::{parse_json, JsonValue};
+use gnnmark_telemetry::metrics;
+
+const LOG_FILE: &str = "wal.log";
+const SNAPSHOT_FILE: &str = "snapshot.json";
+const MUTEX_FILE: &str = "wal.lock";
+const GEN_HEADER: u64 = 8;
+/// Records accumulated since the last snapshot before an append triggers
+/// compaction.
+const COMPACT_EVERY: u64 = 512;
+/// A `wal.lock` older than this is considered abandoned by a crashed
+/// process and broken. Appends take milliseconds; this is three orders
+/// of magnitude above that.
+const MUTEX_STALE: Duration = Duration::from_secs(10);
+
+/// Milliseconds since the Unix epoch (also used by lease expiries).
+pub fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// JSON string escaping for record payloads.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A cross-process mutex backed by a lock file created with `O_EXCL`.
+///
+/// Held for milliseconds around one append or compaction. A lock file
+/// whose mtime is older than [`MUTEX_STALE`] is treated as abandoned by
+/// a killed process and broken; the breaking race window is orders of
+/// magnitude smaller than the staleness threshold.
+struct DirMutex {
+    path: PathBuf,
+}
+
+impl DirMutex {
+    fn acquire(path: PathBuf) -> std::io::Result<DirMutex> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{} {}", std::process::id(), now_unix_ms());
+                    return Ok(DirMutex { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > MUTEX_STALE);
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() > deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("timed out acquiring {}", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for DirMutex {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Durable job lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, waiting for a worker claim.
+    Queued,
+    /// Claimed by a worker holding a live lease.
+    Running,
+    /// Completed; artifacts are on disk under `result_dir`.
+    Done,
+    /// Terminally failed (all attempts and requeues exhausted).
+    Failed,
+}
+
+impl JobState {
+    /// Lower-case wire label (`queued`/`running`/`done`/`failed`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// One job as reconstructed from the store.
+#[derive(Debug, Clone)]
+pub struct StoredJob {
+    /// Monotonic id, unique across every worker sharing the store.
+    pub id: u64,
+    /// Campaign name (from the spec; output directory component).
+    pub name: String,
+    /// The submitted campaign spec, verbatim JSON.
+    pub spec_json: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Failure detail (empty unless `Failed`).
+    pub detail: String,
+    /// Worker currently (or last) responsible for the job.
+    pub worker: Option<String>,
+    /// Resilient-runner attempts consumed, summed across requeues.
+    pub attempts: u64,
+    /// Times the job was re-queued after its worker died mid-flight.
+    pub requeues: u64,
+    /// Deterministic faults injected into this job's workers.
+    pub faults_injected: u64,
+    /// Latest progress message from the executing worker.
+    pub progress: String,
+    /// Artifact names (relative to `result_dir`).
+    pub artifacts: Vec<String>,
+    /// Result directory, relative to the store root.
+    pub result_dir: Option<String>,
+}
+
+impl StoredJob {
+    fn new(id: u64, name: String, spec_json: String) -> StoredJob {
+        StoredJob {
+            id,
+            name,
+            spec_json,
+            state: JobState::Queued,
+            detail: String::new(),
+            worker: None,
+            attempts: 0,
+            requeues: 0,
+            faults_injected: 0,
+            progress: String::new(),
+            artifacts: Vec::new(),
+            result_dir: None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        s.push_str(&format!("\"id\":{},", self.id));
+        s.push_str(&format!("\"name\":\"{}\",", json_escape(&self.name)));
+        s.push_str(&format!("\"spec\":\"{}\",", json_escape(&self.spec_json)));
+        s.push_str(&format!("\"state\":\"{}\",", self.state.label()));
+        s.push_str(&format!("\"detail\":\"{}\",", json_escape(&self.detail)));
+        match &self.worker {
+            Some(w) => s.push_str(&format!("\"worker\":\"{}\",", json_escape(w))),
+            None => s.push_str("\"worker\":null,"),
+        }
+        s.push_str(&format!("\"attempts\":{},", self.attempts));
+        s.push_str(&format!("\"requeues\":{},", self.requeues));
+        s.push_str(&format!("\"faults\":{},", self.faults_injected));
+        s.push_str(&format!("\"progress\":\"{}\",", json_escape(&self.progress)));
+        s.push_str("\"artifacts\":[");
+        for (i, a) in self.artifacts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", json_escape(a)));
+        }
+        s.push_str("],");
+        match &self.result_dir {
+            Some(d) => s.push_str(&format!("\"result_dir\":\"{}\"", json_escape(d))),
+            None => s.push_str("\"result_dir\":null"),
+        }
+        s.push('}');
+        s
+    }
+
+    fn from_json(v: &JsonValue) -> Option<StoredJob> {
+        let mut job = StoredJob::new(
+            v.get("id")?.as_u64()?,
+            v.get("name")?.as_str()?.to_string(),
+            v.get("spec")?.as_str()?.to_string(),
+        );
+        job.state = JobState::parse(v.get("state")?.as_str()?)?;
+        job.detail = v.get("detail").and_then(|x| x.as_str()).unwrap_or("").to_string();
+        job.worker = v.get("worker").and_then(|x| x.as_str()).map(str::to_string);
+        job.attempts = v.get("attempts").and_then(|x| x.as_u64()).unwrap_or(0);
+        job.requeues = v.get("requeues").and_then(|x| x.as_u64()).unwrap_or(0);
+        job.faults_injected = v.get("faults").and_then(|x| x.as_u64()).unwrap_or(0);
+        job.progress = v.get("progress").and_then(|x| x.as_str()).unwrap_or("").to_string();
+        if let Some(arr) = v.get("artifacts").and_then(|x| x.as_array()) {
+            job.artifacts = arr
+                .iter()
+                .filter_map(|a| a.as_str().map(str::to_string))
+                .collect();
+        }
+        job.result_dir = v
+            .get("result_dir")
+            .and_then(|x| x.as_str())
+            .map(str::to_string);
+        Some(job)
+    }
+}
+
+#[derive(Debug, Default)]
+struct View {
+    jobs: BTreeMap<u64, StoredJob>,
+    /// Snapshot generation the current log belongs to.
+    generation: u64,
+    /// Bytes of `wal.log` consumed (including the generation header).
+    log_offset: u64,
+    records_since_snapshot: u64,
+}
+
+/// The WAL-backed job store. Cheap to clone a handle via `Arc`; safe to
+/// open from any number of processes sharing the directory.
+#[derive(Debug)]
+pub struct JobStore {
+    dir: PathBuf,
+    inner: Mutex<View>,
+}
+
+impl JobStore {
+    /// Opens (creating if needed) a store rooted at `dir`, recovering
+    /// state by loading the snapshot and replaying the log. A torn log
+    /// tail left by a crashed writer is truncated away here.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<JobStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(dir.join("locks"))?;
+        std::fs::create_dir_all(dir.join("jobs"))?;
+        let store = JobStore {
+            dir,
+            inner: Mutex::new(View::default()),
+        };
+        {
+            // Repair under the append mutex: truncate any torn tail and
+            // make the log's generation header match the snapshot.
+            let _guard = DirMutex::acquire(store.dir.join(MUTEX_FILE))?;
+            let mut view = store.inner.lock().unwrap();
+            store.reload_locked(&mut view, true)?;
+        }
+        Ok(store)
+    }
+
+    /// The store root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn log_path(&self) -> PathBuf {
+        self.dir.join(LOG_FILE)
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Reads the snapshot (if any) into a fresh view, then replays the
+    /// log. With `repair` (mutex held), truncates the torn tail and
+    /// recreates a stale-generation log.
+    fn reload_locked(&self, view: &mut View, repair: bool) -> std::io::Result<()> {
+        let mut fresh = View::default();
+        if let Ok(text) = std::fs::read_to_string(self.snapshot_path()) {
+            if let Ok(v) = parse_json(&text) {
+                fresh.generation = v.get("generation").and_then(|x| x.as_u64()).unwrap_or(0);
+                if let Some(arr) = v.get("jobs").and_then(|x| x.as_array()) {
+                    for j in arr {
+                        if let Some(job) = StoredJob::from_json(j) {
+                            fresh.jobs.insert(job.id, job);
+                        }
+                    }
+                }
+            }
+        }
+        let log = self.log_path();
+        if !log.exists() {
+            if repair {
+                write_empty_log(&log, fresh.generation)?;
+            }
+            fresh.log_offset = GEN_HEADER;
+            *view = fresh;
+            return Ok(());
+        }
+        let bytes = std::fs::read(&log)?;
+        let log_gen = read_generation(&bytes);
+        if log_gen != Some(fresh.generation) {
+            // A crash between the snapshot rename and the log recreate
+            // leaves an old-generation log whose records are already
+            // folded into the snapshot: recreate it empty. (A log NEWER
+            // than the snapshot only happens if the snapshot was deleted
+            // by hand; replay it on top as best effort.)
+            match log_gen {
+                Some(g) if g > fresh.generation => {
+                    fresh.generation = g;
+                }
+                _ => {
+                    if repair {
+                        write_empty_log(&log, fresh.generation)?;
+                    }
+                    fresh.log_offset = GEN_HEADER;
+                    *view = fresh;
+                    return Ok(());
+                }
+            }
+        }
+        let valid_end = replay_records(&bytes, GEN_HEADER, &mut fresh);
+        if repair && valid_end < bytes.len() as u64 {
+            let f = OpenOptions::new().write(true).open(&log)?;
+            f.set_len(valid_end)?;
+            f.sync_all()?;
+            metrics::counter_add("gnnmark_store_torn_tails_truncated_total", 1);
+        }
+        fresh.log_offset = valid_end;
+        *view = fresh;
+        Ok(())
+    }
+
+    /// Incorporates records appended by other processes since the last
+    /// look. Read-only: never repairs; a torn tail simply isn't consumed
+    /// yet. Detects compaction (generation change / log shrinkage) and
+    /// falls back to a full reload.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn refresh(&self) -> std::io::Result<()> {
+        let mut view = self.inner.lock().unwrap();
+        self.refresh_locked(&mut view)
+    }
+
+    fn refresh_locked(&self, view: &mut View) -> std::io::Result<()> {
+        let log = self.log_path();
+        let bytes = match std::fs::read(&log) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let shrunk = (bytes.len() as u64) < view.log_offset;
+        if read_generation(&bytes) != Some(view.generation) || shrunk {
+            return self.reload_locked(view, false);
+        }
+        view.log_offset = replay_records(&bytes, view.log_offset, view);
+        Ok(())
+    }
+
+    /// Submits a job: allocates the next id under the cross-process
+    /// mutex, asks `make` for the `(campaign-name, spec-json)` pair for
+    /// that id, and appends the `submit` record.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn submit_with(
+        &self,
+        make: impl FnOnce(u64) -> (String, String),
+    ) -> std::io::Result<u64> {
+        let guard = DirMutex::acquire(self.dir.join(MUTEX_FILE))?;
+        let mut view = self.inner.lock().unwrap();
+        self.refresh_locked(&mut view)?;
+        let id = view.jobs.keys().next_back().map_or(0, |k| k + 1);
+        let (name, spec_json) = make(id);
+        let payload = format!(
+            "{{\"type\":\"submit\",\"id\":{id},\"name\":\"{}\",\"spec\":\"{}\"}}",
+            json_escape(&name),
+            json_escape(&spec_json)
+        );
+        self.append_locked(&mut view, &payload)?;
+        drop(guard);
+        metrics::counter_add("gnnmark_store_submits_total", 1);
+        Ok(id)
+    }
+
+    fn append(&self, payload: &str) -> std::io::Result<()> {
+        let guard = DirMutex::acquire(self.dir.join(MUTEX_FILE))?;
+        let mut view = self.inner.lock().unwrap();
+        self.refresh_locked(&mut view)?;
+        self.append_locked(&mut view, payload)?;
+        drop(guard);
+        Ok(())
+    }
+
+    /// Appends one framed record (mutex + view lock held by caller),
+    /// folds it into the view, and compacts when due. Truncates a torn
+    /// tail first so the new record is always reachable by scan.
+    fn append_locked(&self, view: &mut View, payload: &str) -> std::io::Result<()> {
+        let log = self.log_path();
+        if !log.exists() {
+            write_empty_log(&log, view.generation)?;
+            view.log_offset = GEN_HEADER;
+        }
+        let actual_len = std::fs::metadata(&log)?.len();
+        if actual_len > view.log_offset {
+            // Unconsumed bytes past our offset that refresh could not
+            // parse: a torn tail from a crashed writer. Truncate it.
+            let f = OpenOptions::new().write(true).open(&log)?;
+            f.set_len(view.log_offset)?;
+            f.sync_all()?;
+            metrics::counter_add("gnnmark_store_torn_tails_truncated_total", 1);
+        }
+        let frame = frame_record(payload);
+        let mut f = OpenOptions::new().append(true).open(&log)?;
+        f.write_all(&frame)?;
+        f.sync_data()?;
+        if let Ok(v) = parse_json(payload) {
+            fold(&mut view.jobs, &v);
+        }
+        view.log_offset += frame.len() as u64;
+        view.records_since_snapshot += 1;
+        metrics::counter_add("gnnmark_store_appends_total", 1);
+        if view.records_since_snapshot >= COMPACT_EVERY {
+            self.compact_locked(view)?;
+        }
+        Ok(())
+    }
+
+    /// Records a worker's claim on a queued job.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn record_claim(&self, id: u64, worker: &str) -> std::io::Result<()> {
+        self.append(&format!(
+            "{{\"type\":\"claim\",\"id\":{id},\"worker\":\"{}\"}}",
+            json_escape(worker)
+        ))
+    }
+
+    /// Records a progress message for a running job.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn record_progress(&self, id: u64, msg: &str) -> std::io::Result<()> {
+        self.append(&format!(
+            "{{\"type\":\"progress\",\"id\":{id},\"msg\":\"{}\"}}",
+            json_escape(msg)
+        ))
+    }
+
+    /// Records a job's successful completion with its on-disk result
+    /// location. First-writer-wins: a duplicate `done` is a fold no-op.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn record_done(
+        &self,
+        id: u64,
+        worker: &str,
+        result_dir: &str,
+        artifacts: &[String],
+        attempts: u64,
+        faults: u64,
+    ) -> std::io::Result<()> {
+        let list: Vec<String> = artifacts
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect();
+        self.append(&format!(
+            "{{\"type\":\"done\",\"id\":{id},\"worker\":\"{}\",\"result_dir\":\"{}\",\
+             \"artifacts\":[{}],\"attempts\":{attempts},\"faults\":{faults}}}",
+            json_escape(worker),
+            json_escape(result_dir),
+            list.join(",")
+        ))
+    }
+
+    /// Records a job's terminal failure.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn record_failed(
+        &self,
+        id: u64,
+        worker: &str,
+        error: &str,
+        attempts: u64,
+        faults: u64,
+    ) -> std::io::Result<()> {
+        self.append(&format!(
+            "{{\"type\":\"failed\",\"id\":{id},\"worker\":\"{}\",\"error\":\"{}\",\
+             \"attempts\":{attempts},\"faults\":{faults}}}",
+            json_escape(worker),
+            json_escape(error)
+        ))
+    }
+
+    /// Re-queues a running job whose worker died (lease expired). A
+    /// requeue of a job that is no longer running is a fold no-op, so
+    /// concurrent detectors cannot double-requeue.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn record_requeue(&self, id: u64, reason: &str) -> std::io::Result<()> {
+        metrics::counter_add("gnnmark_store_requeues_total", 1);
+        self.append(&format!(
+            "{{\"type\":\"requeue\",\"id\":{id},\"reason\":\"{}\"}}",
+            json_escape(reason)
+        ))
+    }
+
+    /// One job by id, from the current view (call [`refresh`](Self::refresh)
+    /// first for cross-process freshness).
+    pub fn job(&self, id: u64) -> Option<StoredJob> {
+        self.inner.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Every job, ordered by id.
+    pub fn jobs(&self) -> Vec<StoredJob> {
+        self.inner.lock().unwrap().jobs.values().cloned().collect()
+    }
+
+    /// The lowest-id queued job, if any.
+    pub fn next_queued(&self) -> Option<StoredJob> {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .values()
+            .find(|j| j.state == JobState::Queued)
+            .cloned()
+    }
+
+    /// Jobs currently marked running (their leases may or may not still
+    /// be live — callers cross-check with the lease manager).
+    pub fn running_jobs(&self) -> Vec<StoredJob> {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .cloned()
+            .collect()
+    }
+
+    /// Re-queues every running job whose lease `is_dead` reports expired
+    /// or absent; jobs over the requeue budget fail terminally instead.
+    /// Returns the ids re-queued.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn recover_dead(
+        &self,
+        max_requeues: u64,
+        is_dead: impl Fn(u64) -> bool,
+    ) -> std::io::Result<Vec<u64>> {
+        let mut requeued = Vec::new();
+        for job in self.running_jobs() {
+            if !is_dead(job.id) {
+                continue;
+            }
+            if job.requeues >= max_requeues {
+                self.record_failed(
+                    job.id,
+                    job.worker.as_deref().unwrap_or("unknown"),
+                    &format!("exceeded {max_requeues} requeue(s) after worker death"),
+                    job.attempts,
+                    job.faults_injected,
+                )?;
+            } else {
+                self.record_requeue(job.id, "lease expired (worker died)")?;
+                metrics::counter_add("gnnmark_store_recovered_jobs_total", 1);
+                requeued.push(job.id);
+            }
+        }
+        Ok(requeued)
+    }
+
+    /// Compacts now: snapshot the view, bump the generation, empty the
+    /// log. Also the drain-hook path (final WAL flush on shutdown).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn compact(&self) -> std::io::Result<()> {
+        let guard = DirMutex::acquire(self.dir.join(MUTEX_FILE))?;
+        let mut view = self.inner.lock().unwrap();
+        self.refresh_locked(&mut view)?;
+        self.compact_locked(&mut view)?;
+        drop(guard);
+        Ok(())
+    }
+
+    fn compact_locked(&self, view: &mut View) -> std::io::Result<()> {
+        let next_gen = view.generation + 1;
+        let mut s = String::with_capacity(4096);
+        s.push_str(&format!("{{\"generation\":{next_gen},\"jobs\":["));
+        for (i, job) in view.jobs.values().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&job.to_json());
+        }
+        s.push_str("]}");
+        // Snapshot first, then the log: a crash in between leaves an
+        // old-generation log whose records are already in the snapshot,
+        // which reload detects and discards.
+        let tmp = self.snapshot_path().with_extension("json.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(s.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.snapshot_path())?;
+        write_empty_log(&self.log_path(), next_gen)?;
+        view.generation = next_gen;
+        view.log_offset = GEN_HEADER;
+        view.records_since_snapshot = 0;
+        metrics::counter_add("gnnmark_store_compactions_total", 1);
+        Ok(())
+    }
+
+    /// Raw record payloads currently in the log (diagnostics and tests —
+    /// e.g. asserting exactly one `done` record per job). Does not
+    /// include records already folded into the snapshot.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn dump_raw_records(dir: &Path) -> std::io::Result<Vec<String>> {
+        let bytes = std::fs::read(dir.join(LOG_FILE))?;
+        let mut out = Vec::new();
+        let mut off = GEN_HEADER as usize;
+        while let Some((payload, next)) = read_frame(&bytes, off) {
+            out.push(payload);
+            off = next;
+        }
+        Ok(out)
+    }
+}
+
+fn frame_record(payload: &str) -> Vec<u8> {
+    let bytes = payload.as_bytes();
+    let mut frame = Vec::with_capacity(bytes.len() + 12);
+    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a_64(bytes).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    frame
+}
+
+/// Reads one frame at `off`; `None` on a short, oversized, or
+/// checksum-failing frame (the torn tail).
+fn read_frame(bytes: &[u8], off: usize) -> Option<(String, usize)> {
+    let len = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize;
+    if len > 16 << 20 {
+        return None; // garbage length — cannot be a real record
+    }
+    let sum = u64::from_le_bytes(bytes.get(off + 4..off + 12)?.try_into().ok()?);
+    let payload = bytes.get(off + 12..off + 12 + len)?;
+    if fnv1a_64(payload) != sum {
+        return None;
+    }
+    Some((
+        String::from_utf8_lossy(payload).into_owned(),
+        off + 12 + len,
+    ))
+}
+
+fn read_generation(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
+}
+
+fn write_empty_log(path: &Path, generation: u64) -> std::io::Result<()> {
+    let tmp = path.with_extension("log.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&generation.to_le_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Replays frames from `from` into the view; returns the offset one past
+/// the last valid frame.
+fn replay_records(bytes: &[u8], from: u64, view: &mut View) -> u64 {
+    let mut off = from as usize;
+    while let Some((payload, next)) = read_frame(bytes, off) {
+        if let Ok(v) = parse_json(&payload) {
+            fold(&mut view.jobs, &v);
+        }
+        view.records_since_snapshot += 1;
+        off = next;
+    }
+    off as u64
+}
+
+/// Folds one record into the job table (see module docs for semantics).
+fn fold(jobs: &mut BTreeMap<u64, StoredJob>, rec: &JsonValue) {
+    let Some(kind) = rec.get("type").and_then(|x| x.as_str()) else {
+        return;
+    };
+    let Some(id) = rec.get("id").and_then(|x| x.as_u64()) else {
+        return;
+    };
+    if kind == "submit" {
+        // Insert-if-absent: a resubmitted id (replay after compaction)
+        // never clobbers later state transitions.
+        jobs.entry(id).or_insert_with(|| {
+            let name = rec.get("name").and_then(|x| x.as_str()).unwrap_or("job");
+            let spec = rec.get("spec").and_then(|x| x.as_str()).unwrap_or("{}");
+            StoredJob::new(id, name.to_string(), spec.to_string())
+        });
+        return;
+    }
+    let Some(job) = jobs.get_mut(&id) else {
+        return;
+    };
+    match kind {
+        "claim" if job.state == JobState::Queued || job.state == JobState::Running => {
+            job.state = JobState::Running;
+            job.worker = rec
+                .get("worker")
+                .and_then(|x| x.as_str())
+                .map(str::to_string);
+        }
+        "progress" if job.state != JobState::Done && job.state != JobState::Failed => {
+            job.progress = rec
+                .get("msg")
+                .and_then(|x| x.as_str())
+                .unwrap_or("")
+                .to_string();
+        }
+        "done" if job.state != JobState::Done => {
+            job.state = JobState::Done;
+            job.detail.clear();
+            job.worker = rec
+                .get("worker")
+                .and_then(|x| x.as_str())
+                .map(str::to_string);
+            job.result_dir = rec
+                .get("result_dir")
+                .and_then(|x| x.as_str())
+                .map(str::to_string);
+            if let Some(arr) = rec.get("artifacts").and_then(|x| x.as_array()) {
+                job.artifacts = arr
+                    .iter()
+                    .filter_map(|a| a.as_str().map(str::to_string))
+                    .collect();
+            }
+            job.attempts += rec.get("attempts").and_then(|x| x.as_u64()).unwrap_or(0);
+            job.faults_injected += rec.get("faults").and_then(|x| x.as_u64()).unwrap_or(0);
+        }
+        "failed" if job.state != JobState::Done => {
+            job.state = JobState::Failed;
+            job.detail = rec
+                .get("error")
+                .and_then(|x| x.as_str())
+                .unwrap_or("unknown")
+                .to_string();
+            job.attempts += rec.get("attempts").and_then(|x| x.as_u64()).unwrap_or(0);
+            job.faults_injected += rec.get("faults").and_then(|x| x.as_u64()).unwrap_or(0);
+        }
+        "requeue" if job.state == JobState::Running => {
+            job.state = JobState::Queued;
+            job.worker = None;
+            job.requeues += 1;
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnmark_store_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lifecycle_survives_reopen() {
+        let dir = tmp("lifecycle");
+        {
+            let store = JobStore::open(&dir).unwrap();
+            let id = store
+                .submit_with(|id| (format!("c{id}"), "{\"name\":\"c0\"}".to_string()))
+                .unwrap();
+            assert_eq!(id, 0);
+            store.record_claim(0, "w1").unwrap();
+            store.record_progress(0, "capture 1/2").unwrap();
+            store
+                .record_done(0, "w1", "jobs/job-0/c0", &["merged.json".to_string()], 1, 0)
+                .unwrap();
+            let id2 = store
+                .submit_with(|id| (format!("c{id}"), "{}".to_string()))
+                .unwrap();
+            assert_eq!(id2, 1);
+        }
+        // Reopen: full recovery from log.
+        let store = JobStore::open(&dir).unwrap();
+        let j0 = store.job(0).unwrap();
+        assert_eq!(j0.state, JobState::Done);
+        assert_eq!(j0.worker.as_deref(), Some("w1"));
+        assert_eq!(j0.artifacts, vec!["merged.json"]);
+        assert_eq!(j0.result_dir.as_deref(), Some("jobs/job-0/c0"));
+        assert_eq!(j0.attempts, 1);
+        let j1 = store.job(1).unwrap();
+        assert_eq!(j1.state, JobState::Queued);
+        assert_eq!(store.next_queued().unwrap().id, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_reopen() {
+        let dir = tmp("torn");
+        let log_len;
+        {
+            let store = JobStore::open(&dir).unwrap();
+            store
+                .submit_with(|_| ("a".to_string(), "{}".to_string()))
+                .unwrap();
+            log_len = std::fs::metadata(dir.join(LOG_FILE)).unwrap().len();
+        }
+        // Simulate a writer killed mid-append: valid frame prefix, torn body.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(LOG_FILE))
+            .unwrap();
+        f.write_all(&200u32.to_le_bytes()).unwrap();
+        f.write_all(b"torn").unwrap();
+        drop(f);
+        let store = JobStore::open(&dir).unwrap();
+        assert_eq!(
+            std::fs::metadata(dir.join(LOG_FILE)).unwrap().len(),
+            log_len,
+            "torn bytes must be truncated away"
+        );
+        // The store still appends and folds correctly after the repair.
+        store.record_claim(0, "w").unwrap();
+        assert_eq!(store.job(0).unwrap().state, JobState::Running);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn running_job_requeues_after_crash_and_caps_out() {
+        let dir = tmp("requeue");
+        {
+            let store = JobStore::open(&dir).unwrap();
+            store
+                .submit_with(|_| ("c".to_string(), "{}".to_string()))
+                .unwrap();
+            store.record_claim(0, "w-dead").unwrap();
+        } // "crash": no done record
+        let store = JobStore::open(&dir).unwrap();
+        assert_eq!(store.job(0).unwrap().state, JobState::Running);
+        let requeued = store.recover_dead(2, |_| true).unwrap();
+        assert_eq!(requeued, vec![0]);
+        let j = store.job(0).unwrap();
+        assert_eq!(j.state, JobState::Queued);
+        assert_eq!(j.requeues, 1);
+        assert!(j.worker.is_none());
+        // Exhaust the budget: the third death fails terminally.
+        store.record_claim(0, "w2").unwrap();
+        store.recover_dead(2, |_| true).unwrap();
+        store.record_claim(0, "w3").unwrap();
+        let requeued = store.recover_dead(2, |_| true).unwrap();
+        assert!(requeued.is_empty());
+        let j = store.job(0).unwrap();
+        assert_eq!(j.state, JobState::Failed);
+        assert!(j.detail.contains("requeue"), "{}", j.detail);
+        // Live leases are never touched.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_is_first_writer_wins() {
+        let dir = tmp("dupdone");
+        let store = JobStore::open(&dir).unwrap();
+        store
+            .submit_with(|_| ("c".to_string(), "{}".to_string()))
+            .unwrap();
+        store.record_claim(0, "w1").unwrap();
+        store
+            .record_done(0, "w1", "jobs/job-0/c", &["merged.json".to_string()], 2, 1)
+            .unwrap();
+        // A racing (lease-stolen) worker reports a second completion.
+        store
+            .record_done(0, "w2", "jobs/job-0/other", &["other.json".to_string()], 1, 0)
+            .unwrap();
+        let j = store.job(0).unwrap();
+        assert_eq!(j.worker.as_deref(), Some("w1"), "first done wins");
+        assert_eq!(j.result_dir.as_deref(), Some("jobs/job-0/c"));
+        assert_eq!(j.attempts, 2);
+        assert_eq!(j.faults_injected, 1);
+        // And a late failure cannot demote a done job.
+        store.record_failed(0, "w2", "late", 1, 0).unwrap();
+        assert_eq!(store.job(0).unwrap().state, JobState::Done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_other_handles_reload() {
+        let dir = tmp("compact");
+        let a = JobStore::open(&dir).unwrap();
+        let b = JobStore::open(&dir).unwrap();
+        for _ in 0..3 {
+            a.submit_with(|id| (format!("c{id}"), "{}".to_string()))
+                .unwrap();
+        }
+        a.record_claim(1, "w").unwrap();
+        a.compact().unwrap();
+        // The log is now just the generation header.
+        assert_eq!(
+            std::fs::metadata(dir.join(LOG_FILE)).unwrap().len(),
+            GEN_HEADER
+        );
+        assert_eq!(JobStore::dump_raw_records(&dir).unwrap().len(), 0);
+        // A reopened store and a stale second handle both see everything.
+        let fresh = JobStore::open(&dir).unwrap();
+        assert_eq!(fresh.jobs().len(), 3);
+        assert_eq!(fresh.job(1).unwrap().state, JobState::Running);
+        b.refresh().unwrap();
+        assert_eq!(b.jobs().len(), 3);
+        assert_eq!(b.job(1).unwrap().state, JobState::Running);
+        // Post-compaction appends keep flowing to stale handles.
+        a.record_done(1, "w", "jobs/job-1/c1", &[], 1, 0).unwrap();
+        b.refresh().unwrap();
+        assert_eq!(b.job(1).unwrap().state, JobState::Done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_handles_share_one_queue() {
+        let dir = tmp("shared");
+        let a = JobStore::open(&dir).unwrap();
+        let b = JobStore::open(&dir).unwrap();
+        let id = a
+            .submit_with(|id| (format!("c{id}"), "{}".to_string()))
+            .unwrap();
+        b.refresh().unwrap();
+        assert_eq!(b.next_queued().map(|j| j.id), Some(id));
+        // Ids allocated through different handles never collide.
+        let id2 = b
+            .submit_with(|id| (format!("c{id}"), "{}".to_string()))
+            .unwrap();
+        assert_ne!(id, id2);
+        a.refresh().unwrap();
+        assert_eq!(a.jobs().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -159,6 +159,9 @@ fn daemon_serves_jobs_and_drains_on_shutdown() {
         cache_dir: dir.join("cache"),
         results_dir: dir.join("results"),
         workers: 2,
+        store_dir: dir.join("store"),
+        worker_id: "it-worker".to_string(),
+        ..ServeConfig::default()
     };
     let server = {
         let cfg = cfg.clone();
@@ -216,6 +219,36 @@ fn daemon_serves_jobs_and_drains_on_shutdown() {
         metrics.contains("gnnmark_serve_jobs_finished_total"),
         "{metrics}"
     );
+
+    // The WAL store behind the daemon is readable out-of-process: the
+    // submit and done transitions above are durable records by now.
+    let store = gnnmark_serve::JobStore::open(dir.join("store")).unwrap();
+    let job = store.job(0).unwrap();
+    assert_eq!(job.state, gnnmark_serve::JobState::Done, "{job:?}");
+    assert_eq!(job.worker.as_deref(), Some("it-worker"));
+    assert!(
+        job.artifacts.iter().any(|a| a == "merged.json"),
+        "{job:?}"
+    );
+    drop(store);
+
+    // SLO smoke against the live daemon: a short closed-loop run on
+    // /healthz must stay inside a generous error budget.
+    let report = gnnmark_serve::run_loadtest(&gnnmark_serve::LoadtestOptions {
+        addr: addr.clone(),
+        concurrency: 2,
+        duration: Duration::from_millis(500),
+        error_budget: 0.05,
+        ..gnnmark_serve::LoadtestOptions::default()
+    })
+    .unwrap();
+    assert!(report.requests > 0, "loadtest sent no requests");
+    assert!(
+        report.error_budget_ok,
+        "error budget blown against a healthy daemon: {}",
+        report.to_json()
+    );
+    assert!(report.p99_ms >= report.p50_ms);
 
     // Graceful shutdown: same flag the SIGINT/SIGTERM handler sets.
     gnnmark::shutdown::request();
