@@ -1,0 +1,209 @@
+//! Dynamic loss scaling for mixed-precision training.
+//!
+//! With f16 storage, small gradients underflow to zero (f16 has no values
+//! below 2⁻²⁴). The standard fix — used by Apex/PyTorch AMP and assumed by
+//! GNNMark's mixed-precision runs — multiplies the loss by a scale factor
+//! before backward, so gradients travel through the tape amplified, then
+//! divides them back out in the optimizer just before the update. The scale
+//! adapts dynamically: halve on overflow (non-finite gradients, skip the
+//! step), double after a stretch of clean steps.
+//!
+//! State is thread-local because the resilient suite runner trains each
+//! workload on its own worker thread; one workload's overflow must not
+//! perturb another's scale.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use gnnmark_tensor::half::Precision;
+
+/// Scale growth interval: double after this many consecutive finite steps.
+const GROWTH_INTERVAL: u64 = 200;
+/// Upper bound on the loss scale (2¹⁶, as in Apex).
+const MAX_SCALE: f32 = 65536.0;
+/// Lower bound: below 1.0 the scale would *shrink* gradients.
+const MIN_SCALE: f32 = 1.0;
+
+#[derive(Debug, Clone, Copy)]
+struct AmpState {
+    scale: f32,
+    good_steps: u64,
+    skipped: u64,
+    overflows: u64,
+}
+
+thread_local! {
+    static AMP: RefCell<Option<AmpState>> = const { RefCell::new(None) };
+}
+
+/// Process-wide mirrors of the per-thread state, for the run-level metrics
+/// registry (which reads from the main thread, not the training threads).
+static SKIPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+static OVERFLOWS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static LAST_SCALE_BITS: AtomicU32 = AtomicU32::new(0x3f80_0000); // 1.0f32
+
+/// Total optimizer steps skipped by loss scaling across all threads since
+/// process start (or the last [`reset_counters`]).
+pub fn skipped_steps_total() -> u64 {
+    SKIPPED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Total overflow events across all threads since process start (or the
+/// last [`reset_counters`]).
+pub fn overflows_total() -> u64 {
+    OVERFLOWS_TOTAL.load(Ordering::Relaxed)
+}
+
+/// The most recently installed or adjusted loss scale on any thread
+/// (1.0 before any mixed-precision run).
+pub fn last_loss_scale() -> f32 {
+    f32::from_bits(LAST_SCALE_BITS.load(Ordering::Relaxed))
+}
+
+/// Zeroes the process-wide skip/overflow counters (per-run accounting).
+pub fn reset_counters() {
+    SKIPPED_TOTAL.store(0, Ordering::Relaxed);
+    OVERFLOWS_TOTAL.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot of the loss-scaling state, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmpStats {
+    /// Current loss scale.
+    pub scale: f32,
+    /// Optimizer steps skipped due to non-finite scaled gradients.
+    pub skipped_steps: u64,
+    /// Number of overflow events (each halves the scale).
+    pub overflows: u64,
+}
+
+/// Enables loss scaling on the current thread for the given storage
+/// precision. f16's narrow exponent range needs headroom (initial scale
+/// 1024); bf16 shares f32's exponent range and starts at 1.0 — the
+/// machinery still guards against non-finite gradients.
+///
+/// [`Precision::Fp32`] disables scaling (same as [`disable`]).
+pub fn enable(precision: Precision) {
+    let scale = match precision {
+        Precision::Fp32 => {
+            disable();
+            return;
+        }
+        Precision::Fp16 => 1024.0,
+        Precision::Bf16 => 1.0,
+    };
+    AMP.with(|a| {
+        *a.borrow_mut() = Some(AmpState {
+            scale,
+            good_steps: 0,
+            skipped: 0,
+            overflows: 0,
+        });
+    });
+    LAST_SCALE_BITS.store(scale.to_bits(), Ordering::Relaxed);
+}
+
+/// Turns loss scaling off on the current thread.
+pub fn disable() {
+    AMP.with(|a| *a.borrow_mut() = None);
+}
+
+/// Whether loss scaling is active on this thread.
+pub fn is_active() -> bool {
+    AMP.with(|a| a.borrow().is_some())
+}
+
+/// The current loss scale (1.0 when scaling is inactive).
+pub fn thread_loss_scale() -> f32 {
+    AMP.with(|a| a.borrow().map_or(1.0, |s| s.scale))
+}
+
+/// Records an overflow: the scale halves (floored at 1.0) and the skipped
+/// counter increments. The optimizer calls this when unscaled gradients
+/// come out non-finite, then skips the update.
+pub fn on_overflow() {
+    AMP.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.scale = (s.scale / 2.0).max(MIN_SCALE);
+            s.good_steps = 0;
+            s.skipped += 1;
+            s.overflows += 1;
+            LAST_SCALE_BITS.store(s.scale.to_bits(), Ordering::Relaxed);
+            SKIPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
+            OVERFLOWS_TOTAL.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Records a clean (finite-gradient) step; after [`GROWTH_INTERVAL`]
+/// consecutive clean steps the scale doubles, capped at 2¹⁶.
+pub fn on_good_step() {
+    AMP.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.good_steps += 1;
+            if s.good_steps >= GROWTH_INTERVAL {
+                s.scale = (s.scale * 2.0).min(MAX_SCALE);
+                s.good_steps = 0;
+                LAST_SCALE_BITS.store(s.scale.to_bits(), Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Telemetry snapshot, or `None` when scaling is inactive.
+pub fn stats() -> Option<AmpStats> {
+    AMP.with(|a| {
+        a.borrow().map(|s| AmpStats {
+            scale: s.scale,
+            skipped_steps: s.skipped,
+            overflows: s.overflows,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_starts_at_1024_and_adapts() {
+        enable(Precision::Fp16);
+        assert!(is_active());
+        assert_eq!(thread_loss_scale(), 1024.0);
+        on_overflow();
+        assert_eq!(thread_loss_scale(), 512.0);
+        for _ in 0..GROWTH_INTERVAL {
+            on_good_step();
+        }
+        assert_eq!(thread_loss_scale(), 1024.0);
+        let s = stats().unwrap();
+        assert_eq!(s.skipped_steps, 1);
+        assert_eq!(s.overflows, 1);
+        disable();
+        assert!(!is_active());
+        assert_eq!(thread_loss_scale(), 1.0);
+    }
+
+    #[test]
+    fn scale_stays_bounded() {
+        enable(Precision::Bf16);
+        assert_eq!(thread_loss_scale(), 1.0);
+        for _ in 0..40 {
+            on_overflow();
+        }
+        assert_eq!(thread_loss_scale(), MIN_SCALE);
+        for _ in 0..(GROWTH_INTERVAL * 64) {
+            on_good_step();
+        }
+        assert!(thread_loss_scale() <= MAX_SCALE);
+        disable();
+    }
+
+    #[test]
+    fn fp32_enable_is_disable() {
+        enable(Precision::Fp16);
+        enable(Precision::Fp32);
+        assert!(!is_active());
+        assert!(stats().is_none());
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod amp;
 mod optim;
 mod param;
 mod tape;
@@ -39,7 +40,10 @@ mod var_ops;
 
 pub use optim::{set_thread_grad_clip, thread_grad_clip, Adam, Optimizer, Sgd};
 pub use param::{Param, ParamSet};
-pub use tape::{reset_tape_node_counter, tape_nodes_recorded, Tape, Var};
+pub use tape::{
+    activation_bytes_peak, reset_activation_peak, reset_tape_node_counter, tape_nodes_recorded,
+    Tape, Var,
+};
 
 /// Result alias re-used from the tensor crate.
 pub type Result<T> = gnnmark_tensor::Result<T>;

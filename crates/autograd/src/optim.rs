@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use gnnmark_tensor::Tensor;
 
-use crate::{Param, ParamSet, Result};
+use crate::{amp, Param, ParamSet, Result};
 
 thread_local! {
     static GRAD_CLIP: Cell<Option<f64>> = const { Cell::new(None) };
@@ -32,6 +32,43 @@ pub fn set_thread_grad_clip(max_norm: Option<f64>) {
 /// The current thread's gradient-clipping threshold, if any.
 pub fn thread_grad_clip() -> Option<f64> {
     GRAD_CLIP.with(Cell::get)
+}
+
+/// Prepares gradients for a mixed-precision optimizer step.
+///
+/// With loss scaling active (see [`crate::amp`]), gradients arrive from the
+/// backward pass multiplied by the loss scale. This divides the scale back
+/// out, but first checks finiteness: a non-finite scaled gradient means the
+/// scale overshot — the gradients are discarded, the scale halves, and the
+/// step is skipped (returns `false`). Runs *before* gradient clipping so
+/// the clip threshold applies to true-magnitude gradients.
+///
+/// A no-op returning `true` when loss scaling is inactive.
+fn amp_prepare(params: &ParamSet) -> Result<bool> {
+    if !amp::is_active() {
+        return Ok(true);
+    }
+    let finite = params.iter().all(|p| {
+        p.grad()
+            .is_none_or(|g| g.as_slice().iter().all(|v| v.is_finite()))
+    });
+    if !finite {
+        params.zero_grad();
+        amp::on_overflow();
+        return Ok(false);
+    }
+    let scale = amp::thread_loss_scale();
+    if scale != 1.0 {
+        let inv = 1.0 / scale;
+        for p in params {
+            if let Some(g) = p.grad() {
+                p.zero_grad();
+                p.accumulate_grad(g.mul_scalar(inv))?;
+            }
+        }
+    }
+    amp::on_good_step();
+    Ok(true)
 }
 
 /// Common interface of parameter-updating optimizers.
@@ -111,6 +148,9 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &ParamSet) -> Result<()> {
+        if !amp_prepare(params)? {
+            return Ok(());
+        }
         if let Some(max_norm) = thread_grad_clip() {
             params.clip_grad_norm(max_norm)?;
         }
@@ -167,6 +207,9 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &ParamSet) -> Result<()> {
+        if !amp_prepare(params)? {
+            return Ok(());
+        }
         if let Some(max_norm) = thread_grad_clip() {
             params.clip_grad_norm(max_norm)?;
         }
@@ -299,6 +342,60 @@ mod tests {
         assert!((unclipped + 100.0).abs() < 1e-3, "w = {unclipped}");
         assert!((clipped + 1.0).abs() < 1e-3, "w = {clipped}");
         assert_eq!(thread_grad_clip(), None, "clip leaked out of the test");
+    }
+
+    #[test]
+    fn loss_scaling_unscales_before_update() {
+        use gnnmark_tensor::half::Precision;
+        amp::enable(Precision::Fp16);
+        let mut set = ParamSet::new();
+        let w = set.register(Param::new("w", Tensor::from_vec(&[1], vec![0.0]).unwrap()));
+        let tape = Tape::new();
+        let wv = tape.read(&w);
+        // d(loss)/dw = 2.
+        let loss = wv.mul_scalar(2.0).sum_all();
+        tape.backward(&loss).unwrap();
+        // The raw gradient arrives amplified by the loss scale...
+        let raw = w.grad().unwrap().as_slice()[0];
+        assert_eq!(raw, 2.0 * amp::thread_loss_scale());
+        // ...but the applied update matches the true gradient.
+        let mut opt = Sgd::new(0.5);
+        opt.step(&set).unwrap();
+        amp::disable();
+        assert!((w.value().as_slice()[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overflow_skips_step_and_halves_scale() {
+        use gnnmark_tensor::half::Precision;
+        amp::enable(Precision::Fp16);
+        let before = amp::thread_loss_scale();
+        let mut set = ParamSet::new();
+        let w = set.register(Param::new("w", Tensor::from_vec(&[1], vec![1.0]).unwrap()));
+        w.accumulate_grad(Tensor::from_vec(&[1], vec![f32::INFINITY]).unwrap())
+            .unwrap();
+        let mut opt = Adam::new(0.1);
+        opt.step(&set).unwrap();
+        // Parameter untouched, gradient discarded, scale halved, retry
+        // accounted: the NumericGuard-style skip-and-continue contract.
+        assert_eq!(w.value().as_slice()[0], 1.0);
+        assert!(w.grad().is_none());
+        assert_eq!(amp::thread_loss_scale(), before / 2.0);
+        let stats = amp::stats().unwrap();
+        assert_eq!(stats.skipped_steps, 1);
+        amp::disable();
+    }
+
+    #[test]
+    fn fp16_training_converges_with_loss_scaling() {
+        use gnnmark_tensor::half::{Precision, PrecisionGuard};
+        let _g = PrecisionGuard::new(Precision::Fp16);
+        amp::enable(Precision::Fp16);
+        let mut opt = Sgd::new(0.1);
+        let w = converges(&mut opt);
+        amp::disable();
+        // f16 resolution near 3.0 is 2^-10·2 ≈ 2e-3.
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
     }
 
     #[test]

@@ -5,15 +5,40 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use gnnmark_tensor::half::{self, Precision};
 use gnnmark_tensor::Tensor;
 
 static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Master copy of a reduced-precision parameter: the 16-bit encodings are
+/// the storage of record, and the f32 `value` tensor is the convert-on-load
+/// working copy (always exactly `decode(bits)`, so the two never diverge).
+struct HalfStore {
+    bits: Vec<u16>,
+    precision: Precision,
+}
+
+impl HalfStore {
+    /// Rounds `value` into 16-bit master storage and rewrites the f32
+    /// working copy with the decoded (quantized) values.
+    fn store(&mut self, value: &mut Tensor) {
+        let xs = value.as_mut_slice();
+        self.bits.clear();
+        self.bits.reserve(xs.len());
+        for v in xs.iter_mut() {
+            let b = self.precision.encode(*v);
+            self.bits.push(b);
+            *v = self.precision.decode(b);
+        }
+    }
+}
 
 struct ParamInner {
     id: u64,
     name: String,
     value: RefCell<Tensor>,
     grad: RefCell<Option<Tensor>>,
+    half: RefCell<Option<HalfStore>>,
 }
 
 /// A named, trainable tensor with an accumulated gradient slot.
@@ -30,13 +55,32 @@ pub struct Param {
 
 impl Param {
     /// Creates a parameter with an initial value.
-    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+    ///
+    /// When the thread's storage precision (see
+    /// [`gnnmark_tensor::half::set_thread_precision`]) is f16 or bf16, the
+    /// parameter keeps a 16-bit master copy: the initial value is rounded
+    /// into it, and every [`Param::set_value`] round-trips through it, so
+    /// optimizer updates below the format's resolution are genuinely lost —
+    /// the behavior loss scaling exists to compensate.
+    pub fn new(name: impl Into<String>, mut value: Tensor) -> Self {
+        let half = match half::thread_precision() {
+            Precision::Fp32 => None,
+            precision => {
+                let mut store = HalfStore {
+                    bits: Vec::new(),
+                    precision,
+                };
+                store.store(&mut value);
+                Some(store)
+            }
+        };
         Param {
             inner: Rc::new(ParamInner {
                 id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
                 name: name.into(),
                 value: RefCell::new(value),
                 grad: RefCell::new(None),
+                half: RefCell::new(half),
             }),
         }
     }
@@ -60,9 +104,23 @@ impl Param {
         self.inner.value.borrow()
     }
 
-    /// Replaces the value (used by optimizers).
-    pub fn set_value(&self, value: Tensor) {
+    /// Replaces the value (used by optimizers). Reduced-precision parameters
+    /// round the new value through their 16-bit master storage.
+    pub fn set_value(&self, mut value: Tensor) {
+        if let Some(store) = self.inner.half.borrow_mut().as_mut() {
+            store.store(&mut value);
+        }
         *self.inner.value.borrow_mut() = value;
+    }
+
+    /// The precision of the master storage ([`Precision::Fp32`] unless the
+    /// parameter was created under a reduced thread precision).
+    pub fn storage_precision(&self) -> Precision {
+        self.inner
+            .half
+            .borrow()
+            .as_ref()
+            .map_or(Precision::Fp32, |s| s.precision)
     }
 
     /// A clone of the accumulated gradient, if any.
@@ -93,9 +151,11 @@ impl Param {
         self.inner.value.borrow().numel()
     }
 
-    /// Size in bytes (what DDP all-reduces per step).
+    /// Size in bytes of the master storage (what DDP all-reduces per step):
+    /// 2 bytes per element for f16/bf16 parameters, 4 for fp32.
     pub fn byte_len(&self) -> u64 {
-        self.inner.value.borrow().byte_len()
+        let elem = self.storage_precision().elem_bytes() as u64;
+        self.inner.value.borrow().numel() as u64 * elem
     }
 }
 
@@ -276,6 +336,35 @@ mod tests {
         let pre2 = set.clip_grad_norm(10.0).unwrap();
         assert!((pre2 - 1.0).abs() < 1e-5);
         assert!((set.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn half_precision_param_round_trips_storage() {
+        let _g = half::PrecisionGuard::new(Precision::Fp16);
+        let p = Param::new(
+            "w",
+            Tensor::from_vec(&[3], vec![1.0, 0.3333333, 100.1]).unwrap(),
+        );
+        assert_eq!(p.storage_precision(), Precision::Fp16);
+        // 3 elements × 2 bytes of master storage.
+        assert_eq!(p.byte_len(), 6);
+        // The working copy is the quantized value, not the raw f32.
+        let v = p.value().as_slice().to_vec();
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], Precision::Fp16.quantize(0.3333333));
+        assert_ne!(v[1], 0.3333333);
+        // Updates below f16 resolution are genuinely lost on store.
+        let nudged: Vec<f32> = v.iter().map(|x| x + 1e-8).collect();
+        p.set_value(Tensor::from_vec(&[3], nudged).unwrap());
+        assert_eq!(p.value().as_slice(), &v[..]);
+    }
+
+    #[test]
+    fn fp32_param_storage_unchanged() {
+        let p = Param::new("w", Tensor::from_vec(&[2], vec![0.1, 0.2]).unwrap());
+        assert_eq!(p.storage_precision(), Precision::Fp32);
+        assert_eq!(p.byte_len(), 8);
+        assert_eq!(p.value().as_slice(), &[0.1, 0.2]);
     }
 
     #[test]

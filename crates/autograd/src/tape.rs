@@ -5,13 +5,22 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use gnnmark_tensor::half::{self, Precision};
 use gnnmark_tensor::Tensor;
 
-use crate::{Param, Result};
+use crate::{amp, Param, Result};
 
 /// Process-wide count of nodes ever pushed onto any tape. One relaxed add
 /// per recorded op; read by the telemetry metrics registry at run level.
 static NODES_RECORDED: AtomicU64 = AtomicU64::new(0);
+
+/// Live activation bytes across all tapes (node values at their storage
+/// precision), and the high-water mark since the last reset. Pushing a node
+/// adds its footprint; dropping a tape subtracts it — so the peak tracks the
+/// largest set of simultaneously live activations, the quantity that halves
+/// under f16/bf16 storage.
+static ACTIVATION_BYTES: AtomicU64 = AtomicU64::new(0);
+static ACTIVATION_PEAK: AtomicU64 = AtomicU64::new(0);
 
 /// Total autodiff nodes recorded across every tape and thread since process
 /// start (or the last [`reset_tape_node_counter`]).
@@ -24,6 +33,18 @@ pub fn reset_tape_node_counter() {
     NODES_RECORDED.store(0, Ordering::Relaxed);
 }
 
+/// High-water mark of live activation bytes (at storage precision) across
+/// all tapes since process start or the last [`reset_activation_peak`].
+pub fn activation_bytes_peak() -> u64 {
+    ACTIVATION_PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the activation high-water mark to the currently live volume
+/// (per-run accounting).
+pub fn reset_activation_peak() {
+    ACTIVATION_PEAK.store(ACTIVATION_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
 /// Gradient function of one node: maps `(upstream_grad, own_value,
 /// parent_values)` to one optional gradient contribution per parent.
 pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &Tensor, &[&Tensor]) -> Result<Vec<Option<Tensor>>>>;
@@ -34,6 +55,9 @@ pub(crate) struct Node {
     pub(crate) parents: Vec<usize>,
     pub(crate) backward: Option<BackwardFn>,
     pub(crate) param: Option<Param>,
+    /// Footprint of `value` at the storage precision active when it was
+    /// recorded; subtracted from the live-activation counter on tape drop.
+    pub(crate) act_bytes: u64,
 }
 
 #[derive(Default)]
@@ -46,6 +70,8 @@ impl Drop for TapeInner {
         // Hand every node's buffers back to the tensor pool. The next
         // training step records an identically shaped tape, so these exact
         // lengths are reused instead of faulting in fresh pages each step.
+        let freed: u64 = self.nodes.iter().map(|n| n.act_bytes).sum();
+        ACTIVATION_BYTES.fetch_sub(freed, Ordering::Relaxed);
         for node in self.nodes.drain(..) {
             gnnmark_tensor::pool::recycle(node.value);
             if let Some(g) = node.grad {
@@ -84,12 +110,23 @@ impl Tape {
 
     pub(crate) fn push(
         &self,
-        value: Tensor,
+        mut value: Tensor,
         parents: Vec<usize>,
         backward: Option<BackwardFn>,
         param: Option<Param>,
     ) -> Var {
         NODES_RECORDED.fetch_add(1, Ordering::Relaxed);
+        // Under reduced thread precision every activation is rounded through
+        // 16-bit storage as it lands on the tape ("round-on-store"): the
+        // forward computed in f32, the stored result carries f16/bf16
+        // resolution into every downstream op and into the backward pass.
+        let precision = half::thread_precision();
+        if precision != Precision::Fp32 {
+            precision.quantize_slice(value.as_mut_slice());
+        }
+        let act_bytes = value.numel() as u64 * precision.elem_bytes() as u64;
+        let live = ACTIVATION_BYTES.fetch_add(act_bytes, Ordering::Relaxed) + act_bytes;
+        ACTIVATION_PEAK.fetch_max(live, Ordering::Relaxed);
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
         inner.nodes.push(Node {
@@ -98,6 +135,7 @@ impl Tape {
             parents,
             backward,
             param,
+            act_bytes,
         });
         Var {
             id,
@@ -140,7 +178,16 @@ impl Tape {
         );
         {
             let mut inner = self.inner.borrow_mut();
-            let seed = Tensor::ones(inner.nodes[loss.id].value.dims());
+            // With loss scaling active the seed is the scale itself —
+            // algebraically identical to multiplying the loss before
+            // backward, without perturbing the recorded forward values.
+            let scale = amp::thread_loss_scale();
+            let dims = inner.nodes[loss.id].value.dims();
+            let seed = if scale == 1.0 {
+                Tensor::ones(dims)
+            } else {
+                Tensor::full(dims, scale)
+            };
             inner.nodes[loss.id].grad = Some(seed);
         }
         for i in (0..=loss.id).rev() {

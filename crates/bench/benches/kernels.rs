@@ -97,6 +97,47 @@ fn bench_parallel_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same kernels forced onto the scalar reference lane vs the
+/// auto-detected SIMD lane (`GNNMARK_SIMD` notwithstanding — the override
+/// here is thread-local and explicit). The `_lane_scalar`/`_lane_auto`
+/// pairs in `BENCH_kernels.json` record the measured vectorization win on
+/// the build machine. gemm is compute-bound and shows the full win;
+/// Tensor-level elementwise is memory-bound, so the elementwise figure is
+/// taken at the microkernel level on an L1-resident buffer.
+fn bench_simd_lanes(c: &mut Criterion) {
+    use gnnmark_tensor::simd::{self, SimdLevel};
+    let mut group = c.benchmark_group("simd_lanes");
+    group.sample_size(10);
+
+    let a = Tensor::from_fn(&[256, 256], |i| (i % 17) as f32 * 0.1);
+    let b = Tensor::from_fn(&[256, 256], |i| (i % 13) as f32 * 0.1);
+    // 4k f32 = 16 KiB: resident in L1, so compute (not DRAM bandwidth)
+    // is the limit and the lane difference is visible.
+    let src: Vec<f32> = (0..4096).map(|i| (i % 19) as f32 * 0.01).collect();
+    let mut dst = vec![0.25f32; 4096];
+    let wide = Tensor::from_fn(&[1 << 20], |i| (i % 29) as f32 * 0.05 - 0.7);
+
+    for (tag, lvl) in [("scalar", SimdLevel::Scalar), ("auto", simd::detect())] {
+        group.bench_function(format!("gemm_256_lane_{tag}"), |bch| {
+            bch.iter(|| {
+                simd::with_level(lvl, || std::hint::black_box(a.matmul(&b).unwrap()))
+            })
+        });
+        group.bench_function(format!("axpy_4k_x16_lane_{tag}"), |bch| {
+            bch.iter(|| {
+                for _ in 0..16 {
+                    simd::axpy(lvl, &mut dst, 1.0e-4, &src);
+                }
+                std::hint::black_box(dst[0])
+            })
+        });
+        group.bench_function(format!("vsum_1m_lane_{tag}"), |bch| {
+            bch.iter(|| std::hint::black_box(simd::vsum(lvl, wide.as_slice())))
+        });
+    }
+    group.finish();
+}
+
 fn bench_gpu_model(c: &mut Criterion) {
     // The GPU model's own simulation throughput per kernel class.
     record::start_recording();
@@ -164,6 +205,7 @@ criterion_group!(
     kernel_benches,
     bench_tensor_ops,
     bench_parallel_kernels,
+    bench_simd_lanes,
     bench_gpu_model,
     bench_telemetry_overhead
 );

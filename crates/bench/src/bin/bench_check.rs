@@ -15,6 +15,12 @@
 //! fatal, so adding or retiring a bench doesn't require regenerating the
 //! baseline in the same commit.
 //!
+//! Large *improvements* (ratio below `1/max_ratio`) are flagged as
+//! `IMPROVED` and summarized as a stale-baseline warning — never fatal,
+//! but a >2x win usually means the baseline predates an optimization
+//! (e.g. the SIMD lane) and should be regenerated, or the comparison is
+//! silently more forgiving than intended.
+//!
 //! Exit codes: 0 = ok, 1 = regression, 2 = usage/parse error.
 
 use std::process::ExitCode;
@@ -89,13 +95,19 @@ fn next_number_value(rest: &mut &str) -> Option<f64> {
 }
 
 /// Compares the two reports; returns the offending benchmark names
-/// (empty = pass).
-fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<Vec<String>, String> {
+/// (empty = pass) and the stale-baseline suspects (improved past
+/// `1/max_ratio`; informational only).
+fn run(
+    baseline_path: &str,
+    new_path: &str,
+    max_ratio: f64,
+) -> Result<(Vec<String>, Vec<String>), String> {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"));
     let baseline = parse_report(&read(baseline_path)?)?;
     let fresh = parse_report(&read(new_path)?)?;
 
     let mut offenders: Vec<String> = Vec::new();
+    let mut improved: Vec<String> = Vec::new();
     let mut compared = 0usize;
     for new_entry in &fresh {
         let Some(base) = baseline.iter().find(|b| b.name == new_entry.name) else {
@@ -109,13 +121,21 @@ fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<Vec<String
         } else {
             1.0
         };
-        let verdict = if ratio > max_ratio { "REGRESSED" } else { "ok" };
+        let verdict = if ratio > max_ratio {
+            "REGRESSED"
+        } else if ratio < 1.0 / max_ratio {
+            "IMPROVED"
+        } else {
+            "ok"
+        };
         println!(
             "  {verdict:<8} {:<44} {:>12.0} ns vs {:>12.0} ns  ({ratio:.2}x)",
             new_entry.name, new_entry.median_ns, base.median_ns
         );
         if ratio > max_ratio {
             offenders.push(format!("{} ({ratio:.2}x)", new_entry.name));
+        } else if ratio < 1.0 / max_ratio {
+            improved.push(format!("{} ({ratio:.2}x)", new_entry.name));
         }
     }
     for base in &baseline {
@@ -126,6 +146,15 @@ fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<Vec<String
     if compared == 0 {
         return Err("no benchmarks in common between the two reports".to_string());
     }
+    if !improved.is_empty() {
+        println!(
+            "bench-check: warning: {} improved past {:.2}x — the baseline looks \
+             stale, consider regenerating it: {}",
+            improved.len(),
+            1.0 / max_ratio,
+            improved.join(", ")
+        );
+    }
     if offenders.is_empty() {
         println!("bench-check: {compared} compared, threshold {max_ratio:.2}x — PASS");
     } else {
@@ -134,7 +163,7 @@ fn run(baseline_path: &str, new_path: &str, max_ratio: f64) -> Result<Vec<String
             offenders.join(", ")
         );
     }
-    Ok(offenders)
+    Ok((offenders, improved))
 }
 
 fn main() -> ExitCode {
@@ -170,7 +199,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     match run(baseline, fresh, max_ratio) {
-        Ok(offenders) if offenders.is_empty() => ExitCode::SUCCESS,
+        Ok((offenders, _)) if offenders.is_empty() => ExitCode::SUCCESS,
         Ok(_) => ExitCode::from(1),
         Err(e) => {
             eprintln!("error: {e}");
@@ -214,12 +243,30 @@ mod tests {
         let slow = dir.join("slow.json");
         std::fs::write(&base, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 100}]}").unwrap();
         std::fs::write(&slow, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 250}]}").unwrap();
-        let offenders = run(base.to_str().unwrap(), slow.to_str().unwrap(), 2.0).unwrap();
+        let (offenders, _) = run(base.to_str().unwrap(), slow.to_str().unwrap(), 2.0).unwrap();
         assert_eq!(offenders.len(), 1);
         assert!(offenders[0].starts_with("a ("), "names the offender: {offenders:?}");
         assert!(run(base.to_str().unwrap(), slow.to_str().unwrap(), 3.0)
             .unwrap()
+            .0
             .is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn large_improvements_warn_but_pass() {
+        let dir = std::env::temp_dir().join("bench_check_improved");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fast = dir.join("fast.json");
+        // 3.2x faster than baseline: a stale-baseline suspect, not a failure.
+        std::fs::write(&base, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 320}, {\"name\": \"b\", \"median_ns\": 100}]}").unwrap();
+        std::fs::write(&fast, "{\"benches\": [{\"name\": \"a\", \"median_ns\": 100}, {\"name\": \"b\", \"median_ns\": 110}]}").unwrap();
+        let (offenders, improved) =
+            run(base.to_str().unwrap(), fast.to_str().unwrap(), 2.0).unwrap();
+        assert!(offenders.is_empty(), "improvements are never fatal");
+        assert_eq!(improved.len(), 1, "only the >2x win is flagged: {improved:?}");
+        assert!(improved[0].starts_with("a ("));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

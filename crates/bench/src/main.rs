@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] [--seed S] [--csv DIR]
-//!                  [--threads N] [--parallel] [--keep-going] [--timeout SECS]
+//!                  [--threads N] [--precision fp32|fp16|bf16] [--parallel]
+//!                  [--keep-going] [--timeout SECS]
 //!                  [--retries N] [--checkpoint DIR] [--bless] [--golden DIR]
 //!                  [--trace FILE] [--metrics FILE] [--progress]
 //!
@@ -32,6 +33,17 @@
 //! `--threads N` (or `GNNMARK_THREADS=N`) sets the CPU thread count of the
 //! tensor kernels. Losses, profiles and figures are bit-identical at every
 //! thread count; only wall-clock changes.
+//!
+//! `GNNMARK_SIMD={auto,avx2,sse2,scalar}` clamps the kernels' SIMD
+//! dispatch lane (default `auto` = best the host supports). The scalar
+//! lane is byte-identical to the historic kernels; vector lanes are
+//! deterministic per lane but differ from scalar by ULPs (FMA,
+//! reassociated reductions). See docs/VERIFICATION.md.
+//!
+//! `--precision fp16|bf16` trains with real reduced-precision storage:
+//! parameters and tape activations are stored at 16 bits (f32 compute,
+//! round-on-store), dynamic loss scaling guards f16 gradient underflow, and
+//! the modeled device switches to 2-byte elements. The default is fp32.
 //!
 //! Suite-backed targets run under the resilience layer: every workload is
 //! panic-isolated on its own thread, optionally deadline-bounded
@@ -77,7 +89,8 @@ use gnnmark_serve::{
 };
 
 const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] \
-[--seed S] [--csv DIR] [--threads N] [--parallel] [--keep-going] [--timeout SECS] [--retries N] \
+[--seed S] [--csv DIR] [--threads N] [--precision fp32|fp16|bf16] [--parallel] [--keep-going] \
+[--timeout SECS] [--retries N] \
 [--checkpoint DIR] [--bless] [--golden DIR] [--trace FILE] [--metrics FILE] [--progress]
        gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]
        gnnmark serve [--addr HOST:PORT] [--cache DIR] [--out DIR] [--workers N] \
@@ -138,6 +151,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => {
                 csv_dir = Some(args.next().ok_or("--csv needs a directory")?);
+            }
+            "--precision" => {
+                let v = args.next().ok_or("--precision needs a value")?;
+                cfg.precision = gnnmark_tensor::half::Precision::parse(&v)
+                    .ok_or_else(|| format!("unknown precision `{v}` (fp32|fp16|bf16)"))?;
             }
             "--threads" => {
                 let n: usize = args

@@ -117,28 +117,52 @@ pub fn ablation_nvlink_bandwidth(cfg: &SuiteConfig) -> Result<Table> {
     Ok(t)
 }
 
-/// Compares fp32 against modeled half-precision training (the paper's
-/// future-work direction) on epoch time and cache behavior.
+/// Compares fp32 against *measured* f16/bf16 mixed-precision training (the
+/// paper's future-work direction): parameters and activations stored at
+/// 16 bits with dynamic loss scaling, the forward computed in f32. The
+/// legacy modeled row (fp32 numerics on a 2-byte-element device) is kept
+/// last for comparison against the measured runs.
 ///
 /// # Errors
 /// Propagates workload failures.
 pub fn ablation_half_precision(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<Table> {
-    let mut t = Table::new(format!("Ablation — fp32 vs fp16 storage ({})", kind.label()));
-    t.header(["Precision", "Epoch time (ms)", "L1 hit (%)", "DRAM GB moved"]);
-    for (name, device) in [
-        ("fp32", DeviceSpec::v100()),
-        ("fp16", DeviceSpec::v100().with_half_precision()),
-    ] {
-        let cfg = cfg.clone().with_device(device);
-        let p = run_workload(kind, &cfg)?;
+    use gnnmark_tensor::half::Precision;
+
+    let mut t = Table::new(format!(
+        "Ablation — fp32 vs fp16/bf16 storage ({})",
+        kind.label()
+    ));
+    t.header([
+        "Precision",
+        "Epoch time (ms)",
+        "L1 hit (%)",
+        "DRAM GB moved",
+        "Param KB",
+        "Final loss",
+    ]);
+    let mut measured = |name: &str, art: &crate::suite::RunArtifacts| {
+        let p = &art.profile;
         let dram: u64 = p.kernels.iter().map(|k| k.memory.dram_bytes).sum();
         t.row([
             name.to_string(),
             format!("{:.2}", p.total_time_ns() / 1e6),
             pct(p.l1_hit_rate()),
             format!("{:.3}", dram as f64 / 1e9),
+            format!("{:.1}", art.grad_bytes as f64 / 1024.0),
+            format!("{:.4}", art.losses.last().copied().unwrap_or(f64::NAN)),
         ]);
+    };
+    for precision in [Precision::Fp32, Precision::Fp16, Precision::Bf16] {
+        let cfg = cfg.clone().with_precision(precision);
+        let art = run_workload_full(kind, &cfg)?;
+        measured(precision.as_str(), &art);
     }
+    // Modeled-only comparison row: fp32 numerics on a half-precision device.
+    let modeled_cfg = cfg
+        .clone()
+        .with_device(DeviceSpec::v100().with_half_precision());
+    let art = run_workload_full(kind, &modeled_cfg)?;
+    measured("fp16 (modeled)", &art);
     Ok(t)
 }
 
@@ -389,13 +413,28 @@ mod tests {
     #[test]
     fn half_precision_helps() {
         let t = ablation_half_precision(WorkloadKind::ArgaCora, &SuiteConfig::test()).unwrap();
+        assert_eq!(t.num_rows(), 4, "fp32, fp16, bf16 measured + modeled row");
         let csv = t.to_csv();
-        let times: Vec<f64> = csv
-            .lines()
-            .skip(1)
-            .map(|r| r.split(',').nth(1).unwrap().parse().unwrap())
-            .collect();
-        assert!(times[1] <= times[0], "fp16 should not be slower: {csv}");
+        let col = |row: &str, i: usize| -> f64 { row.split(',').nth(i).unwrap().parse().unwrap() };
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        // Modeled epoch time at the tiny scale is latency- rather than
+        // bandwidth-dominated, so only guard against a real slowdown...
+        let times: Vec<f64> = rows.iter().map(|r| col(r, 1)).collect();
+        assert!(times[1] <= times[0] * 1.15, "fp16 markedly slower: {csv}");
+        // ...but the DRAM traffic reduction is unconditional...
+        let dram: Vec<f64> = rows.iter().map(|r| col(r, 3)).collect();
+        assert!(dram[1] < dram[0], "fp16 must move less DRAM: {csv}");
+        // ...and measured 16-bit storage must halve the parameter payload...
+        let params: Vec<f64> = rows.iter().map(|r| col(r, 4)).collect();
+        assert!(
+            (params[1] - params[0] / 2.0).abs() < 1e-6,
+            "fp16 params should be half of fp32: {csv}"
+        );
+        assert!((params[2] - params[1]).abs() < 1e-6, "bf16 == fp16 bytes");
+        // ...while training still converges to a finite loss in every mode.
+        for r in &rows {
+            assert!(col(r, 5).is_finite(), "non-finite final loss: {csv}");
+        }
     }
 
     #[test]

@@ -81,6 +81,30 @@ pub fn collect_run_metrics(report: &SuiteReport) {
         "gnnmark_autograd_tape_nodes_total",
         gnnmark_autograd::tape_nodes_recorded(),
     );
+    metrics::gauge_set(
+        "gnnmark_activation_bytes_peak",
+        gnnmark_autograd::activation_bytes_peak() as f64,
+    );
+    metrics::counter_set(
+        "gnnmark_amp_skipped_steps_total",
+        gnnmark_autograd::amp::skipped_steps_total(),
+    );
+    metrics::counter_set(
+        "gnnmark_amp_overflows_total",
+        gnnmark_autograd::amp::overflows_total(),
+    );
+    metrics::gauge_set(
+        "gnnmark_amp_loss_scale",
+        f64::from(gnnmark_autograd::amp::last_loss_scale()),
+    );
+
+    let mut param_bytes = 0u64;
+    for (_, art) in report.artifacts() {
+        param_bytes += art.grad_bytes;
+    }
+    // Sum of per-workload parameter payloads at storage precision: under
+    // `--precision fp16|bf16` this lands at half the fp32 figure.
+    metrics::gauge_set("gnnmark_param_bytes_total", param_bytes as f64);
 
     let mut kernels = 0u64;
     let mut bytes = 0u64;
@@ -143,6 +167,7 @@ pub fn run_manifest(target: &str, cfg: &SuiteConfig, report: &SuiteReport) -> Ru
         scale: scale_name(cfg.scale).to_string(),
         threads: cfg.threads.unwrap_or_else(gnnmark_tensor::par::threads),
         device: cfg.device.name.clone(),
+        precision: cfg.precision.as_str().to_string(),
         workloads,
         status: if report.all_succeeded() { "ok" } else { "partial" }.to_string(),
     }

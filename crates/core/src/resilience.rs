@@ -863,11 +863,15 @@ fn train_guarded_inner(
         _ => {}
     }
     let _wl = gnnmark_telemetry::span!(format!("workload:{}", kind.label()));
+    // Same thread-local mixed-precision install as the direct path: this
+    // attempt runs on its own worker thread, so it must set up (and tear
+    // down) precision + loss scaling itself.
+    let setup = crate::suite::PrecisionSetup::install(cfg);
     let mut w = {
         let _build = gnnmark_telemetry::span!("build");
         kind.build(cfg.scale, cfg.seed)?
     };
-    let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
+    let mut session = ProfileSession::new(kind.label(), setup.device.clone());
     let mut guard = NumericGuard::default();
     let mut losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
@@ -1002,6 +1006,8 @@ pub struct RunSummary {
     pub epochs: usize,
     /// Base dataset/init seed.
     pub seed: u64,
+    /// Storage precision the run trained under (`fp32`/`fp16`/`bf16`).
+    pub precision: String,
     /// Per-epoch mean losses.
     pub losses: Vec<f64>,
     /// Optimizer steps per epoch.
@@ -1032,6 +1038,7 @@ impl RunSummary {
             scale: scale_name(cfg.scale).to_string(),
             epochs: cfg.epochs,
             seed: cfg.seed,
+            precision: cfg.precision.as_str().to_string(),
             losses: art.losses.clone(),
             steps_per_epoch: art.steps_per_epoch,
             grad_bytes: art.grad_bytes,
@@ -1046,6 +1053,7 @@ impl RunSummary {
             && self.scale == scale_name(cfg.scale)
             && self.epochs == cfg.epochs
             && self.seed == cfg.seed
+            && self.precision == cfg.precision.as_str()
     }
 
     /// Serializes to one JSON object.
@@ -1057,13 +1065,15 @@ impl RunSummary {
             .collect::<Vec<_>>()
             .join(",");
         let out = format!(
-            "{{\"workload\":{},\"scale\":{},\"epochs\":{},\"seed\":{},\"losses\":[{}],\
+            "{{\"workload\":{},\"scale\":{},\"epochs\":{},\"seed\":{},\
+             \"precision\":{},\"losses\":[{}],\
              \"steps_per_epoch\":{},\"grad_bytes\":{},\"total_time_ns\":{:?},\
              \"kernel_launches\":{}}}",
             json_string(&self.workload),
             json_string(&self.scale),
             self.epochs,
             self.seed,
+            json_string(&self.precision),
             losses,
             self.steps_per_epoch,
             self.grad_bytes,
@@ -1081,6 +1091,10 @@ impl RunSummary {
             scale: json_get_string(json, "scale")?,
             epochs: json_get_number(json, "epochs")? as usize,
             seed: json_get_number(json, "seed")? as u64,
+            // Checkpoints written before mixed precision lack the field;
+            // they were fp32 runs by construction.
+            precision: json_get_string(json, "precision")
+                .unwrap_or_else(|| "fp32".to_string()),
             losses: json_get_array(json, "losses")?,
             steps_per_epoch: json_get_number(json, "steps_per_epoch")? as u64,
             grad_bytes: json_get_number(json, "grad_bytes")? as u64,
@@ -1362,6 +1376,7 @@ mod tests {
             scale: "test".to_string(),
             epochs: 2,
             seed: 42,
+            precision: "bf16".to_string(),
             losses: vec![1.25, 0.75],
             steps_per_epoch: 10,
             grad_bytes: 4096,

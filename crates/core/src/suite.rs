@@ -3,6 +3,7 @@
 use gnnmark_gpusim::stream::{CapturedRun, CapturedStream, ReplayMeta};
 use gnnmark_gpusim::DeviceSpec;
 use gnnmark_profiler::{ProfileSession, WorkloadProfile};
+use gnnmark_tensor::half::{Precision, PrecisionGuard};
 use gnnmark_workloads::{Scale, WorkloadKind};
 
 use crate::Result;
@@ -22,6 +23,10 @@ pub struct SuiteConfig {
     /// setting: `GNNMARK_THREADS` or the detected core count). Results are
     /// bit-identical at every thread count; only wall-clock changes.
     pub threads: Option<usize>,
+    /// Storage precision for parameters and activations (the CLI's
+    /// `--precision`). f16/bf16 runs train with real quantized storage and
+    /// dynamic loss scaling, and model the device at 2-byte elements.
+    pub precision: Precision,
 }
 
 impl SuiteConfig {
@@ -33,6 +38,7 @@ impl SuiteConfig {
             seed: 42,
             device: DeviceSpec::v100(),
             threads: None,
+            precision: Precision::Fp32,
         }
     }
 
@@ -45,6 +51,7 @@ impl SuiteConfig {
             seed: 42,
             device: DeviceSpec::v100(),
             threads: None,
+            precision: Precision::Fp32,
         }
     }
 
@@ -56,6 +63,7 @@ impl SuiteConfig {
             seed: 42,
             device: DeviceSpec::v100(),
             threads: None,
+            precision: Precision::Fp32,
         }
     }
 
@@ -68,6 +76,12 @@ impl SuiteConfig {
     /// Sets the kernel thread count (the CLI's `--threads`).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the storage precision (the CLI's `--precision`).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -161,6 +175,48 @@ pub fn artifacts_from_replay(run: &CapturedRun, device: &DeviceSpec) -> RunArtif
     }
 }
 
+/// Disables thread-local loss scaling on drop (panic-safe, like
+/// [`PrecisionGuard`]) so a pooled worker thread never leaks AMP state into
+/// the next workload it runs.
+struct AmpOff;
+
+impl Drop for AmpOff {
+    fn drop(&mut self) {
+        gnnmark_autograd::amp::disable();
+    }
+}
+
+/// Thread-local mixed-precision state for one workload run, installed
+/// *before* the workload builds so its parameters get 16-bit master
+/// storage and every tape activation rounds on store. Holds the RAII
+/// guards until dropped; both the direct [`run_workload_full`] path and
+/// the resilient suite's per-attempt worker threads install one.
+pub(crate) struct PrecisionSetup {
+    _precision: PrecisionGuard,
+    _amp: AmpOff,
+    /// The modeled device, switched to 2-byte elements under a reduced
+    /// precision (halved memory traffic, doubled effective cache
+    /// capacity) unless the caller already chose a half-precision device.
+    pub device: gnnmark_gpusim::DeviceSpec,
+}
+
+impl PrecisionSetup {
+    pub fn install(cfg: &SuiteConfig) -> Self {
+        let precision = PrecisionGuard::new(cfg.precision);
+        gnnmark_autograd::amp::enable(cfg.precision);
+        let device = if cfg.precision != Precision::Fp32 && cfg.device.elem_bytes == 4 {
+            cfg.device.clone().with_half_precision()
+        } else {
+            cfg.device.clone()
+        };
+        PrecisionSetup {
+            _precision: precision,
+            _amp: AmpOff,
+            device,
+        }
+    }
+}
+
 fn run_workload_full_inner(
     kind: WorkloadKind,
     cfg: &SuiteConfig,
@@ -169,12 +225,17 @@ fn run_workload_full_inner(
     if let Some(t) = cfg.threads {
         gnnmark_tensor::par::set_threads(t);
     }
+    // Loss scaling rides along with the precision; both are thread-local
+    // and the guards restore fp32 even if training panics on a pooled
+    // thread.
+    let setup = PrecisionSetup::install(cfg);
+    let device = setup.device.clone();
     let _wl = gnnmark_telemetry::span!(format!("workload:{}", kind.label()));
     let mut w = {
         let _build = gnnmark_telemetry::span!("build");
         kind.build(cfg.scale, cfg.seed)?
     };
-    let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
+    let mut session = ProfileSession::new(kind.label(), device);
     if capture {
         session.enable_capture();
     }

@@ -21,6 +21,7 @@ use std::path::{Path, PathBuf};
 
 use gnnmark::suite::{run_workload_captured, SuiteConfig};
 use gnnmark::Result;
+use gnnmark_tensor::half::Precision;
 use gnnmark_gpusim::stream::{fnv1a_64, CapturedRun, FORMAT_VERSION};
 use gnnmark_workloads::{Scale, WorkloadKind};
 
@@ -47,6 +48,10 @@ pub struct CacheKey {
     pub seed: u64,
     /// Epochs trained.
     pub epochs: usize,
+    /// Storage precision the training runs under. Part of the digest (an
+    /// fp16 training records different losses and skip behavior than fp32),
+    /// but not of the human-readable prefix, which predates the field.
+    pub precision: Precision,
 }
 
 impl CacheKey {
@@ -54,11 +59,12 @@ impl CacheKey {
     /// FNV-1a digest of the full key material (including the salt).
     pub fn id(&self) -> String {
         let material = format!(
-            "{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}",
             self.workload.label(),
             self.scale.label(),
             self.seed,
             self.epochs,
+            self.precision.as_str(),
             cache_salt(),
         );
         format!(
@@ -79,6 +85,7 @@ impl CacheKey {
         cfg.scale = self.scale;
         cfg.seed = self.seed;
         cfg.epochs = self.epochs;
+        cfg.precision = self.precision;
         cfg
     }
 
@@ -181,6 +188,7 @@ mod tests {
             scale: Scale::Test,
             seed: 42,
             epochs: 1,
+            precision: Precision::Fp32,
         };
         assert_eq!(a.id(), a.id());
         assert!(a.id().starts_with("TLSTM-test-s42-e1-"));
@@ -188,6 +196,9 @@ mod tests {
         assert_ne!(a.id(), b.id());
         let c = CacheKey { epochs: 2, ..a };
         assert_ne!(a.id(), c.id());
+        // Precision is digest material: an fp16 training is a new entry.
+        let d = CacheKey { precision: Precision::Fp16, ..a };
+        assert_ne!(a.id(), d.id());
     }
 
     #[test]
@@ -198,6 +209,7 @@ mod tests {
             scale: Scale::Test,
             seed: 42,
             epochs: 1,
+            precision: Precision::Fp32,
         };
         let t0 = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
             .map_or(0, |m| m.as_counter());
@@ -222,6 +234,7 @@ mod tests {
             scale: Scale::Test,
             seed: 7,
             epochs: 1,
+            precision: Precision::Fp32,
         };
         std::fs::create_dir_all(cache.dir()).unwrap();
         std::fs::write(cache.path_for(&key), b"definitely not a stream").unwrap();
@@ -237,6 +250,7 @@ mod tests {
             scale: Scale::Test,
             seed: 1,
             epochs: 1,
+            precision: Precision::Fp32,
         };
         let key_b = CacheKey { seed: 2, ..key_a };
         let run = cache.get_or_train(&key_a).unwrap();

@@ -397,6 +397,7 @@ pub fn run_campaign(
             scale: spec.scale,
             seed: spec.seed,
             epochs: spec.epochs,
+            precision: spec.precision,
         })
         .collect();
     let pre_cached: Vec<bool> = keys.iter().map(|k| cache.path_for(k).exists()).collect();

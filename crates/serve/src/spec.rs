@@ -11,6 +11,7 @@
 //!   "scale": "small",
 //!   "seed": 42,
 //!   "epochs": 2,
+//!   "precision": "fp32",
 //!   "workloads": ["TLSTM", "ARGA"],
 //!   "configs": [
 //!     {"name": "v100",          "device": "v100"},
@@ -29,6 +30,7 @@
 
 use gnnmark_gpusim::DeviceSpec;
 use gnnmark_telemetry::export::{parse_json, JsonValue};
+use gnnmark_tensor::half::Precision;
 use gnnmark_workloads::{Scale, WorkloadKind};
 
 /// One device configuration of a campaign: a base device plus optional
@@ -84,6 +86,10 @@ pub struct CampaignSpec {
     pub seed: u64,
     /// Epochs trained per workload.
     pub epochs: usize,
+    /// Parameter/activation storage precision every training uses
+    /// (optional; defaults to fp32). Part of the replay-cache key: an fp16
+    /// run records a different op stream than an fp32 run.
+    pub precision: Precision,
     /// Workloads swept (defaults to the full suite).
     pub workloads: Vec<WorkloadKind>,
     /// Device configurations replayed against each captured stream.
@@ -142,6 +148,14 @@ impl CampaignSpec {
         if epochs == 0 {
             return Err("field \"epochs\" must be >= 1".to_string());
         }
+        let precision = match v.get("precision") {
+            None => Precision::Fp32,
+            Some(x) => {
+                let s = x.as_str().ok_or("field \"precision\" must be a string")?;
+                Precision::parse(s)
+                    .ok_or_else(|| format!("unknown precision \"{s}\" (fp32|fp16|bf16)"))?
+            }
+        };
 
         let workloads = match v.get("workloads") {
             None => WorkloadKind::ALL.to_vec(),
@@ -196,6 +210,7 @@ impl CampaignSpec {
             scale,
             seed,
             epochs,
+            precision,
             workloads,
             configs,
         })

@@ -142,6 +142,8 @@ pub struct RunManifest {
     pub threads: usize,
     /// Modeled device name (e.g. `"V100"`).
     pub device: String,
+    /// Parameter/activation storage precision (`"fp32"`, `"fp16"`, `"bf16"`).
+    pub precision: String,
     /// Per-workload outcomes.
     pub workloads: Vec<ManifestWorkload>,
     /// Overall status: `"ok"` when every workload completed.
@@ -157,6 +159,11 @@ impl RunManifest {
         let _ = writeln!(out, "  \"scale\": \"{}\",", json_escape(&self.scale));
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         let _ = writeln!(out, "  \"device\": \"{}\",", json_escape(&self.device));
+        let _ = writeln!(
+            out,
+            "  \"precision\": \"{}\",",
+            json_escape(&self.precision)
+        );
         out.push_str("  \"workloads\": [");
         for (i, w) in self.workloads.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -663,6 +670,7 @@ mod tests {
             scale: "test".into(),
             threads: 4,
             device: "V100".into(),
+            precision: "fp32".into(),
             workloads: vec![ManifestWorkload {
                 name: "STGCN".into(),
                 status: "completed".into(),
@@ -687,6 +695,7 @@ mod tests {
             scale: "test".into(),
             threads: 1,
             device: "V100".into(),
+            precision: "fp16".into(),
             workloads: vec![],
             status: "ok".into(),
         };

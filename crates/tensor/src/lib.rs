@@ -34,6 +34,7 @@
 pub mod cost;
 mod dense;
 mod error;
+pub mod half;
 mod int;
 pub mod instrument;
 pub mod ops;
@@ -41,6 +42,7 @@ pub mod par;
 pub mod pool;
 pub mod record;
 mod shape;
+pub mod simd;
 mod sparse;
 
 pub use dense::Tensor;

@@ -8,26 +8,24 @@
 use super::{emit_sequential, emit_op};
 use crate::instrument::{AccessDesc, OpClass};
 use crate::cost::INT_PER_ELEMWISE_ELEM;
+use crate::simd::{self, BinOp, UnOp};
 use crate::{par, pool, Result, Tensor, TensorError};
 
 /// Cost (in modeled fp32 ops) of special-function-unit transcendentals.
 const SFU_FLOPS: u64 = 8;
 
 impl Tensor {
-    fn binary(
-        &self,
-        other: &Tensor,
-        op: &'static str,
-        f: impl Fn(f32, f32) -> f32 + Sync,
-    ) -> Result<Tensor> {
+    /// Shape-checked element-wise binary op dispatched through the
+    /// [`crate::simd`] kernel table. The level is resolved once on the
+    /// calling thread and captured into the pool closure.
+    fn binary_simd(&self, other: &Tensor, op: &'static str, kop: BinOp) -> Result<Tensor> {
         self.shape().require_same(other.shape(), op)?;
         let a = self.as_slice();
         let b = other.as_slice();
+        let lvl = simd::level();
         let mut data = pool::filled(a.len());
         par::fill_chunks(&mut data, par::PAR_MIN_ELEMS, |r, chunk| {
-            for ((o, &x), &y) in chunk.iter_mut().zip(&a[r.clone()]).zip(&b[r]) {
-                *o = f(x, y);
-            }
+            simd::binary(lvl, kop, &a[r.clone()], &b[r], chunk);
         });
         let out = Tensor::from_vec(self.dims(), data)?;
         let n = self.numel() as u64;
@@ -65,12 +63,35 @@ impl Tensor {
         out
     }
 
+    /// Like [`Tensor::unary`] but dispatched through the [`crate::simd`]
+    /// kernel table.
+    fn unary_simd(&self, op: &'static str, flops_per_elem: u64, kop: UnOp) -> Tensor {
+        let src = self.as_slice();
+        let lvl = simd::level();
+        let mut data = pool::filled(src.len());
+        par::fill_chunks(&mut data, par::PAR_MIN_ELEMS, |r, chunk| {
+            simd::unary(lvl, kop, &src[r], chunk);
+        });
+        let out = Tensor::from_vec(self.dims(), data).expect("same shape");
+        let n = self.numel() as u64;
+        emit_sequential(
+            OpClass::ElementWise,
+            op,
+            n * flops_per_elem,
+            n * INT_PER_ELEMWISE_ELEM,
+            n * 4,
+            n * 4,
+            n,
+        );
+        out
+    }
+
     /// Element-wise addition.
     ///
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary(other, "add", |a, b| a + b)
+        self.binary_simd(other, "add", BinOp::Add)
     }
 
     /// Element-wise subtraction.
@@ -78,7 +99,7 @@ impl Tensor {
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary(other, "sub", |a, b| a - b)
+        self.binary_simd(other, "sub", BinOp::Sub)
     }
 
     /// Element-wise (Hadamard) multiplication.
@@ -86,7 +107,7 @@ impl Tensor {
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary(other, "mul", |a, b| a * b)
+        self.binary_simd(other, "mul", BinOp::Mul)
     }
 
     /// Element-wise division.
@@ -94,7 +115,7 @@ impl Tensor {
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn div(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary(other, "div", |a, b| a / b)
+        self.binary_simd(other, "div", BinOp::Div)
     }
 
     /// Element-wise maximum of two tensors.
@@ -102,22 +123,22 @@ impl Tensor {
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn maximum(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary(other, "maximum", f32::max)
+        self.binary_simd(other, "maximum", BinOp::Max)
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.unary("add_scalar", 1, |a| a + s)
+        self.unary_simd("add_scalar", 1, UnOp::AddScalar(s))
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        self.unary("mul_scalar", 1, |a| a * s)
+        self.unary_simd("mul_scalar", 1, UnOp::MulScalar(s))
     }
 
     /// Element-wise negation.
     pub fn neg(&self) -> Tensor {
-        self.unary("neg", 1, |a| -a)
+        self.unary_simd("neg", 1, UnOp::Neg)
     }
 
     /// Element-wise exponential.
@@ -142,7 +163,7 @@ impl Tensor {
 
     /// Element-wise square.
     pub fn square(&self) -> Tensor {
-        self.unary("square", 1, |a| a * a)
+        self.unary_simd("square", 1, UnOp::Square)
     }
 
     /// Element-wise reciprocal.
@@ -155,7 +176,7 @@ impl Tensor {
     /// ReLU produces exact zeros and is the main source of the activation
     /// sparsity the paper reports in Figure 7.
     pub fn relu(&self) -> Tensor {
-        self.unary("relu", 1, |a| a.max(0.0))
+        self.unary_simd("relu", 1, UnOp::Relu)
     }
 
     /// Leaky ReLU with negative slope `alpha`.
@@ -198,7 +219,7 @@ impl Tensor {
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn axpy(&self, alpha: f32, other: &Tensor) -> Result<Tensor> {
-        self.binary(other, "axpy", move |a, b| a + alpha * b)
+        self.binary_simd(other, "axpy", BinOp::Axpy(alpha))
     }
 
     /// Adds a length-`d` bias row-vector to each row of a `[n, d]` matrix.
@@ -224,14 +245,13 @@ impl Tensor {
         let (n, d) = (self.dim(0), self.dim(1));
         let b = bias.as_slice();
         let src = self.as_slice();
+        let lvl = simd::level();
         let mut data = pool::filled(n * d);
         let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
         par::for_row_ranges_mut(&mut data, d, &ranges, |_, rows, chunk| {
             let rows_src = &src[rows.start * d..rows.end * d];
             for (row, out_row) in rows_src.chunks_exact(d).zip(chunk.chunks_exact_mut(d)) {
-                for ((o, &x), &bb) in out_row.iter_mut().zip(row).zip(b) {
-                    *o = x + bb;
-                }
+                simd::binary(lvl, BinOp::Add, row, b, out_row);
             }
         });
         let out = Tensor::from_vec(&[n, d], data)?;
@@ -283,6 +303,7 @@ impl Tensor {
         let (n, d) = (self.dim(0), self.dim(1));
         let s = scales.as_slice();
         let src = self.as_slice();
+        let lvl = simd::level();
         let mut data = pool::filled(n * d);
         let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
         par::for_row_ranges_mut(&mut data, d, &ranges, |_, rows, chunk| {
@@ -291,10 +312,7 @@ impl Tensor {
                 .zip(rows_src.chunks_exact(d))
                 .zip(chunk.chunks_exact_mut(d))
             {
-                let sc = s[r];
-                for (o, &x) in out_row.iter_mut().zip(row) {
-                    *o = x * sc;
-                }
+                simd::unary(lvl, UnOp::MulScalar(s[r]), row, out_row);
             }
         });
         let out = Tensor::from_vec(&[n, d], data)?;
@@ -335,14 +353,13 @@ impl Tensor {
         let (n, d) = (self.dim(0), self.dim(1));
         let s = scales.as_slice();
         let src = self.as_slice();
+        let lvl = simd::level();
         let mut data = pool::filled(n * d);
         let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
         par::for_row_ranges_mut(&mut data, d, &ranges, |_, rows, chunk| {
             let rows_src = &src[rows.start * d..rows.end * d];
             for (row, out_row) in rows_src.chunks_exact(d).zip(chunk.chunks_exact_mut(d)) {
-                for ((o, &x), &ss) in out_row.iter_mut().zip(row).zip(s) {
-                    *o = x * ss;
-                }
+                simd::binary(lvl, BinOp::Mul, row, s, out_row);
             }
         });
         let out = Tensor::from_vec(&[n, d], data)?;
@@ -368,7 +385,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn apply_dropout_mask(&self, mask: &Tensor, p: f32) -> Result<Tensor> {
         let scale = 1.0 / (1.0 - p);
-        self.binary(mask, "dropout", move |a, m| a * m * scale)
+        self.binary_simd(mask, "dropout", BinOp::MulScale(scale))
     }
 }
 

@@ -17,6 +17,7 @@ use std::ops::Range;
 use super::emit_sequential;
 use crate::cost;
 use crate::instrument::OpClass;
+use crate::simd::{self, SimdLevel};
 use crate::{par, pool, Result, Tensor, TensorError};
 
 /// k-panel depth of the blocked micro-kernel: one panel of B (`KC` rows of
@@ -62,54 +63,82 @@ fn check_pair(
 /// (`k × n`), `c` the matching output block (`rows × n`), all row-major.
 /// k advances through fixed `KC` panels with an 8-deep unrolled update, so
 /// the accumulation order of every output element depends only on `k` —
-/// never on how rows were partitioned across threads.
-pub(crate) fn gemm_kernel(a: &[f32], b: &[f32], c: &mut [f32], rows: usize, k: usize, n: usize) {
+/// never on how rows were partitioned across threads. The 8-deep panel
+/// update and the scalar k-tail both dispatch through [`crate::simd`] at
+/// `lvl` — the caller resolves the level once on the requesting thread so
+/// pool workers inherit it.
+pub(crate) fn gemm_kernel(
+    lvl: SimdLevel,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(a.len(), rows * k);
     debug_assert!(b.len() >= k * n);
     debug_assert_eq!(c.len(), rows * n);
     for k0 in (0..k).step_by(KC) {
         let k1 = (k0 + KC).min(k);
-        for i in 0..rows {
+        // Pair output rows so the AVX2 lane reuses each loaded B lane for
+        // two C rows; rows never mix, so every output element still
+        // accumulates in pure k-order.
+        let mut i = 0;
+        while i + 2 <= rows {
+            let (head, tail) = c.split_at_mut((i + 1) * n);
+            let c_row0 = &mut head[i * n..];
+            let c_row1 = &mut tail[..n];
+            let a_row0 = &a[i * k..(i + 1) * k];
+            let a_row1 = &a[(i + 1) * k..(i + 2) * k];
+            let mut kk = k0;
+            while kk + 8 <= k1 {
+                let al0: &[f32; 8] = a_row0[kk..kk + 8].try_into().unwrap();
+                let al1: &[f32; 8] = a_row1[kk..kk + 8].try_into().unwrap();
+                // Skip fully-zero a-panels (ReLU activations are sparse);
+                // data-dependent, so identical at every thread count.
+                let z0 = al0 == &[0.0; 8];
+                let z1 = al1 == &[0.0; 8];
+                let panel = &b[kk * n..(kk + 8) * n];
+                match (z0, z1) {
+                    (true, true) => {}
+                    (false, true) => simd::axpy8(lvl, c_row0, al0, panel, n),
+                    (true, false) => simd::axpy8(lvl, c_row1, al1, panel, n),
+                    (false, false) => simd::axpy8x2(lvl, c_row0, c_row1, al0, al1, panel, n),
+                }
+                kk += 8;
+            }
+            while kk < k1 {
+                let b_row = &b[kk * n..][..n];
+                let a0 = a_row0[kk];
+                if a0 != 0.0 {
+                    simd::axpy(lvl, c_row0, a0, b_row);
+                }
+                let a1 = a_row1[kk];
+                if a1 != 0.0 {
+                    simd::axpy(lvl, c_row1, a1, b_row);
+                }
+                kk += 1;
+            }
+            i += 2;
+        }
+        if i < rows {
             let a_row = &a[i * k..(i + 1) * k];
             let c_row = &mut c[i * n..i * n + n];
             let mut kk = k0;
             while kk + 8 <= k1 {
-                let al = &a_row[kk..kk + 8];
-                // Skip fully-zero a-panels (ReLU activations are sparse);
-                // data-dependent, so identical at every thread count.
-                if al == [0.0; 8] {
+                let al: &[f32; 8] = a_row[kk..kk + 8].try_into().unwrap();
+                if al == &[0.0; 8] {
                     kk += 8;
                     continue;
                 }
-                let b0 = &b[kk * n..][..n];
-                let b1 = &b[(kk + 1) * n..][..n];
-                let b2 = &b[(kk + 2) * n..][..n];
-                let b3 = &b[(kk + 3) * n..][..n];
-                let b4 = &b[(kk + 4) * n..][..n];
-                let b5 = &b[(kk + 5) * n..][..n];
-                let b6 = &b[(kk + 6) * n..][..n];
-                let b7 = &b[(kk + 7) * n..][..n];
-                let (a0, a1, a2, a3) = (al[0], al[1], al[2], al[3]);
-                let (a4, a5, a6, a7) = (al[4], al[5], al[6], al[7]);
-                for j in 0..n {
-                    c_row[j] += a0 * b0[j]
-                        + a1 * b1[j]
-                        + a2 * b2[j]
-                        + a3 * b3[j]
-                        + a4 * b4[j]
-                        + a5 * b5[j]
-                        + a6 * b6[j]
-                        + a7 * b7[j];
-                }
+                simd::axpy8(lvl, c_row, al, &b[kk * n..(kk + 8) * n], n);
                 kk += 8;
             }
             while kk < k1 {
                 let aik = a_row[kk];
                 if aik != 0.0 {
-                    let b_row = &b[kk * n..][..n];
-                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                        *cj += aik * bj;
-                    }
+                    simd::axpy(lvl, c_row, aik, &b[kk * n..][..n]);
                 }
                 kk += 1;
             }
@@ -127,9 +156,10 @@ fn gemm_row_ranges(m: usize, k: usize, n: usize) -> Vec<Range<usize>> {
 
 /// `out = A·B` over the pool, row-block parallel. `out` must be zeroed.
 pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let lvl = simd::level();
     let ranges = gemm_row_ranges(m, k, n);
     par::for_row_ranges_mut(out, n, &ranges, |_, r, chunk| {
-        gemm_kernel(&a[r.start * k..r.end * k], b, chunk, r.len(), k, n);
+        gemm_kernel(lvl, &a[r.start * k..r.end * k], b, chunk, r.len(), k, n);
     });
 }
 
@@ -207,12 +237,13 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let vv = v.as_slice();
         let a = self.as_slice();
+        let lvl = simd::level();
         let mut out = pool::filled(m);
         let min_rows = (MIN_MACS_PER_CHUNK / k.max(1)).max(1);
         let ranges = par::even_ranges(m, par::chunk_count(m, min_rows));
         par::for_row_ranges_mut(&mut out, 1, &ranges, |_, r, chunk| {
             for (o, row) in chunk.iter_mut().zip(a[r.start * k..r.end * k].chunks_exact(k)) {
-                *o = row.iter().zip(vv).map(|(&x, &y)| x * y).sum();
+                *o = simd::vdot(lvl, row, vv);
             }
         });
         let result = Tensor::from_vec(&[m], out)?;
@@ -336,6 +367,7 @@ pub(crate) fn bmm_into(
     k: usize,
     n: usize,
 ) {
+    let lvl = simd::level();
     let per_row = k.saturating_mul(n).max(1);
     let min_rows = (MIN_MACS_PER_CHUNK / per_row).max(1);
     let ranges = par::even_ranges(batches * m, par::chunk_count(batches * m, min_rows));
@@ -346,6 +378,7 @@ pub(crate) fn bmm_into(
             let seg_end = r.end.min((bi + 1) * m);
             let (r0, rows) = (row - bi * m, seg_end - row);
             gemm_kernel(
+                lvl,
                 &a[bi * m * k + r0 * k..bi * m * k + (r0 + rows) * k],
                 &bmat[bi * k * n..(bi + 1) * k * n],
                 &mut chunk[(row - r.start) * n..(seg_end - r.start) * n],

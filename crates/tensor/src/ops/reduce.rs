@@ -7,6 +7,7 @@
 use super::emit_sequential;
 use crate::cost::INT_PER_REDUCE_ELEM;
 use crate::instrument::OpClass;
+use crate::simd;
 use crate::{par, pool, IntTensor, Result, Tensor, TensorError};
 
 impl Tensor {
@@ -25,25 +26,21 @@ impl Tensor {
 
     /// Sum of all elements, as a scalar tensor.
     pub fn sum_all(&self) -> Tensor {
-        let s: f32 = self.as_slice().iter().sum();
+        let s = simd::vsum(simd::level(), self.as_slice());
         self.emit_reduce("reduce_sum", 1);
         Tensor::scalar(s)
     }
 
     /// Mean of all elements, as a scalar tensor.
     pub fn mean_all(&self) -> Tensor {
-        let s: f32 = self.as_slice().iter().sum();
+        let s = simd::vsum(simd::level(), self.as_slice());
         self.emit_reduce("reduce_mean", 1);
         Tensor::scalar(s / self.numel() as f32)
     }
 
     /// Maximum element, as a scalar tensor.
     pub fn max_all(&self) -> Tensor {
-        let m = self
-            .as_slice()
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max);
+        let m = simd::vmax(simd::level(), self.as_slice());
         self.emit_reduce("reduce_max", 1);
         Tensor::scalar(m)
     }
@@ -53,7 +50,8 @@ impl Tensor {
     /// # Errors
     /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
     pub fn sum_rows(&self) -> Result<Tensor> {
-        self.reduce_rows("reduce_sum_rows", |row| row.iter().sum())
+        let lvl = simd::level();
+        self.reduce_rows("reduce_sum_rows", move |row| simd::vsum(lvl, row))
     }
 
     /// Row-wise mean of a `[n, d]` matrix, yielding `[n]`.
@@ -62,9 +60,8 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
     pub fn mean_rows(&self) -> Result<Tensor> {
         let d = if self.rank() == 2 { self.dim(1) as f32 } else { 1.0 };
-        self.reduce_rows("reduce_mean_rows", move |row| {
-            row.iter().sum::<f32>() / d
-        })
+        let lvl = simd::level();
+        self.reduce_rows("reduce_mean_rows", move |row| simd::vsum(lvl, row) / d)
     }
 
     /// Row-wise maximum of a `[n, d]` matrix, yielding `[n]`.
@@ -72,9 +69,8 @@ impl Tensor {
     /// # Errors
     /// Returns [`TensorError::RankMismatch`] unless `self` is rank 2.
     pub fn max_rows(&self) -> Result<Tensor> {
-        self.reduce_rows("reduce_max_rows", |row| {
-            row.iter().copied().fold(f32::NEG_INFINITY, f32::max)
-        })
+        let lvl = simd::level();
+        self.reduce_rows("reduce_max_rows", move |row| simd::vmax(lvl, row))
     }
 
     fn reduce_rows(&self, kernel: &'static str, f: impl Fn(&[f32]) -> f32 + Sync) -> Result<Tensor> {
@@ -115,15 +111,14 @@ impl Tensor {
         }
         let (n, d) = (self.dim(0), self.dim(1));
         let src = self.as_slice();
+        let lvl = simd::level();
         let mut out = pool::zeroed(d);
         // Partition *output columns*; every task walks all rows in order, so
         // each column accumulates exactly as in the sequential loop.
         let col_ranges = par::even_ranges(d, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(d.max(1)));
         par::for_row_ranges_mut(&mut out, 1, &col_ranges, |_, cols, chunk| {
             for row in src.chunks_exact(d) {
-                for (o, &x) in chunk.iter_mut().zip(&row[cols.clone()]) {
-                    *o += x;
-                }
+                simd::accumulate(lvl, chunk, &row[cols.clone()]);
             }
         });
         self.emit_reduce("reduce_sum_cols", d as u64);
@@ -164,7 +159,7 @@ impl Tensor {
 
     /// Euclidean (L2) norm of all elements, as a scalar tensor.
     pub fn norm_l2(&self) -> Tensor {
-        let s: f32 = self.as_slice().iter().map(|&v| v * v).sum();
+        let s = simd::vsumsq(simd::level(), self.as_slice());
         let n = self.numel() as u64;
         emit_sequential(
             OpClass::Reduction,

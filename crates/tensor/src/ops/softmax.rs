@@ -7,6 +7,7 @@
 use super::emit_sequential;
 use crate::cost::INT_PER_SOFTMAX_ELEM;
 use crate::instrument::OpClass;
+use crate::simd;
 use crate::{par, pool, Result, Tensor, TensorError};
 
 impl Tensor {
@@ -20,26 +21,24 @@ impl Tensor {
         }
         let (n, d) = (self.dim(0), self.dim(1));
         let src = self.as_slice();
+        let lvl = simd::level();
         let mut out = pool::filled(n * d);
         let ranges = par::even_ranges(n, par::chunk_count(n * d, par::PAR_MIN_ELEMS).min(n.max(1)));
         par::for_row_ranges_mut(&mut out, d, &ranges, |_, rows, chunk| {
             let rows_src = &src[rows.start * d..rows.end * d];
             for (row, out_row) in rows_src.chunks_exact(d).zip(chunk.chunks_exact_mut(d)) {
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let max = simd::vmax(lvl, row);
                 // The exps land in the output row; no per-row temporary.
+                // exp stays scalar: no SFU lanes in the portable layer.
                 for (o, &v) in out_row.iter_mut().zip(row) {
                     *o = (v - max).exp();
                 }
-                let sum: f32 = out_row.iter().sum();
+                let sum = simd::vsum(lvl, out_row);
                 if log {
                     let lsum = sum.ln();
-                    for (o, &v) in out_row.iter_mut().zip(row) {
-                        *o = v - max - lsum;
-                    }
+                    simd::sub2(lvl, row, max, lsum, out_row);
                 } else {
-                    for o in out_row.iter_mut() {
-                        *o /= sum;
-                    }
+                    simd::div_scalar(lvl, out_row, sum);
                 }
             }
         });

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use super::emit_op;
 use crate::cost;
 use crate::instrument::{AccessDesc, OpClass};
+use crate::simd;
 use crate::{par, pool, CsrMatrix, Result, Tensor, TensorError};
 
 /// Minimum nnz·n work per parallel chunk (see [`par::PAR_MIN_ELEMS`]).
@@ -47,16 +48,17 @@ impl CsrMatrix {
         let n = dense.dim(1);
         let m = self.rows();
         let d = dense.as_slice();
+        let lvl = simd::level();
         let mut out = pool::zeroed(m * n);
         let ranges = nnz_balanced_ranges(self, n);
         par::for_row_ranges_mut(&mut out, n, &ranges, |_, rows, chunk| {
             for (r, out_row) in rows.zip(chunk.chunks_exact_mut(n)) {
                 let (cols, vals) = self.row(r);
+                // Per output row the neighbor rows accumulate in nnz order
+                // regardless of partitioning — bit-identical at any thread
+                // count within a lane.
                 for (&c, &v) in cols.iter().zip(vals) {
-                    let src = &d[c * n..(c + 1) * n];
-                    for (o, &s) in out_row.iter_mut().zip(src) {
-                        *o += v * s;
-                    }
+                    simd::axpy(lvl, out_row, v, &d[c * n..(c + 1) * n]);
                 }
             }
         });

@@ -1,0 +1,1586 @@
+//! Runtime-dispatched SIMD microkernels for the hot tensor loops.
+//!
+//! Every dense kernel in [`crate::ops`] funnels its innermost loop through
+//! this module: an explicit f32x8/f32x4 lane layer with implementations for
+//! AVX2+FMA (256-bit), SSE2 (128-bit), NEON (128-bit, aarch64) and a scalar
+//! reference. The active lane is picked **at runtime** — the binary is
+//! compiled for the baseline target, CPU features are detected once, and the
+//! `GNNMARK_SIMD={auto,avx2,sse2,neon,scalar}` environment variable (or
+//! [`set_level`]) overrides the choice.
+//!
+//! # Determinism contract: two lanes
+//!
+//! * **Scalar lane** ([`SimdLevel::Scalar`]): the reference loops are the
+//!   exact expressions the pre-SIMD kernels used, so results are
+//!   *byte-identical* to historical runs at every thread count. Golden
+//!   snapshots and the bit-exact determinism tests run in this lane.
+//! * **SIMD lanes** (`Sse2`/`Avx2`/`Neon`): the AVX2 and NEON lanes contract
+//!   multiply-adds with FMA and the reductions use multiple accumulators, so
+//!   results differ from the scalar lane in final ULPs. Each lane is still
+//!   fully deterministic and — like the scalar kernels — accumulates every
+//!   output element in a fixed k-order, so results remain bit-identical at
+//!   every *thread* count within a lane. SIMD-vs-scalar agreement is
+//!   verified by tolerance proptests (`tests/simd_parity.rs`).
+//!
+//! Thread composition: the `par` pool partitions rows/chunks, each worker
+//! then runs these lane kernels, so threads × lanes multiply. Kernels accept
+//! the level as an argument — callers resolve [`level`] once *on the
+//! requesting thread* (so a thread-local override set by a test or by the
+//! verification gate is honored) and capture it into the parallel closure.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set lane the microkernels execute with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Reference Rust loops — byte-identical to the pre-SIMD kernels.
+    Scalar,
+    /// 128-bit SSE2 lanes (x86-64 baseline, no FMA contraction).
+    Sse2,
+    /// 256-bit AVX2 lanes with FMA contraction (requires `avx2` + `fma`).
+    Avx2,
+    /// 128-bit NEON lanes with FMA contraction (aarch64).
+    Neon,
+}
+
+impl SimdLevel {
+    /// Lower-case name, matching the `GNNMARK_SIMD` spellings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+}
+
+/// 0 = not yet initialized from the environment.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    static LEVEL_OVERRIDE: Cell<Option<SimdLevel>> = const { Cell::new(None) };
+}
+
+fn encode(l: SimdLevel) -> u8 {
+    match l {
+        SimdLevel::Scalar => 1,
+        SimdLevel::Sse2 => 2,
+        SimdLevel::Avx2 => 3,
+        SimdLevel::Neon => 4,
+    }
+}
+
+fn decode(v: u8) -> Option<SimdLevel> {
+    match v {
+        1 => Some(SimdLevel::Scalar),
+        2 => Some(SimdLevel::Sse2),
+        3 => Some(SimdLevel::Avx2),
+        4 => Some(SimdLevel::Neon),
+        _ => None,
+    }
+}
+
+/// The widest lane the running CPU supports.
+pub fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            return SimdLevel::Avx2;
+        }
+        // SSE2 is part of the x86-64 baseline.
+        return SimdLevel::Sse2;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is part of the aarch64 baseline.
+        return SimdLevel::Neon;
+    }
+    #[allow(unreachable_code)]
+    SimdLevel::Scalar
+}
+
+/// Clamps a requested level to what the CPU actually supports (falling back
+/// to the detected best level when the request is unsupported here).
+fn clamp_supported(requested: SimdLevel) -> SimdLevel {
+    let best = detect();
+    match requested {
+        SimdLevel::Scalar => SimdLevel::Scalar,
+        SimdLevel::Sse2 => {
+            if cfg!(target_arch = "x86_64") {
+                SimdLevel::Sse2
+            } else {
+                best
+            }
+        }
+        SimdLevel::Avx2 => {
+            if best == SimdLevel::Avx2 {
+                SimdLevel::Avx2
+            } else {
+                best
+            }
+        }
+        SimdLevel::Neon => {
+            if cfg!(target_arch = "aarch64") {
+                SimdLevel::Neon
+            } else {
+                best
+            }
+        }
+    }
+}
+
+fn level_from_env() -> SimdLevel {
+    match std::env::var("GNNMARK_SIMD").as_deref() {
+        Ok("scalar") => SimdLevel::Scalar,
+        Ok("sse2") => clamp_supported(SimdLevel::Sse2),
+        Ok("avx2") => clamp_supported(SimdLevel::Avx2),
+        Ok("neon") => clamp_supported(SimdLevel::Neon),
+        // "auto", unset, or unrecognized: detect.
+        _ => detect(),
+    }
+}
+
+/// The active SIMD level: a thread-local override (see [`with_level`]) if
+/// one is set, else the process-wide setting (initialized lazily from
+/// `GNNMARK_SIMD` / CPU detection).
+pub fn level() -> SimdLevel {
+    if let Some(l) = LEVEL_OVERRIDE.with(Cell::get) {
+        return l;
+    }
+    match decode(LEVEL.load(Ordering::Relaxed)) {
+        Some(l) => l,
+        None => {
+            let l = level_from_env();
+            LEVEL.store(encode(l), Ordering::Relaxed);
+            l
+        }
+    }
+}
+
+/// Sets the process-wide SIMD level (clamped to what the CPU supports).
+/// Returns the level actually installed.
+pub fn set_level(requested: SimdLevel) -> SimdLevel {
+    let l = clamp_supported(requested);
+    LEVEL.store(encode(l), Ordering::Relaxed);
+    l
+}
+
+/// Runs `f` with a *thread-local* SIMD level override (clamped to what the
+/// CPU supports), restoring the previous override afterwards — including on
+/// panic. Kernels dispatched from this thread (even when their inner loops
+/// run on pool workers — callers resolve the level before forking) use the
+/// override; other threads are unaffected, so concurrently running tests
+/// don't interfere.
+pub fn with_level<R>(requested: SimdLevel, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SimdLevel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LEVEL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LEVEL_OVERRIDE.with(|c| c.replace(Some(clamp_supported(requested))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Element-wise binary kernels with a dedicated SIMD path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `max(a, b)`
+    Max,
+    /// `a + alpha * b`
+    Axpy(f32),
+    /// `a * b * s` (dropout mask-and-rescale)
+    MulScale(f32),
+}
+
+/// Element-wise unary kernels with a dedicated SIMD path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnOp {
+    /// `max(x, 0)`
+    Relu,
+    /// `-x`
+    Neg,
+    /// `x * x`
+    Square,
+    /// `x * s`
+    MulScalar(f32),
+    /// `x + s`
+    AddScalar(f32),
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference lane. These loops ARE the determinism contract: they must
+// stay expression-for-expression identical to the historical kernels.
+// ---------------------------------------------------------------------------
+
+mod scalar {
+    use super::{BinOp, UnOp};
+
+    pub fn binary(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        match op {
+            BinOp::Add => each(a, b, out, |x, y| x + y),
+            BinOp::Sub => each(a, b, out, |x, y| x - y),
+            BinOp::Mul => each(a, b, out, |x, y| x * y),
+            BinOp::Div => each(a, b, out, |x, y| x / y),
+            BinOp::Max => each(a, b, out, f32::max),
+            BinOp::Axpy(alpha) => each(a, b, out, move |x, y| x + alpha * y),
+            BinOp::MulScale(s) => each(a, b, out, move |x, y| x * y * s),
+        }
+    }
+
+    #[inline]
+    fn each(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+    }
+
+    pub fn unary(op: UnOp, src: &[f32], out: &mut [f32]) {
+        match op {
+            UnOp::Relu => each1(src, out, |x| x.max(0.0)),
+            UnOp::Neg => each1(src, out, |x| -x),
+            UnOp::Square => each1(src, out, |x| x * x),
+            UnOp::MulScalar(s) => each1(src, out, move |x| x * s),
+            UnOp::AddScalar(s) => each1(src, out, move |x| x + s),
+        }
+    }
+
+    #[inline]
+    fn each1(src: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32) {
+        for (o, &x) in out.iter_mut().zip(src) {
+            *o = f(x);
+        }
+    }
+
+    pub fn accumulate(dst: &mut [f32], src: &[f32]) {
+        for (o, &x) in dst.iter_mut().zip(src) {
+            *o += x;
+        }
+    }
+
+    pub fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        for (o, &s) in dst.iter_mut().zip(src) {
+            *o += alpha * s;
+        }
+    }
+
+    pub fn axpy8(dst: &mut [f32], a: &[f32; 8], b: &[f32], stride: usize) {
+        let (b0, b1, b2, b3) = (b, &b[stride..], &b[2 * stride..], &b[3 * stride..]);
+        let (b4, b5, b6, b7) = (&b[4 * stride..], &b[5 * stride..], &b[6 * stride..], &b[7 * stride..]);
+        let (a0, a1, a2, a3) = (a[0], a[1], a[2], a[3]);
+        let (a4, a5, a6, a7) = (a[4], a[5], a[6], a[7]);
+        for (j, o) in dst.iter_mut().enumerate() {
+            *o += a0 * b0[j]
+                + a1 * b1[j]
+                + a2 * b2[j]
+                + a3 * b3[j]
+                + a4 * b4[j]
+                + a5 * b5[j]
+                + a6 * b6[j]
+                + a7 * b7[j];
+        }
+    }
+
+    pub fn vsum(xs: &[f32]) -> f32 {
+        xs.iter().sum()
+    }
+
+    pub fn vsumsq(xs: &[f32]) -> f32 {
+        xs.iter().map(|&v| v * v).sum()
+    }
+
+    pub fn vdot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    }
+
+    pub fn vmax(xs: &[f32]) -> f32 {
+        xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    pub fn div_scalar(inout: &mut [f32], denom: f32) {
+        for o in inout.iter_mut() {
+            *o /= denom;
+        }
+    }
+
+    pub fn sub2(src: &[f32], s1: f32, s2: f32, out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(src) {
+            *o = v - s1 - s2;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64: SSE2 (baseline, mul+add — matches the scalar association per
+// element for the map kernels) and AVX2+FMA (runtime-detected).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    use super::{BinOp, UnOp};
+    use std::arch::x86_64::*;
+
+    // ---- SSE2 (always available on x86_64) --------------------------------
+
+    pub fn binary_sse2(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        unsafe {
+            macro_rules! lanes {
+                ($combine:expr, $tail:expr) => {{
+                    while j + 4 <= n {
+                        let x = _mm_loadu_ps(a.as_ptr().add(j));
+                        let y = _mm_loadu_ps(b.as_ptr().add(j));
+                        _mm_storeu_ps(out.as_mut_ptr().add(j), $combine(x, y));
+                        j += 4;
+                    }
+                    while j < n {
+                        out[j] = $tail(a[j], b[j]);
+                        j += 1;
+                    }
+                }};
+            }
+            match op {
+                BinOp::Add => lanes!(|x, y| _mm_add_ps(x, y), |x: f32, y: f32| x + y),
+                BinOp::Sub => lanes!(|x, y| _mm_sub_ps(x, y), |x: f32, y: f32| x - y),
+                BinOp::Mul => lanes!(|x, y| _mm_mul_ps(x, y), |x: f32, y: f32| x * y),
+                BinOp::Div => lanes!(|x, y| _mm_div_ps(x, y), |x: f32, y: f32| x / y),
+                BinOp::Max => lanes!(|x, y| _mm_max_ps(x, y), f32::max),
+                BinOp::Axpy(alpha) => {
+                    let va = _mm_set1_ps(alpha);
+                    lanes!(
+                        |x, y| _mm_add_ps(x, _mm_mul_ps(va, y)),
+                        |x: f32, y: f32| x + alpha * y
+                    )
+                }
+                BinOp::MulScale(s) => {
+                    let vs = _mm_set1_ps(s);
+                    lanes!(
+                        |x, y| _mm_mul_ps(_mm_mul_ps(x, y), vs),
+                        |x: f32, y: f32| x * y * s
+                    )
+                }
+            }
+        }
+    }
+
+    pub fn unary_sse2(op: UnOp, src: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        unsafe {
+            macro_rules! lanes {
+                ($map:expr, $tail:expr) => {{
+                    while j + 4 <= n {
+                        let x = _mm_loadu_ps(src.as_ptr().add(j));
+                        _mm_storeu_ps(out.as_mut_ptr().add(j), $map(x));
+                        j += 4;
+                    }
+                    while j < n {
+                        out[j] = $tail(src[j]);
+                        j += 1;
+                    }
+                }};
+            }
+            match op {
+                UnOp::Relu => {
+                    let z = _mm_setzero_ps();
+                    // max(x, 0): maxps returns the second operand on NaN,
+                    // matching `f32::max(NaN, 0.0) == 0.0`.
+                    lanes!(|x| _mm_max_ps(x, z), |x: f32| x.max(0.0))
+                }
+                UnOp::Neg => {
+                    let sign = _mm_set1_ps(-0.0);
+                    lanes!(|x| _mm_xor_ps(x, sign), |x: f32| -x)
+                }
+                UnOp::Square => lanes!(|x| _mm_mul_ps(x, x), |x: f32| x * x),
+                UnOp::MulScalar(s) => {
+                    let vs = _mm_set1_ps(s);
+                    lanes!(|x| _mm_mul_ps(x, vs), |x: f32| x * s)
+                }
+                UnOp::AddScalar(s) => {
+                    let vs = _mm_set1_ps(s);
+                    lanes!(|x| _mm_add_ps(x, vs), |x: f32| x + s)
+                }
+            }
+        }
+    }
+
+    pub fn accumulate_sse2(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut j = 0;
+        unsafe {
+            while j + 4 <= n {
+                let d = _mm_loadu_ps(dst.as_ptr().add(j));
+                let s = _mm_loadu_ps(src.as_ptr().add(j));
+                _mm_storeu_ps(dst.as_mut_ptr().add(j), _mm_add_ps(d, s));
+                j += 4;
+            }
+        }
+        while j < n {
+            dst[j] += src[j];
+            j += 1;
+        }
+    }
+
+    pub fn axpy_sse2(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        let n = dst.len();
+        let mut j = 0;
+        unsafe {
+            let va = _mm_set1_ps(alpha);
+            while j + 4 <= n {
+                let d = _mm_loadu_ps(dst.as_ptr().add(j));
+                let s = _mm_loadu_ps(src.as_ptr().add(j));
+                _mm_storeu_ps(dst.as_mut_ptr().add(j), _mm_add_ps(d, _mm_mul_ps(va, s)));
+                j += 4;
+            }
+        }
+        while j < n {
+            dst[j] += alpha * src[j];
+            j += 1;
+        }
+    }
+
+    pub fn axpy8_sse2(dst: &mut [f32], a: &[f32; 8], b: &[f32], stride: usize) {
+        let n = dst.len();
+        let mut j = 0;
+        unsafe {
+            let va: [__m128; 8] = std::array::from_fn(|r| _mm_set1_ps(a[r]));
+            while j + 4 <= n {
+                // Same association as the scalar lane: the eight products
+                // are tree-summed, then added into the accumulator.
+                let p = |r: usize| _mm_mul_ps(va[r], _mm_loadu_ps(b.as_ptr().add(r * stride + j)));
+                let t01 = _mm_add_ps(p(0), p(1));
+                let t23 = _mm_add_ps(p(2), p(3));
+                let t45 = _mm_add_ps(p(4), p(5));
+                let t67 = _mm_add_ps(p(6), p(7));
+                let t = _mm_add_ps(_mm_add_ps(t01, t23), _mm_add_ps(t45, t67));
+                let c = _mm_loadu_ps(dst.as_ptr().add(j));
+                _mm_storeu_ps(dst.as_mut_ptr().add(j), _mm_add_ps(c, t));
+                j += 4;
+            }
+        }
+        while j < n {
+            let mut t = 0.0f32;
+            // Pairwise like the vector path to stay self-consistent.
+            let t01 = a[0] * b[j] + a[1] * b[stride + j];
+            let t23 = a[2] * b[2 * stride + j] + a[3] * b[3 * stride + j];
+            let t45 = a[4] * b[4 * stride + j] + a[5] * b[5 * stride + j];
+            let t67 = a[6] * b[6 * stride + j] + a[7] * b[7 * stride + j];
+            t += (t01 + t23) + (t45 + t67);
+            dst[j] += t;
+            j += 1;
+        }
+    }
+
+    pub fn vsum_sse2(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut acc = unsafe {
+            let mut a0 = _mm_setzero_ps();
+            let mut a1 = _mm_setzero_ps();
+            while j + 8 <= n {
+                a0 = _mm_add_ps(a0, _mm_loadu_ps(xs.as_ptr().add(j)));
+                a1 = _mm_add_ps(a1, _mm_loadu_ps(xs.as_ptr().add(j + 4)));
+                j += 8;
+            }
+            hsum128(_mm_add_ps(a0, a1))
+        };
+        while j < n {
+            acc += xs[j];
+            j += 1;
+        }
+        acc
+    }
+
+    pub fn vsumsq_sse2(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut acc = unsafe {
+            let mut a0 = _mm_setzero_ps();
+            let mut a1 = _mm_setzero_ps();
+            while j + 8 <= n {
+                let x0 = _mm_loadu_ps(xs.as_ptr().add(j));
+                let x1 = _mm_loadu_ps(xs.as_ptr().add(j + 4));
+                a0 = _mm_add_ps(a0, _mm_mul_ps(x0, x0));
+                a1 = _mm_add_ps(a1, _mm_mul_ps(x1, x1));
+                j += 8;
+            }
+            hsum128(_mm_add_ps(a0, a1))
+        };
+        while j < n {
+            acc += xs[j] * xs[j];
+            j += 1;
+        }
+        acc
+    }
+
+    pub fn vdot_sse2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut j = 0;
+        let mut acc = unsafe {
+            let mut a0 = _mm_setzero_ps();
+            let mut a1 = _mm_setzero_ps();
+            while j + 8 <= n {
+                a0 = _mm_add_ps(
+                    a0,
+                    _mm_mul_ps(_mm_loadu_ps(a.as_ptr().add(j)), _mm_loadu_ps(b.as_ptr().add(j))),
+                );
+                a1 = _mm_add_ps(
+                    a1,
+                    _mm_mul_ps(
+                        _mm_loadu_ps(a.as_ptr().add(j + 4)),
+                        _mm_loadu_ps(b.as_ptr().add(j + 4)),
+                    ),
+                );
+                j += 8;
+            }
+            hsum128(_mm_add_ps(a0, a1))
+        };
+        while j < n {
+            acc += a[j] * b[j];
+            j += 1;
+        }
+        acc
+    }
+
+    pub fn vmax_sse2(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut m = f32::NEG_INFINITY;
+        unsafe {
+            if n >= 4 {
+                let mut vm = _mm_set1_ps(f32::NEG_INFINITY);
+                while j + 4 <= n {
+                    vm = _mm_max_ps(vm, _mm_loadu_ps(xs.as_ptr().add(j)));
+                    j += 4;
+                }
+                let mut lanes = [0.0f32; 4];
+                _mm_storeu_ps(lanes.as_mut_ptr(), vm);
+                for &l in &lanes {
+                    m = m.max(l);
+                }
+            }
+        }
+        while j < n {
+            m = m.max(xs[j]);
+            j += 1;
+        }
+        m
+    }
+
+    pub fn div_scalar_sse2(inout: &mut [f32], denom: f32) {
+        let n = inout.len();
+        let mut j = 0;
+        unsafe {
+            let vd = _mm_set1_ps(denom);
+            while j + 4 <= n {
+                let x = _mm_loadu_ps(inout.as_ptr().add(j));
+                _mm_storeu_ps(inout.as_mut_ptr().add(j), _mm_div_ps(x, vd));
+                j += 4;
+            }
+        }
+        while j < n {
+            inout[j] /= denom;
+            j += 1;
+        }
+    }
+
+    pub fn sub2_sse2(src: &[f32], s1: f32, s2: f32, out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        unsafe {
+            let v1 = _mm_set1_ps(s1);
+            let v2 = _mm_set1_ps(s2);
+            while j + 4 <= n {
+                let x = _mm_loadu_ps(src.as_ptr().add(j));
+                _mm_storeu_ps(out.as_mut_ptr().add(j), _mm_sub_ps(_mm_sub_ps(x, v1), v2));
+                j += 4;
+            }
+        }
+        while j < n {
+            out[j] = src[j] - s1 - s2;
+            j += 1;
+        }
+    }
+
+    /// Horizontal sum of one 128-bit register, low lane to high lane —
+    /// fixed order so results are reproducible.
+    #[inline]
+    unsafe fn hsum128(v: __m128) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), v);
+        ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3]
+    }
+
+    // ---- AVX2 + FMA (runtime detected) ------------------------------------
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn binary_avx2(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        macro_rules! lanes {
+            ($combine:expr, $tail:expr) => {{
+                while j + 8 <= n {
+                    let x = _mm256_loadu_ps(a.as_ptr().add(j));
+                    let y = _mm256_loadu_ps(b.as_ptr().add(j));
+                    _mm256_storeu_ps(out.as_mut_ptr().add(j), $combine(x, y));
+                    j += 8;
+                }
+                while j < n {
+                    out[j] = $tail(a[j], b[j]);
+                    j += 1;
+                }
+            }};
+        }
+        match op {
+            BinOp::Add => lanes!(|x, y| _mm256_add_ps(x, y), |x: f32, y: f32| x + y),
+            BinOp::Sub => lanes!(|x, y| _mm256_sub_ps(x, y), |x: f32, y: f32| x - y),
+            BinOp::Mul => lanes!(|x, y| _mm256_mul_ps(x, y), |x: f32, y: f32| x * y),
+            BinOp::Div => lanes!(|x, y| _mm256_div_ps(x, y), |x: f32, y: f32| x / y),
+            BinOp::Max => lanes!(|x, y| _mm256_max_ps(x, y), f32::max),
+            BinOp::Axpy(alpha) => {
+                let va = _mm256_set1_ps(alpha);
+                lanes!(
+                    |x, y| _mm256_fmadd_ps(va, y, x),
+                    |x: f32, y: f32| alpha.mul_add(y, x)
+                )
+            }
+            BinOp::MulScale(s) => {
+                let vs = _mm256_set1_ps(s);
+                lanes!(
+                    |x, y| _mm256_mul_ps(_mm256_mul_ps(x, y), vs),
+                    |x: f32, y: f32| x * y * s
+                )
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn unary_avx2(op: UnOp, src: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        macro_rules! lanes {
+            ($map:expr, $tail:expr) => {{
+                while j + 8 <= n {
+                    let x = _mm256_loadu_ps(src.as_ptr().add(j));
+                    _mm256_storeu_ps(out.as_mut_ptr().add(j), $map(x));
+                    j += 8;
+                }
+                while j < n {
+                    out[j] = $tail(src[j]);
+                    j += 1;
+                }
+            }};
+        }
+        match op {
+            UnOp::Relu => {
+                let z = _mm256_setzero_ps();
+                lanes!(|x| _mm256_max_ps(x, z), |x: f32| x.max(0.0))
+            }
+            UnOp::Neg => {
+                let sign = _mm256_set1_ps(-0.0);
+                lanes!(|x| _mm256_xor_ps(x, sign), |x: f32| -x)
+            }
+            UnOp::Square => lanes!(|x| _mm256_mul_ps(x, x), |x: f32| x * x),
+            UnOp::MulScalar(s) => {
+                let vs = _mm256_set1_ps(s);
+                lanes!(|x| _mm256_mul_ps(x, vs), |x: f32| x * s)
+            }
+            UnOp::AddScalar(s) => {
+                let vs = _mm256_set1_ps(s);
+                lanes!(|x| _mm256_add_ps(x, vs), |x: f32| x + s)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn accumulate_avx2(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut j = 0;
+        while j + 8 <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(j));
+            let s = _mm256_loadu_ps(src.as_ptr().add(j));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_add_ps(d, s));
+            j += 8;
+        }
+        while j < n {
+            dst[j] += src[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_avx2(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        let n = dst.len();
+        let va = _mm256_set1_ps(alpha);
+        let mut j = 0;
+        while j + 16 <= n {
+            let d0 = _mm256_loadu_ps(dst.as_ptr().add(j));
+            let d1 = _mm256_loadu_ps(dst.as_ptr().add(j + 8));
+            let s0 = _mm256_loadu_ps(src.as_ptr().add(j));
+            let s1 = _mm256_loadu_ps(src.as_ptr().add(j + 8));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_fmadd_ps(va, s0, d0));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j + 8), _mm256_fmadd_ps(va, s1, d1));
+            j += 16;
+        }
+        while j + 8 <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(j));
+            let s = _mm256_loadu_ps(src.as_ptr().add(j));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_fmadd_ps(va, s, d));
+            j += 8;
+        }
+        while j < n {
+            dst[j] = alpha.mul_add(src[j], dst[j]);
+            j += 1;
+        }
+    }
+
+    /// Two-row variant of [`axpy8_avx2`]: updates two independent output
+    /// rows against the same 8-row B panel, so each B lane is loaded once
+    /// and FMA'd twice. Per-element accumulation order is identical to two
+    /// sequential single-row updates (the rows never mix).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy8x2_avx2(
+        dst0: &mut [f32],
+        dst1: &mut [f32],
+        a0: &[f32; 8],
+        a1: &[f32; 8],
+        b: &[f32],
+        stride: usize,
+    ) {
+        let n = dst0.len();
+        debug_assert_eq!(dst1.len(), n);
+        let bp = b.as_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut c0 = _mm256_loadu_ps(dst0.as_ptr().add(j));
+            let mut c1 = _mm256_loadu_ps(dst1.as_ptr().add(j));
+            macro_rules! step {
+                ($r:expr) => {{
+                    let bv = _mm256_loadu_ps(bp.add($r * stride + j));
+                    c0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[$r]), bv, c0);
+                    c1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[$r]), bv, c1);
+                }};
+            }
+            step!(0);
+            step!(1);
+            step!(2);
+            step!(3);
+            step!(4);
+            step!(5);
+            step!(6);
+            step!(7);
+            _mm256_storeu_ps(dst0.as_mut_ptr().add(j), c0);
+            _mm256_storeu_ps(dst1.as_mut_ptr().add(j), c1);
+            j += 8;
+        }
+        while j < n {
+            let mut c0 = dst0[j];
+            let mut c1 = dst1[j];
+            for r in 0..8 {
+                let bv = b[r * stride + j];
+                c0 = a0[r].mul_add(bv, c0);
+                c1 = a1[r].mul_add(bv, c1);
+            }
+            dst0[j] = c0;
+            dst1[j] = c1;
+            j += 1;
+        }
+    }
+
+    /// `dst[j] += Σ_r a[r]·b[r·stride + j]`, FMA'd in fixed r-order per
+    /// element — the 8-deep GEMM panel update.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy8_avx2(dst: &mut [f32], a: &[f32; 8], b: &[f32], stride: usize) {
+        let n = dst.len();
+        let va: [__m256; 8] = std::array::from_fn(|r| _mm256_set1_ps(a[r]));
+        let bp = b.as_ptr();
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut c0 = _mm256_loadu_ps(dst.as_ptr().add(j));
+            let mut c1 = _mm256_loadu_ps(dst.as_ptr().add(j + 8));
+            macro_rules! step {
+                ($r:expr) => {{
+                    let row = bp.add($r * stride + j);
+                    c0 = _mm256_fmadd_ps(va[$r], _mm256_loadu_ps(row), c0);
+                    c1 = _mm256_fmadd_ps(va[$r], _mm256_loadu_ps(row.add(8)), c1);
+                }};
+            }
+            step!(0);
+            step!(1);
+            step!(2);
+            step!(3);
+            step!(4);
+            step!(5);
+            step!(6);
+            step!(7);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), c0);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j + 8), c1);
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut c = _mm256_loadu_ps(dst.as_ptr().add(j));
+            macro_rules! step {
+                ($r:expr) => {
+                    c = _mm256_fmadd_ps(va[$r], _mm256_loadu_ps(bp.add($r * stride + j)), c)
+                };
+            }
+            step!(0);
+            step!(1);
+            step!(2);
+            step!(3);
+            step!(4);
+            step!(5);
+            step!(6);
+            step!(7);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(j), c);
+            j += 8;
+        }
+        while j < n {
+            let mut c = dst[j];
+            for r in 0..8 {
+                c = a[r].mul_add(b[r * stride + j], c);
+            }
+            dst[j] = c;
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn vsum_avx2(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        while j + 32 <= n {
+            a0 = _mm256_add_ps(a0, _mm256_loadu_ps(xs.as_ptr().add(j)));
+            a1 = _mm256_add_ps(a1, _mm256_loadu_ps(xs.as_ptr().add(j + 8)));
+            a2 = _mm256_add_ps(a2, _mm256_loadu_ps(xs.as_ptr().add(j + 16)));
+            a3 = _mm256_add_ps(a3, _mm256_loadu_ps(xs.as_ptr().add(j + 24)));
+            j += 32;
+        }
+        while j + 8 <= n {
+            a0 = _mm256_add_ps(a0, _mm256_loadu_ps(xs.as_ptr().add(j)));
+            j += 8;
+        }
+        let mut acc = hsum256(_mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)));
+        while j < n {
+            acc += xs[j];
+            j += 1;
+        }
+        acc
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn vsumsq_avx2(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        while j + 16 <= n {
+            let x0 = _mm256_loadu_ps(xs.as_ptr().add(j));
+            let x1 = _mm256_loadu_ps(xs.as_ptr().add(j + 8));
+            a0 = _mm256_fmadd_ps(x0, x0, a0);
+            a1 = _mm256_fmadd_ps(x1, x1, a1);
+            j += 16;
+        }
+        while j + 8 <= n {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(j));
+            a0 = _mm256_fmadd_ps(x, x, a0);
+            j += 8;
+        }
+        let mut acc = hsum256(_mm256_add_ps(a0, a1));
+        while j < n {
+            acc = xs[j].mul_add(xs[j], acc);
+            j += 1;
+        }
+        acc
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn vdot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut j = 0;
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        while j + 16 <= n {
+            a0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(j)),
+                _mm256_loadu_ps(b.as_ptr().add(j)),
+                a0,
+            );
+            a1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(j + 8)),
+                _mm256_loadu_ps(b.as_ptr().add(j + 8)),
+                a1,
+            );
+            j += 16;
+        }
+        while j + 8 <= n {
+            a0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(j)),
+                _mm256_loadu_ps(b.as_ptr().add(j)),
+                a0,
+            );
+            j += 8;
+        }
+        let mut acc = hsum256(_mm256_add_ps(a0, a1));
+        while j < n {
+            acc = a[j].mul_add(b[j], acc);
+            j += 1;
+        }
+        acc
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn vmax_avx2(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut m = f32::NEG_INFINITY;
+        if n >= 8 {
+            let mut vm = _mm256_set1_ps(f32::NEG_INFINITY);
+            while j + 8 <= n {
+                vm = _mm256_max_ps(vm, _mm256_loadu_ps(xs.as_ptr().add(j)));
+                j += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), vm);
+            for &l in &lanes {
+                m = m.max(l);
+            }
+        }
+        while j < n {
+            m = m.max(xs[j]);
+            j += 1;
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn div_scalar_avx2(inout: &mut [f32], denom: f32) {
+        let n = inout.len();
+        let vd = _mm256_set1_ps(denom);
+        let mut j = 0;
+        while j + 8 <= n {
+            let x = _mm256_loadu_ps(inout.as_ptr().add(j));
+            _mm256_storeu_ps(inout.as_mut_ptr().add(j), _mm256_div_ps(x, vd));
+            j += 8;
+        }
+        while j < n {
+            inout[j] /= denom;
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sub2_avx2(src: &[f32], s1: f32, s2: f32, out: &mut [f32]) {
+        let n = out.len();
+        let v1 = _mm256_set1_ps(s1);
+        let v2 = _mm256_set1_ps(s2);
+        let mut j = 0;
+        while j + 8 <= n {
+            let x = _mm256_loadu_ps(src.as_ptr().add(j));
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), _mm256_sub_ps(_mm256_sub_ps(x, v1), v2));
+            j += 8;
+        }
+        while j < n {
+            out[j] = src[j] - s1 - s2;
+            j += 1;
+        }
+    }
+
+    /// Horizontal sum of one 256-bit register in fixed lane order.
+    #[inline]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), v);
+        let lo = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+        let hi = ((lanes[4] + lanes[5]) + lanes[6]) + lanes[7];
+        lo + hi
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON (baseline on aarch64; FMA via vfmaq).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    use super::{BinOp, UnOp};
+    use std::arch::aarch64::*;
+
+    pub fn binary_neon(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        unsafe {
+            macro_rules! lanes {
+                ($combine:expr, $tail:expr) => {{
+                    while j + 4 <= n {
+                        let x = vld1q_f32(a.as_ptr().add(j));
+                        let y = vld1q_f32(b.as_ptr().add(j));
+                        vst1q_f32(out.as_mut_ptr().add(j), $combine(x, y));
+                        j += 4;
+                    }
+                    while j < n {
+                        out[j] = $tail(a[j], b[j]);
+                        j += 1;
+                    }
+                }};
+            }
+            match op {
+                BinOp::Add => lanes!(|x, y| vaddq_f32(x, y), |x: f32, y: f32| x + y),
+                BinOp::Sub => lanes!(|x, y| vsubq_f32(x, y), |x: f32, y: f32| x - y),
+                BinOp::Mul => lanes!(|x, y| vmulq_f32(x, y), |x: f32, y: f32| x * y),
+                BinOp::Div => lanes!(|x, y| vdivq_f32(x, y), |x: f32, y: f32| x / y),
+                BinOp::Max => lanes!(|x, y| vmaxq_f32(x, y), f32::max),
+                BinOp::Axpy(alpha) => {
+                    let va = vdupq_n_f32(alpha);
+                    lanes!(
+                        |x, y| vfmaq_f32(x, va, y),
+                        |x: f32, y: f32| alpha.mul_add(y, x)
+                    )
+                }
+                BinOp::MulScale(s) => {
+                    let vs = vdupq_n_f32(s);
+                    lanes!(
+                        |x, y| vmulq_f32(vmulq_f32(x, y), vs),
+                        |x: f32, y: f32| x * y * s
+                    )
+                }
+            }
+        }
+    }
+
+    pub fn unary_neon(op: UnOp, src: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        unsafe {
+            macro_rules! lanes {
+                ($map:expr, $tail:expr) => {{
+                    while j + 4 <= n {
+                        let x = vld1q_f32(src.as_ptr().add(j));
+                        vst1q_f32(out.as_mut_ptr().add(j), $map(x));
+                        j += 4;
+                    }
+                    while j < n {
+                        out[j] = $tail(src[j]);
+                        j += 1;
+                    }
+                }};
+            }
+            match op {
+                UnOp::Relu => {
+                    let z = vdupq_n_f32(0.0);
+                    lanes!(|x| vmaxq_f32(x, z), |x: f32| x.max(0.0))
+                }
+                UnOp::Neg => lanes!(|x| vnegq_f32(x), |x: f32| -x),
+                UnOp::Square => lanes!(|x| vmulq_f32(x, x), |x: f32| x * x),
+                UnOp::MulScalar(s) => {
+                    let vs = vdupq_n_f32(s);
+                    lanes!(|x| vmulq_f32(x, vs), |x: f32| x * s)
+                }
+                UnOp::AddScalar(s) => {
+                    let vs = vdupq_n_f32(s);
+                    lanes!(|x| vaddq_f32(x, vs), |x: f32| x + s)
+                }
+            }
+        }
+    }
+
+    pub fn accumulate_neon(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut j = 0;
+        unsafe {
+            while j + 4 <= n {
+                let d = vld1q_f32(dst.as_ptr().add(j));
+                let s = vld1q_f32(src.as_ptr().add(j));
+                vst1q_f32(dst.as_mut_ptr().add(j), vaddq_f32(d, s));
+                j += 4;
+            }
+        }
+        while j < n {
+            dst[j] += src[j];
+            j += 1;
+        }
+    }
+
+    pub fn axpy_neon(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        let n = dst.len();
+        let mut j = 0;
+        unsafe {
+            let va = vdupq_n_f32(alpha);
+            while j + 4 <= n {
+                let d = vld1q_f32(dst.as_ptr().add(j));
+                let s = vld1q_f32(src.as_ptr().add(j));
+                vst1q_f32(dst.as_mut_ptr().add(j), vfmaq_f32(d, va, s));
+                j += 4;
+            }
+        }
+        while j < n {
+            dst[j] = alpha.mul_add(src[j], dst[j]);
+            j += 1;
+        }
+    }
+
+    pub fn axpy8_neon(dst: &mut [f32], a: &[f32; 8], b: &[f32], stride: usize) {
+        let n = dst.len();
+        let mut j = 0;
+        unsafe {
+            let va: [float32x4_t; 8] = std::array::from_fn(|r| vdupq_n_f32(a[r]));
+            while j + 4 <= n {
+                let mut c = vld1q_f32(dst.as_ptr().add(j));
+                for r in 0..8 {
+                    c = vfmaq_f32(c, va[r], vld1q_f32(b.as_ptr().add(r * stride + j)));
+                }
+                vst1q_f32(dst.as_mut_ptr().add(j), c);
+                j += 4;
+            }
+        }
+        while j < n {
+            let mut c = dst[j];
+            for r in 0..8 {
+                c = a[r].mul_add(b[r * stride + j], c);
+            }
+            dst[j] = c;
+            j += 1;
+        }
+    }
+
+    pub fn vsum_neon(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut acc = unsafe {
+            let mut a0 = vdupq_n_f32(0.0);
+            let mut a1 = vdupq_n_f32(0.0);
+            while j + 8 <= n {
+                a0 = vaddq_f32(a0, vld1q_f32(xs.as_ptr().add(j)));
+                a1 = vaddq_f32(a1, vld1q_f32(xs.as_ptr().add(j + 4)));
+                j += 8;
+            }
+            hsum_neon(vaddq_f32(a0, a1))
+        };
+        while j < n {
+            acc += xs[j];
+            j += 1;
+        }
+        acc
+    }
+
+    pub fn vsumsq_neon(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut acc = unsafe {
+            let mut a0 = vdupq_n_f32(0.0);
+            while j + 4 <= n {
+                let x = vld1q_f32(xs.as_ptr().add(j));
+                a0 = vfmaq_f32(a0, x, x);
+                j += 4;
+            }
+            hsum_neon(a0)
+        };
+        while j < n {
+            acc = xs[j].mul_add(xs[j], acc);
+            j += 1;
+        }
+        acc
+    }
+
+    pub fn vdot_neon(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut j = 0;
+        let mut acc = unsafe {
+            let mut a0 = vdupq_n_f32(0.0);
+            while j + 4 <= n {
+                a0 = vfmaq_f32(a0, vld1q_f32(a.as_ptr().add(j)), vld1q_f32(b.as_ptr().add(j)));
+                j += 4;
+            }
+            hsum_neon(a0)
+        };
+        while j < n {
+            acc = a[j].mul_add(b[j], acc);
+            j += 1;
+        }
+        acc
+    }
+
+    pub fn vmax_neon(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut j = 0;
+        let mut m = f32::NEG_INFINITY;
+        unsafe {
+            if n >= 4 {
+                let mut vm = vdupq_n_f32(f32::NEG_INFINITY);
+                while j + 4 <= n {
+                    vm = vmaxq_f32(vm, vld1q_f32(xs.as_ptr().add(j)));
+                    j += 4;
+                }
+                let mut lanes = [0.0f32; 4];
+                vst1q_f32(lanes.as_mut_ptr(), vm);
+                for &l in &lanes {
+                    m = m.max(l);
+                }
+            }
+        }
+        while j < n {
+            m = m.max(xs[j]);
+            j += 1;
+        }
+        m
+    }
+
+    pub fn div_scalar_neon(inout: &mut [f32], denom: f32) {
+        let n = inout.len();
+        let mut j = 0;
+        unsafe {
+            let vd = vdupq_n_f32(denom);
+            while j + 4 <= n {
+                let x = vld1q_f32(inout.as_ptr().add(j));
+                vst1q_f32(inout.as_mut_ptr().add(j), vdivq_f32(x, vd));
+                j += 4;
+            }
+        }
+        while j < n {
+            inout[j] /= denom;
+            j += 1;
+        }
+    }
+
+    pub fn sub2_neon(src: &[f32], s1: f32, s2: f32, out: &mut [f32]) {
+        let n = out.len();
+        let mut j = 0;
+        unsafe {
+            let v1 = vdupq_n_f32(s1);
+            let v2 = vdupq_n_f32(s2);
+            while j + 4 <= n {
+                let x = vld1q_f32(src.as_ptr().add(j));
+                vst1q_f32(out.as_mut_ptr().add(j), vsubq_f32(vsubq_f32(x, v1), v2));
+                j += 4;
+            }
+        }
+        while j < n {
+            out[j] = src[j] - s1 - s2;
+            j += 1;
+        }
+    }
+
+    /// Fixed-order horizontal sum of one 128-bit register.
+    #[inline]
+    unsafe fn hsum_neon(v: float32x4_t) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        vst1q_f32(lanes.as_mut_ptr(), v);
+        ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatchers. Callers resolve `level()` once on the requesting
+// thread and pass it down, so pool workers inherit the caller's lane.
+// ---------------------------------------------------------------------------
+
+/// Element-wise `out[i] = op(a[i], b[i])`.
+pub fn binary(lvl: SimdLevel, op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(a.len() >= out.len() && b.len() >= out.len());
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::binary_avx2(op, a, b, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::binary_sse2(op, a, b, out),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::binary_neon(op, a, b, out),
+        _ => scalar::binary(op, a, b, out),
+    }
+}
+
+/// Element-wise `out[i] = op(src[i])`.
+pub fn unary(lvl: SimdLevel, op: UnOp, src: &[f32], out: &mut [f32]) {
+    debug_assert!(src.len() >= out.len());
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::unary_avx2(op, src, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::unary_sse2(op, src, out),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::unary_neon(op, src, out),
+        _ => scalar::unary(op, src, out),
+    }
+}
+
+/// `dst[i] += src[i]`.
+pub fn accumulate(lvl: SimdLevel, dst: &mut [f32], src: &[f32]) {
+    debug_assert!(src.len() >= dst.len());
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::accumulate_avx2(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::accumulate_sse2(dst, src),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::accumulate_neon(dst, src),
+        _ => scalar::accumulate(dst, src),
+    }
+}
+
+/// `dst[i] += alpha * src[i]` (the SpMM row-accumulation inner loop).
+pub fn axpy(lvl: SimdLevel, dst: &mut [f32], alpha: f32, src: &[f32]) {
+    debug_assert!(src.len() >= dst.len());
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::axpy_avx2(dst, alpha, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::axpy_sse2(dst, alpha, src),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::axpy_neon(dst, alpha, src),
+        _ => scalar::axpy(dst, alpha, src),
+    }
+}
+
+/// The 8-deep GEMM panel update: `dst[j] += Σ_{r<8} a[r] · b[r·stride + j]`.
+///
+/// `b` must hold at least `7*stride + dst.len()` elements. Per output
+/// element the accumulation order depends only on `r`, never on how rows
+/// were partitioned across threads.
+pub fn axpy8(lvl: SimdLevel, dst: &mut [f32], a: &[f32; 8], b: &[f32], stride: usize) {
+    debug_assert!(b.len() >= 7 * stride + dst.len());
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::axpy8_avx2(dst, a, b, stride) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::axpy8_sse2(dst, a, b, stride),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::axpy8_neon(dst, a, b, stride),
+        _ => scalar::axpy8(dst, a, b, stride),
+    }
+}
+
+/// Two-row GEMM panel update: like two [`axpy8`] calls on independent
+/// output rows, but the AVX2 lane loads each B lane once and FMAs it into
+/// both rows. Results are element-for-element identical to the two
+/// single-row calls within every lane.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy8x2(
+    lvl: SimdLevel,
+    dst0: &mut [f32],
+    dst1: &mut [f32],
+    a0: &[f32; 8],
+    a1: &[f32; 8],
+    b: &[f32],
+    stride: usize,
+) {
+    debug_assert!(b.len() >= 7 * stride + dst0.len().max(dst1.len()));
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::axpy8x2_avx2(dst0, dst1, a0, a1, b, stride) },
+        _ => {
+            axpy8(lvl, dst0, a0, b, stride);
+            axpy8(lvl, dst1, a1, b, stride);
+        }
+    }
+}
+
+/// Sum of all elements. Scalar lane: sequential left-to-right; SIMD lanes:
+/// multi-accumulator (deterministic but reassociated).
+pub fn vsum(lvl: SimdLevel, xs: &[f32]) -> f32 {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::vsum_avx2(xs) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::vsum_sse2(xs),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::vsum_neon(xs),
+        _ => scalar::vsum(xs),
+    }
+}
+
+/// Sum of squares (the L2-norm reduction).
+pub fn vsumsq(lvl: SimdLevel, xs: &[f32]) -> f32 {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::vsumsq_avx2(xs) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::vsumsq_sse2(xs),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::vsumsq_neon(xs),
+        _ => scalar::vsumsq(xs),
+    }
+}
+
+/// Dot product over `min(a.len(), b.len())` elements (GEMV rows).
+pub fn vdot(lvl: SimdLevel, a: &[f32], b: &[f32]) -> f32 {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::vdot_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::vdot_sse2(a, b),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::vdot_neon(a, b),
+        _ => scalar::vdot(a, b),
+    }
+}
+
+/// Maximum element (`-inf` when empty). Max is associative, so all lanes
+/// agree on NaN-free inputs.
+pub fn vmax(lvl: SimdLevel, xs: &[f32]) -> f32 {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::vmax_avx2(xs) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::vmax_sse2(xs),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::vmax_neon(xs),
+        _ => scalar::vmax(xs),
+    }
+}
+
+/// `inout[i] /= denom` (softmax normalization).
+pub fn div_scalar(lvl: SimdLevel, inout: &mut [f32], denom: f32) {
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::div_scalar_avx2(inout, denom) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::div_scalar_sse2(inout, denom),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::div_scalar_neon(inout, denom),
+        _ => scalar::div_scalar(inout, denom),
+    }
+}
+
+/// `out[i] = src[i] - s1 - s2` (the log-softmax shift).
+pub fn sub2(lvl: SimdLevel, src: &[f32], s1: f32, s2: f32, out: &mut [f32]) {
+    debug_assert!(src.len() >= out.len());
+    match lvl {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::sub2_avx2(src, s1, s2, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => x86::sub2_sse2(src, s1, s2, out),
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => neon::sub2_neon(src, s1, s2, out),
+        _ => scalar::sub2(src, s1, s2, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_levels() -> Vec<SimdLevel> {
+        let mut v = vec![SimdLevel::Scalar];
+        if cfg!(target_arch = "x86_64") {
+            v.push(SimdLevel::Sse2);
+        }
+        if detect() == SimdLevel::Avx2 {
+            v.push(SimdLevel::Avx2);
+        }
+        if cfg!(target_arch = "aarch64") {
+            v.push(SimdLevel::Neon);
+        }
+        v
+    }
+
+    fn data(n: usize, salt: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37 + salt).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn binary_lanes_agree_with_scalar() {
+        for n in [0usize, 1, 3, 7, 8, 9, 31, 100] {
+            let a = data(n, 0.1);
+            let b: Vec<f32> = data(n, 2.2).iter().map(|v| v + 1.5).collect();
+            for op in [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Max,
+                BinOp::Axpy(0.3),
+                BinOp::MulScale(1.7),
+            ] {
+                let mut want = vec![0.0; n];
+                binary(SimdLevel::Scalar, op, &a, &b, &mut want);
+                for lvl in all_levels() {
+                    let mut got = vec![0.0; n];
+                    binary(lvl, op, &a, &b, &mut got);
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!(
+                            (g - w).abs() <= 1e-5 * w.abs().max(1.0),
+                            "{op:?} {lvl:?} n={n}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_agree_with_scalar() {
+        for n in [0usize, 1, 5, 8, 33, 257] {
+            let xs = data(n, 0.7);
+            let ys = data(n, 1.3);
+            for lvl in all_levels() {
+                let tol = 1e-4 * (n as f32).max(1.0).sqrt();
+                assert!((vsum(lvl, &xs) - vsum(SimdLevel::Scalar, &xs)).abs() <= tol);
+                assert!((vsumsq(lvl, &xs) - vsumsq(SimdLevel::Scalar, &xs)).abs() <= tol * 10.0);
+                assert!((vdot(lvl, &xs, &ys) - vdot(SimdLevel::Scalar, &xs, &ys)).abs() <= tol * 10.0);
+                assert_eq!(vmax(lvl, &xs), vmax(SimdLevel::Scalar, &xs));
+            }
+        }
+    }
+
+    #[test]
+    fn axpy8_handles_remainders() {
+        for n in [0usize, 1, 4, 7, 8, 15, 16, 17, 40] {
+            let stride = n.max(1);
+            let b = data(8 * stride, 0.5);
+            let a: [f32; 8] = std::array::from_fn(|i| (i as f32) * 0.25 - 1.0);
+            let mut want = data(n, 9.0);
+            scalar::axpy8(&mut want, &a, &b, stride);
+            for lvl in all_levels() {
+                let mut got = data(n, 9.0);
+                axpy8(lvl, &mut got, &a, &b, stride);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "{lvl:?} n={n}: {g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_level_overrides_and_restores() {
+        let base = level();
+        with_level(SimdLevel::Scalar, || {
+            assert_eq!(level(), SimdLevel::Scalar);
+        });
+        assert_eq!(level(), base);
+    }
+
+    #[test]
+    fn set_level_clamps_to_supported() {
+        let prev = level();
+        let got = set_level(SimdLevel::Avx2);
+        if detect() != SimdLevel::Avx2 {
+            assert_ne!(got, SimdLevel::Avx2);
+        }
+        set_level(prev);
+    }
+
+    #[test]
+    fn env_spellings_round_trip() {
+        assert_eq!(SimdLevel::Scalar.as_str(), "scalar");
+        assert_eq!(SimdLevel::Avx2.as_str(), "avx2");
+    }
+}

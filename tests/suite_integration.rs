@@ -60,6 +60,39 @@ fn workloads_train_losses_decrease_at_test_scale() {
 }
 
 #[test]
+fn half_precision_suite_trains_with_finite_losses_and_half_footprint() {
+    use gnnmark_tensor::half::Precision;
+    // Every workload must survive real reduced-precision storage: finite
+    // losses throughout, and the parameter payload (reported per-step
+    // gradient bytes) at exactly half the fp32 figure.
+    let fp32 = SuiteConfig::test();
+    for precision in [Precision::Fp16, Precision::Bf16] {
+        let half = SuiteConfig {
+            precision,
+            ..SuiteConfig::test()
+        };
+        for kind in WorkloadKind::ALL {
+            let base = run_workload_full(kind, &fp32).expect("fp32 runs");
+            let art = run_workload_full(kind, &half).expect("half runs");
+            assert!(
+                art.losses.iter().all(|l| l.is_finite()),
+                "{} {}: non-finite loss {:?}",
+                kind.label(),
+                precision.as_str(),
+                art.losses
+            );
+            assert_eq!(
+                art.grad_bytes,
+                base.grad_bytes / 2,
+                "{} {}: parameter footprint not halved",
+                kind.label(),
+                precision.as_str()
+            );
+        }
+    }
+}
+
+#[test]
 fn deterministic_given_seed() {
     let cfg = SuiteConfig::test();
     let a = run_workload_full(WorkloadKind::KgnnL, &cfg).unwrap();
