@@ -22,10 +22,10 @@ use gnnmark::{figures, Result, Table, WorkloadKind};
 /// Every figure target the CLI and benches expose, plus one
 /// single-workload target per paper workload (lower-cased label, e.g.
 /// `gnnmark stgcn`) for focused profiling/observability runs.
-pub const TARGETS: [&str; 28] = [
+pub const TARGETS: [&str; 29] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "roofline", "convergence", "summary", "suite", "ablations", "check", "all", "list",
-    "serve", "sweep",
+    "roofline", "convergence", "summary", "suite", "ablations", "modecmp", "check", "all",
+    "list", "serve", "sweep",
     "psage-mvl", "psage-nwp", "stgcn", "dgcn", "gw", "kgnnl", "kgnnh", "arga", "tlstm",
 ];
 
@@ -191,6 +191,27 @@ pub fn render_target_resilient(
         .map(|(_, a)| a.clone())
         .collect();
     render_tables(target, &runs, &report.missing())
+}
+
+/// Runs the suite under both training modes and renders the full-graph vs
+/// mini-batch characterization figure (op mix + transfer sparsity per
+/// workload). When the caller's config already selects a minibatch mode
+/// (via `--mode`/`--batch-size`/`--fanout`), that configuration is the
+/// minibatch arm; otherwise the default fanout config is compared.
+///
+/// # Errors
+/// Propagates workload failures from either arm.
+pub fn render_mode_comparison(cfg: &SuiteConfig) -> Result<Vec<Table>> {
+    use gnnmark::TrainMode;
+    let full_cfg = cfg.clone().with_mode(TrainMode::FullGraph);
+    let mini_mode = match &cfg.mode {
+        TrainMode::Minibatch(mb) => TrainMode::Minibatch(mb.clone()),
+        TrainMode::FullGraph => TrainMode::Minibatch(Default::default()),
+    };
+    let mini_cfg = cfg.clone().with_mode(mini_mode);
+    let full = gnnmark::suite::run_suite_parallel(&full_cfg)?;
+    let mini = gnnmark::suite::run_suite_parallel(&mini_cfg)?;
+    Ok(vec![figures::fig_mode_comparison(&full, &mini)])
 }
 
 /// Renders the four ablation studies.

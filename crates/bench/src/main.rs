@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] [--seed S] [--csv DIR]
-//!                  [--threads N] [--precision fp32|fp16|bf16] [--parallel]
-//!                  [--keep-going] [--timeout SECS]
+//!                  [--threads N] [--precision fp32|fp16|bf16]
+//!                  [--mode fullgraph|minibatch] [--batch-size N] [--fanout F1,F2,...]
+//!                  [--parallel] [--keep-going] [--timeout SECS]
 //!                  [--retries N] [--checkpoint DIR] [--bless] [--golden DIR]
 //!                  [--trace FILE] [--metrics FILE] [--progress]
 //!
 //! targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!          roofline convergence summary suite ablations check all list
+//!          roofline convergence summary suite ablations modecmp check all list
 //!          psage-mvl psage-nwp stgcn dgcn gw kgnnl kgnnh arga tlstm
 //!
 //! gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]
@@ -39,6 +40,15 @@
 //! lane is byte-identical to the historic kernels; vector lanes are
 //! deterministic per lane but differ from scalar by ULPs (FMA,
 //! reassociated reductions). See docs/VERIFICATION.md.
+//!
+//! `--mode minibatch` trains every workload through the mini-batch
+//! neighbor-sampling path: the graph workloads (PSAGE, ARGA) sample
+//! layer-wise fanout neighborhoods over their CSR adjacency, the batched
+//! workloads honor the configured batch size. `--batch-size N` (default
+//! 32) and `--fanout F1,F2,...` (default `10,5`; `0` = unlimited at that
+//! level) tune the sampler. `modecmp` runs the suite under both modes and
+//! renders the op-mix/transfer-sparsity comparison figure. See
+//! `EXPERIMENTS.md` ("Mini-batch sampling").
 //!
 //! `--precision fp16|bf16` trains with real reduced-precision storage:
 //! parameters and tape activations are stored at 16 bits (f32 compute,
@@ -89,7 +99,9 @@ use gnnmark_serve::{
 };
 
 const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] \
-[--seed S] [--csv DIR] [--threads N] [--precision fp32|fp16|bf16] [--parallel] [--keep-going] \
+[--seed S] [--csv DIR] [--threads N] [--precision fp32|fp16|bf16] \
+[--mode fullgraph|minibatch] [--batch-size N] [--fanout F1,F2,...] \
+[--parallel] [--keep-going] \
 [--timeout SECS] [--retries N] \
 [--checkpoint DIR] [--bless] [--golden DIR] [--trace FILE] [--metrics FILE] [--progress]
        gnnmark sweep <spec.json> [--cache DIR] [--out DIR] [--workers N]
@@ -123,6 +135,9 @@ fn parse_args() -> Result<Args, String> {
     let mut trace = None;
     let mut metrics = None;
     let mut progress = false;
+    let mut mode: Option<String> = None;
+    let mut batch_size: Option<usize> = None;
+    let mut fanouts: Option<Vec<usize>> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => {
@@ -171,6 +186,36 @@ fn parse_args() -> Result<Args, String> {
                 // which skips the suite) sees the setting.
                 gnnmark_tensor::par::set_threads(n);
             }
+            "--mode" => {
+                let v = args.next().ok_or("--mode needs a value")?;
+                match v.as_str() {
+                    "fullgraph" | "minibatch" => mode = Some(v),
+                    other => {
+                        return Err(format!("unknown mode `{other}` (fullgraph|minibatch)"))
+                    }
+                }
+            }
+            "--batch-size" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--batch-size needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad batch size: {e}"))?;
+                if n == 0 {
+                    return Err("--batch-size must be at least 1".to_string());
+                }
+                batch_size = Some(n);
+            }
+            "--fanout" => {
+                let v = args.next().ok_or("--fanout needs a comma-separated list")?;
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                let parsed = parsed.map_err(|e| format!("bad fanout list `{v}`: {e}"))?;
+                if parsed.is_empty() {
+                    return Err("--fanout needs at least one level".to_string());
+                }
+                fanouts = Some(parsed);
+            }
             "--parallel" => rcfg.parallel = true,
             "--keep-going" => keep_going = true,
             "--timeout" => {
@@ -218,6 +263,28 @@ fn parse_args() -> Result<Args, String> {
     }
     if progress {
         gnnmark_telemetry::set_progress(true);
+    }
+    // Resolve the training mode. `--batch-size`/`--fanout` imply minibatch
+    // unless `--mode fullgraph` was given explicitly, where they'd be
+    // silently ignored — make that an error instead.
+    let wants_minibatch = batch_size.is_some() || fanouts.is_some();
+    match mode.as_deref() {
+        Some("fullgraph") if wants_minibatch => {
+            return Err(
+                "--batch-size/--fanout only apply to --mode minibatch".to_string()
+            );
+        }
+        Some("minibatch") | None if wants_minibatch || mode.is_some() => {
+            let mut mb = gnnmark::MinibatchConfig::default();
+            if let Some(b) = batch_size {
+                mb.batch_size = b;
+            }
+            if let Some(f) = fanouts {
+                mb.fanouts = f;
+            }
+            cfg.mode = gnnmark::TrainMode::Minibatch(mb);
+        }
+        _ => {}
     }
     // Diverged workloads get one clipped retry by default; the threshold is
     // generous enough to be inert on healthy runs.
@@ -634,6 +701,7 @@ fn main() {
                 Ok(tables)
             }
             "ablations" => render_ablations(&args.cfg),
+            "modecmp" => gnnmark_bench::render_mode_comparison(&args.cfg),
             target => render_target_resilient(
                 target,
                 &args.cfg,

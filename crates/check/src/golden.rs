@@ -181,9 +181,33 @@ fn check_lines(name: &str, unit: &str, path: &Path, current: &[String], bless: b
 /// Fails only on filesystem errors while blessing; a missing or diverging
 /// snapshot is reported in the returned [`GoldenReport`] instead.
 pub fn check_opstream(profile: &WorkloadProfile, dir: &Path, bless: bool) -> Result<GoldenReport> {
-    let path = dir.join("opstream").join(format!("{}.csv", profile.name));
+    check_opstream_in(profile, dir, "opstream", bless)
+}
+
+/// Subdirectory under the golden root holding minibatch-mode op-stream
+/// snapshots (the sampled-training counterpart of `opstream/`).
+pub const MINIBATCH_OPSTREAM_DIR: &str = "opstream-minibatch";
+
+/// Verifies (or blesses) one workload's op-stream snapshot under an
+/// explicit snapshot family `<dir>/<subdir>/<LABEL>.csv`, so alternate
+/// training modes keep their own goldens (see [`MINIBATCH_OPSTREAM_DIR`]).
+///
+/// # Errors
+/// Fails only on filesystem errors while blessing.
+pub fn check_opstream_in(
+    profile: &WorkloadProfile,
+    dir: &Path,
+    subdir: &str,
+    bless: bool,
+) -> Result<GoldenReport> {
+    let path = dir.join(subdir).join(format!("{}.csv", profile.name));
+    let name = if subdir == "opstream" {
+        profile.name.clone()
+    } else {
+        format!("{subdir}/{}", profile.name)
+    };
     let current = opstream_lines(profile);
-    check_lines(&profile.name, "kernel line", &path, &current, bless)
+    check_lines(&name, "kernel line", &path, &current, bless)
 }
 
 /// Verifies (or blesses) the figure-digest snapshot at `<dir>/figures.csv`.

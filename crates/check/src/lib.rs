@@ -15,6 +15,10 @@
 //! 3. **Simulator invariants** ([`invariants`]) — accounting properties
 //!    of the analytical GPU model: sums, cache conservation, stall
 //!    distributions, cost formulas, and multi-GPU work conservation.
+//! 4. **Mini-batch sampling** ([`minibatch`]) — FD gradient checks of
+//!    the fanout-sampled gather/index-select path, bit-exact
+//!    full-coverage parity against full-graph training, and minibatch
+//!    golden op streams under `results/golden/opstream-minibatch/`.
 //!
 //! See `docs/VERIFICATION.md` for tolerances and workflow.
 
@@ -24,6 +28,7 @@
 pub mod gradcheck;
 pub mod golden;
 pub mod invariants;
+pub mod minibatch;
 pub mod workload;
 
 use std::path::PathBuf;
@@ -151,6 +156,30 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckOutcome> {
     }
     for r in invariants::cost_formula_invariants(&suite_cfg.device)? {
         out.record(r.ok, r.line());
+    }
+
+    out.lines.push("== layer 4: mini-batch sampling ==".to_string());
+    let r = minibatch::sampled_path_grad_report(cfg.tol)?;
+    out.record(r.passed(), r.line());
+    for r in minibatch::minibatch_workload_reports(cfg.scale, cfg.seed, cfg.tol)? {
+        out.record(r.passed(), r.line());
+    }
+    for r in minibatch::parity_reports(cfg.scale, cfg.seed)? {
+        out.record(r.ok, r.line());
+    }
+    if cfg.scale == Scale::Test {
+        for run in minibatch::golden_runs(cfg.seed)? {
+            let r = golden::check_opstream_in(
+                &run.profile,
+                &cfg.golden_dir,
+                golden::MINIBATCH_OPSTREAM_DIR,
+                cfg.bless,
+            )?;
+            out.record(r.ok, r.line());
+        }
+    } else {
+        out.lines
+            .push("(snapshots skipped: goldens are generated at the tiny scale)".to_string());
     }
 
     Ok(out)

@@ -17,7 +17,7 @@
 //! differentiable point without touching the workloads themselves.
 
 use gnnmark_tensor::Tensor;
-use gnnmark_workloads::{Scale, Workload, WorkloadKind};
+use gnnmark_workloads::{Scale, TrainMode, Workload, WorkloadKind};
 use rand::SeedableRng;
 
 use crate::gradcheck::GradReport;
@@ -62,7 +62,26 @@ pub fn workload_grad_report(
     seed: u64,
     tol: f64,
 ) -> Result<GradReport> {
-    let mut w: Box<dyn Workload> = kind.build(scale, seed)?;
+    workload_grad_report_mode(kind, scale, seed, tol, &TrainMode::FullGraph)
+}
+
+/// Gradient-checks one workload built under an explicit training mode.
+/// In minibatch mode the probe runs the sampled gather/index-select path
+/// (fanout blocks, rectangular SpMM, feature gathers), so a bug anywhere
+/// in the sampling stack surfaces as an analytic/FD mismatch. The report
+/// name carries the mode key so full-graph and minibatch lines are
+/// distinguishable in one run.
+///
+/// # Errors
+/// Propagates workload construction and tensor-engine errors.
+pub fn workload_grad_report_mode(
+    kind: WorkloadKind,
+    scale: Scale,
+    seed: u64,
+    tol: f64,
+    mode: &TrainMode,
+) -> Result<GradReport> {
+    let mut w: Box<dyn Workload> = kind.build_mode(scale, seed, mode)?;
     let params = w.params();
 
     jitter_params(&params, seed)?;
@@ -115,8 +134,12 @@ pub fn workload_grad_report(
         }
     }
 
+    let name = match mode {
+        TrainMode::FullGraph => kind.label().to_string(),
+        TrainMode::Minibatch(_) => format!("{} [{}]", kind.label(), mode.key()),
+    };
     Ok(GradReport {
-        name: kind.label().to_string(),
+        name,
         checked,
         max_err,
         tol,

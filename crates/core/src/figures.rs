@@ -417,6 +417,58 @@ pub fn suite_summary(runs: &[RunArtifacts]) -> Table {
     t
 }
 
+/// Full-graph vs mini-batch characterization: per workload, how the
+/// operation mix and transfer behavior shift when training moves from
+/// whole-graph epochs to fanout-sampled minibatches — the suite-level
+/// summary of the neighbor-sampling mode. Sampled paths shed dense
+/// decoder work and gain gather/index traffic; the H2D sparsity column
+/// shows how much of each mode's feature payload is zeros.
+pub fn fig_mode_comparison(fullgraph: &[RunArtifacts], minibatch: &[RunArtifacts]) -> Table {
+    let mut t = Table::new("Mode comparison — full-graph vs mini-batch sampling");
+    t.header([
+        "Workload",
+        "Kernel ms (full)",
+        "Kernel ms (mb)",
+        "Gather+Index % (full)",
+        "Gather+Index % (mb)",
+        "Top op (full)",
+        "Top op (mb)",
+        "H2D sparsity % (full)",
+        "H2D sparsity % (mb)",
+    ]);
+    let gather_share = |p: &WorkloadProfile| {
+        p.time_share(FigureCategory::Gather) + p.time_share(FigureCategory::IndexSelect)
+    };
+    let top_op = |p: &WorkloadProfile| {
+        FigureCategory::ALL
+            .iter()
+            .max_by(|a, b| {
+                p.time_share(**a)
+                    .partial_cmp(&p.time_share(**b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map_or_else(String::new, |c| c.label().to_string())
+    };
+    for full in fullgraph {
+        let name = &full.profile.name;
+        let Some(mb) = minibatch.iter().find(|r| &r.profile.name == name) else {
+            continue;
+        };
+        t.row([
+            name.clone(),
+            format!("{:.2}", full.profile.total_kernel_time_ns() / 1e6),
+            format!("{:.2}", mb.profile.total_kernel_time_ns() / 1e6),
+            pct(gather_share(&full.profile)),
+            pct(gather_share(&mb.profile)),
+            top_op(&full.profile),
+            top_op(&mb.profile),
+            pct(full.profile.mean_sparsity),
+            pct(mb.profile.mean_sparsity),
+        ]);
+    }
+    t
+}
+
 /// Marker used for workloads absent from a figure (failed, timed out, or
 /// restored from checkpoint without a profile).
 pub const MISSING_MARKER: &str = "—";

@@ -40,7 +40,7 @@ pub mod suite;
 
 pub use gnnmark_gpusim::DeviceSpec;
 pub use gnnmark_profiler::{ProfileSession, Table, WorkloadProfile};
-pub use gnnmark_workloads::{Scale, Workload, WorkloadKind};
+pub use gnnmark_workloads::{MinibatchConfig, Scale, TrainMode, Workload, WorkloadKind};
 
 /// Result alias re-used from the tensor crate.
 pub type Result<T> = gnnmark_tensor::Result<T>;

@@ -168,6 +168,7 @@ pub fn run_manifest(target: &str, cfg: &SuiteConfig, report: &SuiteReport) -> Ru
         threads: cfg.threads.unwrap_or_else(gnnmark_tensor::par::threads),
         device: cfg.device.name.clone(),
         precision: cfg.precision.as_str().to_string(),
+        mode: cfg.mode.key(),
         workloads,
         status: if report.all_succeeded() { "ok" } else { "partial" }.to_string(),
     }

@@ -869,7 +869,7 @@ fn train_guarded_inner(
     let setup = crate::suite::PrecisionSetup::install(cfg);
     let mut w = {
         let _build = gnnmark_telemetry::span!("build");
-        kind.build(cfg.scale, cfg.seed)?
+        kind.build_mode(cfg.scale, cfg.seed, &cfg.mode)?
     };
     let mut session = ProfileSession::new(kind.label(), setup.device.clone());
     let mut guard = NumericGuard::default();

@@ -4,7 +4,7 @@ use gnnmark_gpusim::stream::{CapturedRun, CapturedStream, ReplayMeta};
 use gnnmark_gpusim::DeviceSpec;
 use gnnmark_profiler::{ProfileSession, WorkloadProfile};
 use gnnmark_tensor::half::{Precision, PrecisionGuard};
-use gnnmark_workloads::{Scale, WorkloadKind};
+use gnnmark_workloads::{Scale, TrainMode, WorkloadKind};
 
 use crate::Result;
 
@@ -27,6 +27,9 @@ pub struct SuiteConfig {
     /// `--precision`). f16/bf16 runs train with real quantized storage and
     /// dynamic loss scaling, and model the device at 2-byte elements.
     pub precision: Precision,
+    /// Training mode (the CLI's `--mode`): full-graph or mini-batch
+    /// neighbor sampling with a configurable batch size and fanouts.
+    pub mode: TrainMode,
 }
 
 impl SuiteConfig {
@@ -39,6 +42,7 @@ impl SuiteConfig {
             device: DeviceSpec::v100(),
             threads: None,
             precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
         }
     }
 
@@ -52,6 +56,7 @@ impl SuiteConfig {
             device: DeviceSpec::v100(),
             threads: None,
             precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
         }
     }
 
@@ -64,6 +69,7 @@ impl SuiteConfig {
             device: DeviceSpec::v100(),
             threads: None,
             precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
         }
     }
 
@@ -82,6 +88,13 @@ impl SuiteConfig {
     /// Sets the storage precision (the CLI's `--precision`).
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Sets the training mode (the CLI's `--mode` / `--batch-size` /
+    /// `--fanout`).
+    pub fn with_mode(mut self, mode: TrainMode) -> Self {
+        self.mode = mode;
         self
     }
 }
@@ -142,6 +155,7 @@ pub fn run_workload_captured(
         meta: ReplayMeta {
             workload: kind.label().to_string(),
             scale: cfg.scale.label().to_string(),
+            mode: cfg.mode.key(),
             seed: cfg.seed,
             epochs: cfg.epochs as u32,
             steps_per_epoch: artifacts.steps_per_epoch,
@@ -233,7 +247,7 @@ fn run_workload_full_inner(
     let _wl = gnnmark_telemetry::span!(format!("workload:{}", kind.label()));
     let mut w = {
         let _build = gnnmark_telemetry::span!("build");
-        kind.build(cfg.scale, cfg.seed)?
+        kind.build_mode(cfg.scale, cfg.seed, &cfg.mode)?
     };
     let mut session = ProfileSession::new(kind.label(), device);
     if capture {
@@ -366,7 +380,7 @@ pub fn time_to_target(
     target_loss: f64,
     max_epochs: usize,
 ) -> Result<TimeToTrain> {
-    let mut w = kind.build(cfg.scale, cfg.seed)?;
+    let mut w = kind.build_mode(cfg.scale, cfg.seed, &cfg.mode)?;
     let mut session = ProfileSession::new(kind.label(), cfg.device.clone());
     let mut losses = Vec::new();
     let mut reached = None;

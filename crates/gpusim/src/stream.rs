@@ -21,7 +21,8 @@ use gnnmark_tensor::instrument::{AccessDesc, OpClass, OpEvent};
 use crate::multigpu::ScalingBehavior;
 
 /// Version tag embedded in serialized streams. Readers reject mismatches.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2 added the training-mode key to [`ReplayMeta`].
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"GNMKSTRM";
 
@@ -102,6 +103,8 @@ pub struct ReplayMeta {
     pub workload: String,
     /// Dataset scale label, e.g. `"small"`.
     pub scale: String,
+    /// Training-mode key, e.g. `"fullgraph"` or `"minibatch-b32-f10x5"`.
+    pub mode: String,
     /// Training seed.
     pub seed: u64,
     /// Epochs trained.
@@ -324,6 +327,7 @@ impl CapturedRun {
 
         w.str(&self.meta.workload);
         w.str(&self.meta.scale);
+        w.str(&self.meta.mode);
         w.u64(self.meta.seed);
         w.u32(self.meta.epochs);
         w.u64(self.meta.steps_per_epoch);
@@ -401,6 +405,7 @@ impl CapturedRun {
 
         let workload = r.str()?;
         let scale = r.str()?;
+        let mode = r.str()?;
         let seed = r.u64()?;
         let epochs = r.u32()?;
         let steps_per_epoch = r.u64()?;
@@ -460,6 +465,7 @@ impl CapturedRun {
             meta: ReplayMeta {
                 workload,
                 scale,
+                mode,
                 seed,
                 epochs,
                 steps_per_epoch,
@@ -539,6 +545,7 @@ mod tests {
             meta: ReplayMeta {
                 workload: "STGCN".to_string(),
                 scale: "tiny".to_string(),
+                mode: "minibatch-b4-f10x5".to_string(),
                 seed: 42,
                 epochs: 3,
                 steps_per_epoch: 7,

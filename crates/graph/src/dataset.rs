@@ -1,0 +1,252 @@
+//! The `GraphDataset` abstraction: a uniform view over node-classification
+//! graphs that mini-batch training iterates, whether the graph lives in RAM
+//! ([`InMemoryDataset`]) or on disk ([`crate::stream::StreamGraph`]).
+//!
+//! Two traits split the concern:
+//!
+//! * [`CsrSource`] — random access to the rows of a (normalized) adjacency
+//!   matrix. The fanout sampling engine ([`crate::fanout`]) only needs this,
+//!   so it works identically over an in-RAM [`gnnmark_tensor::CsrMatrix`]
+//!   and an out-of-core chunked store.
+//! * [`GraphDataset`] — adds feature/label gathering and metadata, which is
+//!   what a training loop needs on top of sampling.
+
+use gnnmark_tensor::{CsrMatrix, IntTensor, Tensor, TensorError};
+
+use crate::{Graph, Result};
+
+/// Random access to the rows of a sparse `[n × n]` matrix.
+///
+/// Implementations must be deterministic: the same `node` always yields the
+/// same neighbor list in the same order (sorted ascending by column for the
+/// provided impls, matching [`CsrMatrix`]'s storage order).
+pub trait CsrSource {
+    /// Number of rows (= nodes).
+    fn num_nodes(&self) -> usize;
+
+    /// Total number of stored entries (directed edges).
+    fn num_edges(&self) -> u64;
+
+    /// Number of stored entries in `node`'s row.
+    ///
+    /// # Errors
+    /// Returns an error if `node` is out of range or the backing store
+    /// fails.
+    fn degree(&self, node: usize) -> Result<usize>;
+
+    /// Appends the column indices and values of `node`'s row to `cols` /
+    /// `vals` (the buffers are cleared first).
+    ///
+    /// # Errors
+    /// Returns an error if `node` is out of range or the backing store
+    /// fails.
+    fn row_into(&self, node: usize, cols: &mut Vec<usize>, vals: &mut Vec<f32>) -> Result<()>;
+}
+
+impl CsrSource for CsrMatrix {
+    fn num_nodes(&self) -> usize {
+        self.rows()
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.nnz() as u64
+    }
+
+    fn degree(&self, node: usize) -> Result<usize> {
+        if node >= self.rows() {
+            return Err(TensorError::InvalidArgument {
+                op: "CsrSource::degree",
+                reason: format!("node {node} out of range ({})", self.rows()),
+            });
+        }
+        Ok(self.row_nnz(node))
+    }
+
+    fn row_into(&self, node: usize, cols: &mut Vec<usize>, vals: &mut Vec<f32>) -> Result<()> {
+        if node >= self.rows() {
+            return Err(TensorError::InvalidArgument {
+                op: "CsrSource::row_into",
+                reason: format!("node {node} out of range ({})", self.rows()),
+            });
+        }
+        let (c, v) = self.row(node);
+        cols.clear();
+        vals.clear();
+        cols.extend_from_slice(c);
+        vals.extend_from_slice(v);
+        Ok(())
+    }
+}
+
+/// A node-classification graph dataset that mini-batch training can
+/// iterate: adjacency rows for sampling, plus feature/label gathering for
+/// the sampled node sets.
+pub trait GraphDataset {
+    /// Dataset name (for logs and figures).
+    fn name(&self) -> &str;
+
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Node feature width.
+    fn feature_dim(&self) -> usize;
+
+    /// Number of label classes (0 if unlabeled).
+    fn num_classes(&self) -> usize;
+
+    /// The adjacency rows the sampler draws from (normalized weights).
+    fn adjacency(&self) -> &dyn CsrSource;
+
+    /// Gathers the feature rows of `nodes` into a dense `[len × d]` tensor.
+    ///
+    /// # Errors
+    /// Returns an error on out-of-range ids or backing-store failure.
+    fn gather_features(&self, nodes: &[i64]) -> Result<Tensor>;
+
+    /// Gathers the labels of `nodes`.
+    ///
+    /// # Errors
+    /// Returns an error on out-of-range ids, missing labels, or
+    /// backing-store failure.
+    fn gather_labels(&self, nodes: &[i64]) -> Result<IntTensor>;
+
+    /// Bytes this dataset keeps resident in RAM (cache + metadata for
+    /// streaming stores; the full graph for in-memory ones).
+    fn resident_bytes(&self) -> u64;
+}
+
+/// A [`GraphDataset`] backed by an in-RAM [`Graph`] with a precomputed
+/// normalized adjacency — the view full-graph workloads already use,
+/// repackaged for batched iteration.
+#[derive(Debug, Clone)]
+pub struct InMemoryDataset {
+    name: String,
+    graph: Graph,
+    norm_adj: CsrMatrix,
+    num_classes: usize,
+}
+
+impl InMemoryDataset {
+    /// Wraps a graph, precomputing the GCN-normalized adjacency
+    /// (`Â = D̃^{-1/2}(A+I)D̃^{-1/2}`) the sampler draws from.
+    ///
+    /// # Errors
+    /// Propagates sparse-construction errors.
+    pub fn new(name: &str, graph: Graph) -> Result<Self> {
+        let norm_adj = graph.normalized_adjacency()?;
+        let num_classes = graph
+            .labels()
+            .map(|l| l.as_slice().iter().map(|&c| c + 1).max().unwrap_or(0) as usize)
+            .unwrap_or(0);
+        Ok(InMemoryDataset {
+            name: name.to_string(),
+            graph,
+            norm_adj,
+            num_classes,
+        })
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The precomputed normalized adjacency.
+    pub fn norm_adj(&self) -> &CsrMatrix {
+        &self.norm_adj
+    }
+}
+
+impl GraphDataset for InMemoryDataset {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.graph.feature_dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn adjacency(&self) -> &dyn CsrSource {
+        &self.norm_adj
+    }
+
+    fn gather_features(&self, nodes: &[i64]) -> Result<Tensor> {
+        let idx = IntTensor::from_vec(&[nodes.len()], nodes.to_vec())?;
+        self.graph.features().gather_rows(&idx)
+    }
+
+    fn gather_labels(&self, nodes: &[i64]) -> Result<IntTensor> {
+        let labels = self.graph.labels().ok_or_else(|| TensorError::InvalidArgument {
+            op: "InMemoryDataset::gather_labels",
+            reason: "graph has no labels".to_string(),
+        })?;
+        let src = labels.as_slice();
+        let mut out = Vec::with_capacity(nodes.len());
+        for &n in nodes {
+            let i = usize::try_from(n).map_err(|_| TensorError::InvalidArgument {
+                op: "InMemoryDataset::gather_labels",
+                reason: format!("negative node id {n}"),
+            })?;
+            let v = *src.get(i).ok_or_else(|| TensorError::InvalidArgument {
+                op: "InMemoryDataset::gather_labels",
+                reason: format!("node {i} out of range ({})", src.len()),
+            })?;
+            out.push(v);
+        }
+        IntTensor::from_vec(&[nodes.len()], out)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let feats = (self.graph.features().numel() * 4) as u64;
+        let labels = self.graph.labels().map(|l| l.numel() as u64 * 8).unwrap_or(0);
+        self.graph.adjacency().byte_len() + self.norm_adj.byte_len() + feats + labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled_path() -> Graph {
+        Graph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)], Tensor::from_fn(&[4, 2], |i| i as f32))
+            .unwrap()
+            .with_labels(IntTensor::from_vec(&[4], vec![0, 1, 1, 0]).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn csr_source_over_matrix() {
+        let m = CsrMatrix::from_coo(3, 3, &[(0, 1, 2.0), (0, 2, 3.0), (2, 0, 1.0)]).unwrap();
+        assert_eq!(CsrSource::num_nodes(&m), 3);
+        assert_eq!(CsrSource::num_edges(&m), 3);
+        assert_eq!(m.degree(0).unwrap(), 2);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        m.row_into(0, &mut c, &mut v).unwrap();
+        assert_eq!(c, vec![1, 2]);
+        assert_eq!(v, vec![2.0, 3.0]);
+        assert!(m.row_into(9, &mut c, &mut v).is_err());
+    }
+
+    #[test]
+    fn in_memory_dataset_gathers() {
+        let ds = InMemoryDataset::new("path4", labeled_path()).unwrap();
+        assert_eq!(ds.num_nodes(), 4);
+        assert_eq!(ds.feature_dim(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        let f = ds.gather_features(&[2, 0]).unwrap();
+        assert_eq!(f.dims(), vec![2, 2]);
+        assert_eq!(f.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+        let l = ds.gather_labels(&[3, 1]).unwrap();
+        assert_eq!(l.as_slice(), &[0, 1]);
+        assert!(ds.gather_labels(&[7]).is_err());
+        assert!(ds.resident_bytes() > 0);
+    }
+}

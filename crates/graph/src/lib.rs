@@ -23,18 +23,25 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod dataset;
 pub mod datasets;
 pub mod dynamic;
+pub mod fanout;
 pub mod hetero;
 pub mod homo;
 pub mod kwl;
 pub mod sampler;
+pub mod stream;
 pub mod trees;
 
 pub use batch::BatchedGraph;
+pub use dataset::{CsrSource, GraphDataset, InMemoryDataset};
 pub use dynamic::SpatioTemporal;
+pub use fanout::{FanoutSampler, SampledBatch, SampledBlock};
 pub use hetero::{HeteroGraph, NodeTypeId, Relation};
 pub use homo::Graph;
+pub use sampler::EpochBatches;
+pub use stream::{StreamGraph, StreamMeta};
 pub use trees::{Tree, TreeBatch};
 
 /// Result alias re-used from the tensor crate.

@@ -66,7 +66,67 @@ impl MinibatchSampler {
         self.order.shuffle(rng);
         self.cursor = 0;
     }
+
+    /// Starts a fresh epoch and returns it as a snapshot iterator.
+    ///
+    /// This is the safe epoch API: the returned [`EpochBatches`] owns its
+    /// shuffled order, so a caller that pairs a stale `num_batches()` with
+    /// `next_batch()` across epochs (the historic desync on non-divisible
+    /// batch sizes) cannot drift — the iterator simply ends after the last
+    /// (possibly partial) batch.
+    pub fn epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> EpochBatches {
+        self.reset(rng);
+        EpochBatches {
+            order: self.order.clone(),
+            batch_size: self.batch_size,
+            cursor: 0,
+        }
+    }
 }
+
+/// One epoch of shuffled minibatches, snapshotted from
+/// [`MinibatchSampler::epoch`]: an explicit iterator whose length is fixed
+/// at creation.
+#[derive(Debug, Clone)]
+pub struct EpochBatches {
+    order: Vec<i64>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl EpochBatches {
+    /// Number of batches this epoch will yield (the last may be partial).
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Batches not yet yielded.
+    pub fn remaining(&self) -> usize {
+        (self.order.len() - self.cursor).div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for EpochBatches {
+    type Item = IntTensor;
+
+    fn next(&mut self) -> Option<IntTensor> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let ids = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        let n = ids.len();
+        Some(IntTensor::from_vec(&[n], ids).expect("lengths agree"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EpochBatches {}
 
 /// Uniformly samples up to `fanout` neighbors per seed node.
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +277,36 @@ mod tests {
         assert!(s.next_batch().is_none());
         s.reset(&mut rng);
         assert!(s.next_batch().is_some());
+    }
+
+    #[test]
+    fn epoch_iterator_handles_last_partial_batch() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        // 10 items, batch 3 → 4 batches, last of size 1.
+        let mut s = MinibatchSampler::new(10, 3, &mut rng).unwrap();
+        let epoch = s.epoch(&mut rng);
+        assert_eq!(epoch.num_batches(), 4);
+        assert_eq!(epoch.len(), 4);
+        let sizes: Vec<usize> = epoch.clone().map(|b| b.numel()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        let mut seen: Vec<i64> = epoch.flat_map(|b| b.as_slice().to_vec()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<i64>>());
+        // The historic desync: a caller looping `for _ in 0..num_batches`
+        // with a count captured before an epoch where items don't divide
+        // evenly. With the snapshot iterator each epoch is self-contained.
+        let stale_count = s.num_batches();
+        for _ in 0..3 {
+            let mut epoch = s.epoch(&mut rng);
+            let mut drawn = 0;
+            for _ in 0..stale_count {
+                if epoch.next().is_some() {
+                    drawn += 1;
+                }
+            }
+            assert_eq!(drawn, 4, "every epoch yields exactly num_batches batches");
+            assert!(epoch.next().is_none(), "and then cleanly ends");
+        }
     }
 
     #[test]

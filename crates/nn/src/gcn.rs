@@ -86,6 +86,12 @@ impl GcnConv {
         let agg = adj.aggregate(x)?;
         self.linear.forward(tape, &agg)
     }
+
+    /// The dense transform applied after aggregation (used by the sampled
+    /// block path in [`crate::sampled`]).
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
 }
 
 impl Module for GcnConv {

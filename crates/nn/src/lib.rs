@@ -46,6 +46,7 @@ mod module;
 pub mod norm;
 pub mod pinsage;
 pub mod rgcn;
+pub mod sampled;
 pub mod stgcn;
 
 pub use attention::GraphAttention;
@@ -56,6 +57,7 @@ pub use module::Module;
 pub use norm::LayerNorm;
 pub use pinsage::PinSageConv;
 pub use rgcn::{RelationAdj, RgcnConv};
+pub use sampled::SampledGcn;
 pub use stgcn::{StConvBlock, TemporalConv};
 
 /// Result alias re-used from the tensor crate.

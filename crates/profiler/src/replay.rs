@@ -99,6 +99,7 @@ mod tests {
             meta: ReplayMeta {
                 workload: "replay-test".to_string(),
                 scale: "tiny".to_string(),
+                mode: "fullgraph".to_string(),
                 seed: 1,
                 epochs: 1,
                 steps_per_epoch: 2,

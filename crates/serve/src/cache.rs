@@ -23,7 +23,7 @@ use gnnmark::suite::{run_workload_captured, SuiteConfig};
 use gnnmark::Result;
 use gnnmark_tensor::half::Precision;
 use gnnmark_gpusim::stream::{fnv1a_64, CapturedRun, FORMAT_VERSION};
-use gnnmark_workloads::{Scale, WorkloadKind};
+use gnnmark_workloads::{Scale, TrainMode, WorkloadKind};
 
 /// The built-in component of the cache salt. Bumps with the stream format;
 /// bump the trailing revision manually when the *timing-relevant* tensor
@@ -38,7 +38,7 @@ pub fn cache_salt() -> String {
 }
 
 /// Everything that determines a captured op stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheKey {
     /// Which workload trains.
     pub workload: WorkloadKind,
@@ -52,6 +52,10 @@ pub struct CacheKey {
     /// fp16 training records different losses and skip behavior than fp32),
     /// but not of the human-readable prefix, which predates the field.
     pub precision: Precision,
+    /// Training mode. A minibatch stream records entirely different ops
+    /// (sampled blocks, gathers) than a full-graph one, so the mode key is
+    /// digest material.
+    pub mode: TrainMode,
 }
 
 impl CacheKey {
@@ -59,12 +63,13 @@ impl CacheKey {
     /// FNV-1a digest of the full key material (including the salt).
     pub fn id(&self) -> String {
         let material = format!(
-            "{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}",
             self.workload.label(),
             self.scale.label(),
             self.seed,
             self.epochs,
             self.precision.as_str(),
+            self.mode.key(),
             cache_salt(),
         );
         format!(
@@ -86,6 +91,7 @@ impl CacheKey {
         cfg.seed = self.seed;
         cfg.epochs = self.epochs;
         cfg.precision = self.precision;
+        cfg.mode = self.mode.clone();
         cfg
     }
 
@@ -94,6 +100,7 @@ impl CacheKey {
     pub fn matches(&self, run: &CapturedRun) -> bool {
         run.meta.workload == self.workload.label()
             && run.meta.scale == self.scale.label()
+            && run.meta.mode == self.mode.key()
             && run.meta.seed == self.seed
             && run.meta.epochs as usize == self.epochs
     }
@@ -189,16 +196,23 @@ mod tests {
             seed: 42,
             epochs: 1,
             precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
         };
         assert_eq!(a.id(), a.id());
         assert!(a.id().starts_with("TLSTM-test-s42-e1-"));
-        let b = CacheKey { seed: 43, ..a };
+        let b = CacheKey { seed: 43, ..a.clone() };
         assert_ne!(a.id(), b.id());
-        let c = CacheKey { epochs: 2, ..a };
+        let c = CacheKey { epochs: 2, ..a.clone() };
         assert_ne!(a.id(), c.id());
         // Precision is digest material: an fp16 training is a new entry.
-        let d = CacheKey { precision: Precision::Fp16, ..a };
+        let d = CacheKey { precision: Precision::Fp16, ..a.clone() };
         assert_ne!(a.id(), d.id());
+        // So is the training mode: a minibatch stream is a new entry.
+        let e = CacheKey {
+            mode: TrainMode::Minibatch(gnnmark_workloads::MinibatchConfig::default()),
+            ..a.clone()
+        };
+        assert_ne!(a.id(), e.id());
     }
 
     #[test]
@@ -210,6 +224,7 @@ mod tests {
             seed: 42,
             epochs: 1,
             precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
         };
         let t0 = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
             .map_or(0, |m| m.as_counter());
@@ -235,6 +250,7 @@ mod tests {
             seed: 7,
             epochs: 1,
             precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
         };
         std::fs::create_dir_all(cache.dir()).unwrap();
         std::fs::write(cache.path_for(&key), b"definitely not a stream").unwrap();
@@ -251,8 +267,9 @@ mod tests {
             seed: 1,
             epochs: 1,
             precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
         };
-        let key_b = CacheKey { seed: 2, ..key_a };
+        let key_b = CacheKey { seed: 2, ..key_a.clone() };
         let run = cache.get_or_train(&key_a).unwrap();
         // Plant key A's bytes at key B's path: metadata check rejects it.
         std::fs::write(cache.path_for(&key_b), run.to_bytes()).unwrap();

@@ -398,6 +398,7 @@ pub fn run_campaign(
             seed: spec.seed,
             epochs: spec.epochs,
             precision: spec.precision,
+            mode: spec.mode.clone(),
         })
         .collect();
     let pre_cached: Vec<bool> = keys.iter().map(|k| cache.path_for(k).exists()).collect();
@@ -406,7 +407,7 @@ pub fn run_campaign(
     let total_attempts = AtomicU64::new(0);
     let captures: Vec<Option<Result<CapturedRun, String>>> =
         run_jobs(keys.len(), opts.workers, |i| {
-            let key = keys[i];
+            let key = keys[i].clone();
             let label = spec.workloads[i].label();
             let cache = cache.clone();
             let fault = opts.resilience.faults.fault_for(label).cloned();

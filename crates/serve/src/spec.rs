@@ -31,7 +31,7 @@
 use gnnmark_gpusim::DeviceSpec;
 use gnnmark_telemetry::export::{parse_json, JsonValue};
 use gnnmark_tensor::half::Precision;
-use gnnmark_workloads::{Scale, WorkloadKind};
+use gnnmark_workloads::{Scale, TrainMode, WorkloadKind};
 
 /// One device configuration of a campaign: a base device plus optional
 /// architectural overrides, and a DDP GPU count.
@@ -90,6 +90,11 @@ pub struct CampaignSpec {
     /// (optional; defaults to fp32). Part of the replay-cache key: an fp16
     /// run records a different op stream than an fp32 run.
     pub precision: Precision,
+    /// Training mode every training uses (optional; defaults to
+    /// full-graph). Part of the replay-cache key: a minibatch run records
+    /// a different op stream than a full-graph run. Set via `"mode":
+    /// "minibatch"` plus optional `"batch_size"` and `"fanouts"` fields.
+    pub mode: TrainMode,
     /// Workloads swept (defaults to the full suite).
     pub workloads: Vec<WorkloadKind>,
     /// Device configurations replayed against each captured stream.
@@ -157,6 +162,51 @@ impl CampaignSpec {
             }
         };
 
+        let mode = match v.get("mode") {
+            None => TrainMode::FullGraph,
+            Some(x) => {
+                let s = x.as_str().ok_or("field \"mode\" must be a string")?;
+                match s {
+                    "fullgraph" => TrainMode::FullGraph,
+                    "minibatch" => {
+                        let mut cfg = gnnmark_workloads::MinibatchConfig::default();
+                        if let Some(b) = v.get("batch_size") {
+                            let b = b
+                                .as_u64()
+                                .ok_or("field \"batch_size\" must be a positive integer")?;
+                            if b == 0 {
+                                return Err("field \"batch_size\" must be >= 1".to_string());
+                            }
+                            cfg.batch_size = b as usize;
+                        }
+                        if let Some(f) = v.get("fanouts") {
+                            let arr = f
+                                .as_array()
+                                .ok_or("field \"fanouts\" must be an array of integers")?;
+                            if arr.is_empty() {
+                                return Err("field \"fanouts\" must not be empty".to_string());
+                            }
+                            cfg.fanouts = arr
+                                .iter()
+                                .map(|x| {
+                                    x.as_u64().map(|v| v as usize).ok_or_else(|| {
+                                        "\"fanouts\" entries must be non-negative integers"
+                                            .to_string()
+                                    })
+                                })
+                                .collect::<Result<Vec<_>, _>>()?;
+                        }
+                        TrainMode::Minibatch(cfg)
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown mode \"{other}\" (fullgraph|minibatch)"
+                        ))
+                    }
+                }
+            }
+        };
+
         let workloads = match v.get("workloads") {
             None => WorkloadKind::ALL.to_vec(),
             Some(w) => {
@@ -211,6 +261,7 @@ impl CampaignSpec {
             seed,
             epochs,
             precision,
+            mode,
             workloads,
             configs,
         })
@@ -312,6 +363,48 @@ mod tests {
         assert_eq!(s.configs[2].gpus, 4);
         let fp16 = s.configs[1].to_device_spec().unwrap();
         assert_eq!(fp16.elem_bytes, 2);
+    }
+
+    #[test]
+    fn parses_minibatch_mode() {
+        let s = CampaignSpec::parse(
+            r#"{"name":"mb","scale":"test","seed":1,"epochs":1,
+                "mode":"minibatch","batch_size":16,"fanouts":[8,4],
+                "workloads":["ARGA"],
+                "configs":[{"name":"v100","device":"v100"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.mode.key(), "minibatch-b16-f8x4");
+        // Defaults: no mode field means full-graph.
+        let d = CampaignSpec::parse(
+            r#"{"name":"x","scale":"test","seed":1,"epochs":1,
+                "configs":[{"name":"v100","device":"v100"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(d.mode, TrainMode::FullGraph);
+        // Bad values are named errors.
+        for (frag, what) in [
+            (
+                r#"{"name":"x","scale":"test","seed":1,"epochs":1,"mode":"turbo",
+                    "configs":[{"name":"c","device":"v100"}]}"#,
+                "mode",
+            ),
+            (
+                r#"{"name":"x","scale":"test","seed":1,"epochs":1,
+                    "mode":"minibatch","batch_size":0,
+                    "configs":[{"name":"c","device":"v100"}]}"#,
+                "batch_size",
+            ),
+            (
+                r#"{"name":"x","scale":"test","seed":1,"epochs":1,
+                    "mode":"minibatch","fanouts":[],
+                    "configs":[{"name":"c","device":"v100"}]}"#,
+                "fanouts",
+            ),
+        ] {
+            let err = CampaignSpec::parse(frag).unwrap_err();
+            assert!(err.contains(what), "expected {what} error, got: {err}");
+        }
     }
 
     #[test]

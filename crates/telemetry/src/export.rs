@@ -144,6 +144,8 @@ pub struct RunManifest {
     pub device: String,
     /// Parameter/activation storage precision (`"fp32"`, `"fp16"`, `"bf16"`).
     pub precision: String,
+    /// Training-mode key (`"fullgraph"` or `"minibatch-b<batch>-f<fanouts>"`).
+    pub mode: String,
     /// Per-workload outcomes.
     pub workloads: Vec<ManifestWorkload>,
     /// Overall status: `"ok"` when every workload completed.
@@ -164,6 +166,7 @@ impl RunManifest {
             "  \"precision\": \"{}\",",
             json_escape(&self.precision)
         );
+        let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(&self.mode));
         out.push_str("  \"workloads\": [");
         for (i, w) in self.workloads.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -671,6 +674,7 @@ mod tests {
             threads: 4,
             device: "V100".into(),
             precision: "fp32".into(),
+            mode: "fullgraph".into(),
             workloads: vec![ManifestWorkload {
                 name: "STGCN".into(),
                 status: "completed".into(),
@@ -696,6 +700,7 @@ mod tests {
             threads: 1,
             device: "V100".into(),
             precision: "fp16".into(),
+            mode: "minibatch-b32-f10x5".into(),
             workloads: vec![],
             status: "ok".into(),
         };

@@ -37,11 +37,24 @@ impl Dgcn {
     /// # Errors
     /// Propagates dataset/model construction errors.
     pub fn new(scale: Scale, seed: u64) -> Result<Self> {
-        let (n_mols, batch, hidden, depth) = match scale {
+        Self::new_with_mode(scale, seed, &crate::TrainMode::FullGraph)
+    }
+
+    /// Builds DeepGCN in an explicit [`crate::TrainMode`]. Minibatch mode
+    /// overrides the molecule batch size; fanouts don't apply to batched
+    /// small graphs and are ignored.
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn new_with_mode(scale: Scale, seed: u64, mode: &crate::TrainMode) -> Result<Self> {
+        let (n_mols, mut batch, hidden, depth) = match scale {
             Scale::Test => (8, 4, 16, 3),
             Scale::Small => (64, 16, 72, 7),
             Scale::Paper => (192, 32, 72, 14),
         };
+        if let Some(cfg) = mode.minibatch() {
+            batch = cfg.batch_size.clamp(1, n_mols);
+        }
         let molecules = molhiv_like(n_mols, seed)?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xd9c2);
         let embed = Linear::new("dgcn.embed", 9, hidden, &mut rng)?;

@@ -45,11 +45,24 @@ impl GraphWriter {
     /// # Errors
     /// Propagates dataset/model construction errors.
     pub fn new(scale: Scale, seed: u64) -> Result<Self> {
-        let (n_docs, dim, heads, vocab, layers, batch, batches) = match scale {
+        Self::new_with_mode(scale, seed, &crate::TrainMode::FullGraph)
+    }
+
+    /// Builds GraphWriter in an explicit [`crate::TrainMode`]. Minibatch
+    /// mode overrides the document batch size; fanouts don't apply to
+    /// knowledge-graph documents and are ignored.
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn new_with_mode(scale: Scale, seed: u64, mode: &crate::TrainMode) -> Result<Self> {
+        let (n_docs, dim, heads, vocab, layers, mut batch, batches) = match scale {
             Scale::Test => (4, 16, 2, 64, 1, 2, 2),
             Scale::Small => (24, 128, 4, 512, 2, 8, 3),
             Scale::Paper => (64, 256, 4, 2000, 2, 32, 2),
         };
+        if let Some(cfg) = mode.minibatch() {
+            batch = cfg.batch_size.clamp(1, n_docs);
+        }
         let docs = agenda_like(n_docs, vocab, seed)?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9a11);
         let token_embed = Param::new(

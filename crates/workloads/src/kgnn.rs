@@ -60,11 +60,29 @@ impl Kgnn {
     /// # Errors
     /// Propagates dataset/model/transform construction errors.
     pub fn new(order: KgnnOrder, scale: Scale, seed: u64) -> Result<Self> {
-        let (n_graphs, batch, hidden) = match scale {
+        Self::new_with_mode(order, scale, seed, &crate::TrainMode::FullGraph)
+    }
+
+    /// Builds a k-GNN in an explicit [`crate::TrainMode`]. Minibatch mode
+    /// overrides the protein batch size; fanouts don't apply to batched
+    /// small graphs and are ignored.
+    ///
+    /// # Errors
+    /// Propagates dataset/model/transform construction errors.
+    pub fn new_with_mode(
+        order: KgnnOrder,
+        scale: Scale,
+        seed: u64,
+        mode: &crate::TrainMode,
+    ) -> Result<Self> {
+        let (n_graphs, mut batch, hidden) = match scale {
             Scale::Test => (6, 3, 16),
             Scale::Small => (32, 8, 32),
             Scale::Paper => (96, 16, 64),
         };
+        if let Some(cfg) = mode.minibatch() {
+            batch = cfg.batch_size.clamp(1, n_graphs);
+        }
         // Higher-order k-set graphs grow as C(n, 3): keep the raw graphs
         // smaller for KGNNH, exactly the trade-off real k-GNN code makes.
         let (min_n, max_n) = match order {

@@ -70,6 +70,85 @@ impl Scale {
     }
 }
 
+/// Mini-batch sampling parameters: one fanout per GNN layer (input side
+/// first, `0` = unlimited) and the seed-node batch size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinibatchConfig {
+    /// Seed nodes (or items) per batch.
+    pub batch_size: usize,
+    /// Neighbors sampled per node per layer; `0` keeps every neighbor.
+    pub fanouts: Vec<usize>,
+}
+
+impl Default for MinibatchConfig {
+    fn default() -> Self {
+        MinibatchConfig {
+            batch_size: 32,
+            fanouts: vec![10, 5],
+        }
+    }
+}
+
+/// Training execution mode: full-graph (the paper's setting) or
+/// neighbor-sampled mini-batches (the scenario axis the paper left out).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TrainMode {
+    /// Every step sees the whole graph (all workloads' historic behavior).
+    #[default]
+    FullGraph,
+    /// Layer-wise fanout neighbor sampling over seed-node minibatches.
+    Minibatch(MinibatchConfig),
+}
+
+impl TrainMode {
+    /// Short mode label for CLI flags and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrainMode::FullGraph => "fullgraph",
+            TrainMode::Minibatch(_) => "minibatch",
+        }
+    }
+
+    /// Canonical key naming the mode *and* its parameters — used in cache
+    /// keys, checkpoint fingerprints and replay metadata (e.g.
+    /// `"minibatch-b32-f10x5"`).
+    pub fn key(&self) -> String {
+        match self {
+            TrainMode::FullGraph => "fullgraph".to_string(),
+            TrainMode::Minibatch(cfg) => {
+                let fans: Vec<String> = cfg.fanouts.iter().map(|f| f.to_string()).collect();
+                format!("minibatch-b{}-f{}", cfg.batch_size, fans.join("x"))
+            }
+        }
+    }
+
+    /// Parses a [`TrainMode::key`] string back into a mode.
+    pub fn parse_key(s: &str) -> Option<TrainMode> {
+        if s == "fullgraph" {
+            return Some(TrainMode::FullGraph);
+        }
+        let rest = s.strip_prefix("minibatch-b")?;
+        let (batch, fans) = rest.split_once("-f")?;
+        let batch_size: usize = batch.parse().ok()?;
+        let fanouts: Vec<usize> = fans
+            .split('x')
+            .map(|f| f.parse().ok())
+            .collect::<Option<Vec<usize>>>()?;
+        if batch_size == 0 || fanouts.is_empty() {
+            return None;
+        }
+        Some(TrainMode::Minibatch(MinibatchConfig { batch_size, fanouts }))
+    }
+
+    /// The minibatch parameters, if this is minibatch mode.
+    pub fn minibatch(&self) -> Option<&MinibatchConfig> {
+        match self {
+            TrainMode::FullGraph => None,
+            TrainMode::Minibatch(cfg) => Some(cfg),
+        }
+    }
+}
+
 /// Static description of a workload (one row of Table I).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadInfo {
@@ -197,29 +276,55 @@ impl WorkloadKind {
             .find(|k| k.label().eq_ignore_ascii_case(s))
     }
 
-    /// Builds the workload at a scale with a deterministic seed.
+    /// Builds the workload at a scale with a deterministic seed, in
+    /// full-graph mode (the historic default).
     ///
     /// # Errors
     /// Propagates dataset/model construction errors.
     pub fn build(self, scale: Scale, seed: u64) -> Result<Box<dyn Workload>> {
+        self.build_mode(scale, seed, &TrainMode::FullGraph)
+    }
+
+    /// Builds the workload in an explicit [`TrainMode`].
+    ///
+    /// In minibatch mode, graph workloads (PSAGE, ARGA) sample their
+    /// neighborhoods through the layer-wise fanout engine; the batched
+    /// workloads (STGCN, DGCN, GW, KGNN, TLSTM) honor the configured
+    /// batch size over their item sets (fanouts do not apply to batched
+    /// small graphs/trees and are ignored there).
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn build_mode(self, scale: Scale, seed: u64, mode: &TrainMode) -> Result<Box<dyn Workload>> {
         Ok(match self {
-            WorkloadKind::PsageMvl => {
-                Box::new(psage::Psage::new(psage::PsageDataset::MovieLens, scale, seed)?)
+            WorkloadKind::PsageMvl => Box::new(psage::Psage::new_with_mode(
+                psage::PsageDataset::MovieLens,
+                scale,
+                seed,
+                mode,
+            )?),
+            WorkloadKind::PsageNwp => Box::new(psage::Psage::new_with_mode(
+                psage::PsageDataset::Nowplaying,
+                scale,
+                seed,
+                mode,
+            )?),
+            WorkloadKind::Stgcn => Box::new(stgcn::Stgcn::new_with_mode(scale, seed, mode)?),
+            WorkloadKind::Dgcn => Box::new(dgcn::Dgcn::new_with_mode(scale, seed, mode)?),
+            WorkloadKind::Gw => Box::new(gw::GraphWriter::new_with_mode(scale, seed, mode)?),
+            WorkloadKind::KgnnL => {
+                Box::new(kgnn::Kgnn::new_with_mode(kgnn::KgnnOrder::Low, scale, seed, mode)?)
             }
-            WorkloadKind::PsageNwp => {
-                Box::new(psage::Psage::new(psage::PsageDataset::Nowplaying, scale, seed)?)
+            WorkloadKind::KgnnH => {
+                Box::new(kgnn::Kgnn::new_with_mode(kgnn::KgnnOrder::High, scale, seed, mode)?)
             }
-            WorkloadKind::Stgcn => Box::new(stgcn::Stgcn::new(scale, seed)?),
-            WorkloadKind::Dgcn => Box::new(dgcn::Dgcn::new(scale, seed)?),
-            WorkloadKind::Gw => Box::new(gw::GraphWriter::new(scale, seed)?),
-            WorkloadKind::KgnnL => Box::new(kgnn::Kgnn::new(kgnn::KgnnOrder::Low, scale, seed)?),
-            WorkloadKind::KgnnH => Box::new(kgnn::Kgnn::new(kgnn::KgnnOrder::High, scale, seed)?),
-            WorkloadKind::ArgaCora => Box::new(arga::Arga::new(
+            WorkloadKind::ArgaCora => Box::new(arga::Arga::new_with_mode(
                 gnnmark_graph::datasets::CitationKind::Cora,
                 scale,
                 seed,
+                mode,
             )?),
-            WorkloadKind::Tlstm => Box::new(tlstm::TreeLstm::new(scale, seed)?),
+            WorkloadKind::Tlstm => Box::new(tlstm::TreeLstm::new_with_mode(scale, seed, mode)?),
         })
     }
 }
@@ -308,6 +413,26 @@ mod tests {
         // Both frameworks represented, as in the paper.
         assert!(t.iter().any(|r| r.framework == "DGL"));
         assert!(t.iter().any(|r| r.framework == "PyG"));
+    }
+
+    #[test]
+    fn train_mode_key_roundtrips() {
+        let full = TrainMode::FullGraph;
+        assert_eq!(full.key(), "fullgraph");
+        assert_eq!(TrainMode::parse_key("fullgraph"), Some(TrainMode::FullGraph));
+        let mb = TrainMode::Minibatch(MinibatchConfig {
+            batch_size: 48,
+            fanouts: vec![10, 5, 0],
+        });
+        assert_eq!(mb.key(), "minibatch-b48-f10x5x0");
+        assert_eq!(TrainMode::parse_key(&mb.key()), Some(mb.clone()));
+        assert_eq!(
+            TrainMode::parse_key(&TrainMode::Minibatch(MinibatchConfig::default()).key()),
+            Some(TrainMode::Minibatch(MinibatchConfig::default()))
+        );
+        assert_eq!(TrainMode::parse_key("minibatch-b0-f5"), None);
+        assert_eq!(TrainMode::parse_key("minibatch-b8-f"), None);
+        assert_eq!(TrainMode::parse_key("warp"), None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use gnnmark_autograd::{Adam, Optimizer, ParamSet, Tape, Var};
 use gnnmark_gpusim::ScalingBehavior;
 use gnnmark_graph::datasets::{movielens_like, nowplaying_like, Recommendation};
 use gnnmark_graph::sampler::{ImportanceNeighborhood, RandomWalkSampler};
+use gnnmark_graph::FanoutSampler;
 use gnnmark_nn::{Module, PinSageConv};
 use gnnmark_profiler::ProfileSession;
 use gnnmark_tensor::IntTensor;
@@ -56,12 +57,21 @@ struct Minibatch {
     negatives: Vec<ImportanceNeighborhood>,
 }
 
+/// Reserved batch id for the deterministic probe batch; never produced by
+/// the epoch counter, so probe sampling can't collide with a training
+/// batch's RNG stream.
+const PROBE_BATCH_ID: u64 = u64::MAX;
+
 /// The PSAGE workload.
 pub struct Psage {
     dataset: PsageDataset,
     data: Recommendation,
     conv: PinSageConv,
     sampler: RandomWalkSampler,
+    /// In minibatch mode, the layer-wise fanout engine replaces the
+    /// random-walk importance sampler for neighborhood construction.
+    fanout: Option<FanoutSampler>,
+    batch_counter: u64,
     opt: Adam,
     rng: StdRng,
     batch_size: usize,
@@ -75,11 +85,33 @@ impl Psage {
     /// # Errors
     /// Propagates dataset/model construction errors.
     pub fn new(dataset: PsageDataset, scale: Scale, seed: u64) -> Result<Self> {
-        let (data_scale, batch_size, batches) = match scale {
+        Self::new_with_mode(dataset, scale, seed, &crate::TrainMode::FullGraph)
+    }
+
+    /// Builds PSAGE in an explicit [`crate::TrainMode`]. In minibatch mode
+    /// the configured batch size replaces the scale default and item
+    /// neighborhoods come from the layer-wise [`FanoutSampler`] (first
+    /// fanout level) instead of random-walk importance sampling.
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn new_with_mode(
+        dataset: PsageDataset,
+        scale: Scale,
+        seed: u64,
+        mode: &crate::TrainMode,
+    ) -> Result<Self> {
+        let (data_scale, mut batch_size, batches) = match scale {
             Scale::Test => (0.01, 8, 2),
             Scale::Small => (0.20, 64, 6),
             Scale::Paper => (0.50, 128, 10),
         };
+        let mut fanout = None;
+        if let Some(cfg) = mode.minibatch() {
+            batch_size = cfg.batch_size.max(1);
+            let hop = cfg.fanouts.first().copied().unwrap_or(10);
+            fanout = Some(FanoutSampler::new(&[hop], seed ^ 0x9a5e)?);
+        }
         let data = match dataset {
             PsageDataset::MovieLens => movielens_like(data_scale, seed)?,
             PsageDataset::Nowplaying => nowplaying_like(data_scale, seed)?,
@@ -92,12 +124,56 @@ impl Psage {
             data,
             conv,
             sampler: RandomWalkSampler::new(16, 3, 6),
+            fanout,
+            batch_counter: 0,
             opt: Adam::new(1e-3),
             rng,
             batch_size,
             batches_per_epoch: batches,
             margin: 0.4,
         })
+    }
+
+    /// Converts one fanout-sampled block row per seed into an importance
+    /// neighborhood: self-loops are dropped, neighbors ordered by
+    /// descending sampled weight (ties by id), and weights renormalized to
+    /// sum to one. Seeds with no surviving neighbors fall back to
+    /// themselves with weight one, matching the walk sampler's behavior on
+    /// isolated nodes.
+    fn fanout_neighborhoods(
+        sampler: &FanoutSampler,
+        adj: &gnnmark_tensor::CsrMatrix,
+        ids: &IntTensor,
+        batch_id: u64,
+    ) -> Result<Vec<ImportanceNeighborhood>> {
+        let batch = sampler.sample(adj, ids.as_slice(), batch_id)?;
+        let block = &batch.blocks[0];
+        let mut out = Vec::with_capacity(ids.numel());
+        for (row, &seed) in ids.as_slice().iter().enumerate() {
+            let (cols, vals) = block.adj.row(row);
+            let mut pairs: Vec<(i64, f32)> = cols
+                .iter()
+                .zip(vals)
+                .map(|(&c, &v)| (block.src_nodes[c], v))
+                .filter(|&(g, _)| g != seed)
+                .collect();
+            pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+            let total: f32 = pairs.iter().map(|p| p.1).sum();
+            let (neighbors, weights) = if pairs.is_empty() || total <= 0.0 {
+                (vec![seed], vec![1.0])
+            } else {
+                (
+                    pairs.iter().map(|p| p.0).collect(),
+                    pairs.iter().map(|p| p.1 / total).collect(),
+                )
+            };
+            out.push(ImportanceNeighborhood {
+                seed,
+                neighbors,
+                weights,
+            });
+        }
+        Ok(out)
     }
 
     fn num_items(&self) -> usize {
@@ -122,7 +198,19 @@ impl Psage {
             None => (0..b).map(|_| rng.gen_range(0..n_items as i64)).collect(),
         };
         let seed_ids = IntTensor::from_vec(&[b], seed_ids)?;
-        let seeds = self.sampler.sample(&self.data.item_item, &seed_ids, rng);
+        let batch_id = match deterministic {
+            Some(_) => PROBE_BATCH_ID,
+            None => {
+                let id = self.batch_counter;
+                self.batch_counter += 1;
+                id
+            }
+        };
+        let adj = self.data.item_item.adjacency();
+        let seeds = match &self.fanout {
+            Some(fs) => Self::fanout_neighborhoods(fs, adj, &seed_ids, batch_id)?,
+            None => self.sampler.sample(&self.data.item_item, &seed_ids, rng),
+        };
         let pos_ids: Vec<i64> = seeds.iter().map(|h| h.neighbors[0]).collect();
         let neg_ids: Vec<i64> = match deterministic {
             Some(_) => (0..b).map(|i| ((i * 7 + 5) % n_items) as i64).collect(),
@@ -130,8 +218,16 @@ impl Psage {
         };
         let pos_ids = IntTensor::from_vec(&[b], pos_ids)?;
         let neg_ids = IntTensor::from_vec(&[b], neg_ids)?;
-        let positives = self.sampler.sample(&self.data.item_item, &pos_ids, rng);
-        let negatives = self.sampler.sample(&self.data.item_item, &neg_ids, rng);
+        let (positives, negatives) = match &self.fanout {
+            Some(fs) => (
+                Self::fanout_neighborhoods(fs, adj, &pos_ids, batch_id)?,
+                Self::fanout_neighborhoods(fs, adj, &neg_ids, batch_id)?,
+            ),
+            None => (
+                self.sampler.sample(&self.data.item_item, &pos_ids, rng),
+                self.sampler.sample(&self.data.item_item, &neg_ids, rng),
+            ),
+        };
 
         // Walk traces: the raw visit stream the device-side sampler sorts
         // to build importance neighborhoods (DGL sorts these per batch).
@@ -338,6 +434,26 @@ mod tests {
             .per_class
             .contains_key(&gnnmark_profiler::FigureCategory::Sort));
         assert!(p.mean_sparsity > 0.0);
+    }
+
+    #[test]
+    fn psage_minibatch_mode_trains_with_fanout_sampling() {
+        let mode = crate::TrainMode::Minibatch(crate::MinibatchConfig {
+            batch_size: 6,
+            fanouts: vec![4, 3],
+        });
+        let mut w = Psage::new_with_mode(PsageDataset::MovieLens, Scale::Test, 1, &mode).unwrap();
+        assert!(w.fanout.is_some());
+        assert_eq!(w.batch_size, 6);
+        // Probe is deterministic under the reserved batch id.
+        let a = w.eval_loss().unwrap();
+        let b = w.eval_loss().unwrap();
+        assert_eq!(a, b);
+        let mut session = ProfileSession::new("psage", DeviceSpec::v100());
+        let loss = w.run_epoch(&mut session).unwrap();
+        assert!(loss.is_finite());
+        let after = w.eval_loss().unwrap();
+        assert!(after.is_finite());
     }
 
     #[test]

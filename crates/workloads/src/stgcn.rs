@@ -42,11 +42,24 @@ impl Stgcn {
     /// # Errors
     /// Propagates dataset/model construction errors.
     pub fn new(scale: Scale, seed: u64) -> Result<Self> {
-        let (graph_scale, steps, c1, c2, batch, batches) = match scale {
+        Self::new_with_mode(scale, seed, &crate::TrainMode::FullGraph)
+    }
+
+    /// Builds STGCN in an explicit [`crate::TrainMode`]. Minibatch mode
+    /// overrides the window batch size; fanouts don't apply to the dense
+    /// sensor graph and are ignored.
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn new_with_mode(scale: Scale, seed: u64, mode: &crate::TrainMode) -> Result<Self> {
+        let (graph_scale, steps, c1, c2, mut batch, batches) = match scale {
             Scale::Test => (0.06, 48, 4, 4, 2, 2),
             Scale::Small => (0.25, 160, 32, 32, 4, 6),
             Scale::Paper => (1.0, 288, 64, 64, 8, 10),
         };
+        if let Some(cfg) = mode.minibatch() {
+            batch = cfg.batch_size.max(1);
+        }
         let data = metr_la_like(graph_scale, steps, seed)?;
         let adj = Rc::new(data.graph().normalized_adjacency()?);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5709c);

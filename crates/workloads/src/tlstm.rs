@@ -37,11 +37,24 @@ impl TreeLstm {
     /// # Errors
     /// Propagates dataset/model construction errors.
     pub fn new(scale: Scale, seed: u64) -> Result<Self> {
-        let (n_trees, vocab, hidden, batch) = match scale {
+        Self::new_with_mode(scale, seed, &crate::TrainMode::FullGraph)
+    }
+
+    /// Builds TLSTM in an explicit [`crate::TrainMode`]. Minibatch mode
+    /// overrides the tree batch size; fanouts don't apply to trees and are
+    /// ignored.
+    ///
+    /// # Errors
+    /// Propagates dataset/model construction errors.
+    pub fn new_with_mode(scale: Scale, seed: u64, mode: &crate::TrainMode) -> Result<Self> {
+        let (n_trees, vocab, hidden, mut batch) = match scale {
             Scale::Test => (6, 64, 16, 3),
             Scale::Small => (48, 512, 60, 12),
             Scale::Paper => (160, 2048, 120, 24),
         };
+        if let Some(cfg) = mode.minibatch() {
+            batch = cfg.batch_size.clamp(1, n_trees);
+        }
         let trees = sst_like(n_trees, vocab, seed)?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7157);
         // Extra row = padding embedding for internal (wordless) nodes.
