@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench-check <baseline.json> <new.json> [--max-ratio 2.0]
+//!             [--record [--history results/perf_history.jsonl]]
 //! ```
 //!
 //! Both files are the `{"benches": [{"name": ..., "median_ns": ...}]}`
@@ -21,9 +22,19 @@
 //! (e.g. the SIMD lane) and should be regenerated, or the comparison is
 //! silently more forgiving than intended.
 //!
+//! With `--record`, the *new* report's medians are appended as one row to
+//! the append-only perf-history store (`--history` path, default
+//! `results/perf_history.jsonl`) after the comparison — pass or fail —
+//! so the HTML report's trend panel sees every data point. The commit
+//! column comes from `GNNMARK_COMMIT`, else `git rev-parse --short HEAD`,
+//! else `"unknown"`.
+//!
 //! Exit codes: 0 = ok, 1 = regression, 2 = usage/parse error.
 
 use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gnnmark_report::{append_row, HistoryRow, DEFAULT_HISTORY_PATH};
 
 /// One `{"name": ..., "median_ns": ...}` entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,6 +177,46 @@ fn run(
     Ok((offenders, improved))
 }
 
+/// The commit label for a recorded row: `GNNMARK_COMMIT` wins (CI knows
+/// its SHA without a checkout), then `git rev-parse --short HEAD`, then
+/// `"unknown"`.
+fn commit_label() -> String {
+    if let Ok(c) = std::env::var("GNNMARK_COMMIT") {
+        if !c.trim().is_empty() {
+            return c.trim().to_string();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends the new report's medians to the perf-history store.
+fn record_history(new_path: &str, history_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(new_path).map_err(|e| format!("read {new_path}: {e}"))?;
+    let entries = parse_report(&text)?;
+    let row = HistoryRow {
+        commit: commit_label(),
+        source: "bench-check".to_string(),
+        unix_ms: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64),
+        suite_wall_s: None,
+        cache_hit_rate: None,
+        benches: entries.into_iter().map(|e| (e.name, e.median_ns)).collect(),
+    };
+    append_row(std::path::Path::new(history_path), &row)
+        .map_err(|e| format!("append {history_path}: {e}"))?;
+    println!("bench-check: recorded {} bench(es) to {history_path}", row.benches.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Threshold precedence: --max-ratio flag > GNNMARK_BENCH_MAX_RATIO > 2.0.
@@ -180,25 +231,45 @@ fn main() -> ExitCode {
         Err(_) => 2.0,
     };
     let mut files = Vec::new();
+    let mut record = false;
+    let mut history_path = DEFAULT_HISTORY_PATH.to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--max-ratio" {
-            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+        match a.as_str() {
+            "--max-ratio" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) if v > 0.0 => max_ratio = v,
                 _ => {
                     eprintln!("error: --max-ratio needs a positive number");
                     return ExitCode::from(2);
                 }
-            }
-        } else {
-            files.push(a.clone());
+            },
+            "--record" => record = true,
+            "--history" => match it.next() {
+                Some(v) => history_path = v.clone(),
+                None => {
+                    eprintln!("error: --history needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => files.push(a.clone()),
         }
     }
     let [baseline, fresh] = files.as_slice() else {
-        eprintln!("usage: bench-check <baseline.json> <new.json> [--max-ratio 2.0]");
+        eprintln!(
+            "usage: bench-check <baseline.json> <new.json> [--max-ratio 2.0] \
+             [--record [--history PATH]]"
+        );
         return ExitCode::from(2);
     };
-    match run(baseline, fresh, max_ratio) {
+    let outcome = run(baseline, fresh, max_ratio);
+    // Record pass or fail: the trend panel should see regressions too.
+    if record && outcome.is_ok() {
+        if let Err(e) = record_history(fresh, &history_path) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match outcome {
         Ok((offenders, _)) if offenders.is_empty() => ExitCode::SUCCESS,
         Ok(_) => ExitCode::from(1),
         Err(e) => {
@@ -267,6 +338,26 @@ mod tests {
         assert!(offenders.is_empty(), "improvements are never fatal");
         assert_eq!(improved.len(), 1, "only the >2x win is flagged: {improved:?}");
         assert!(improved[0].starts_with("a ("));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_appends_a_history_row() {
+        let dir = std::env::temp_dir().join(format!("bench_check_record_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("new.json");
+        std::fs::write(&report, REPORT).unwrap();
+        let history = dir.join("hist/perf_history.jsonl");
+        std::env::set_var("GNNMARK_COMMIT", "cafef00d");
+        record_history(report.to_str().unwrap(), history.to_str().unwrap()).unwrap();
+        record_history(report.to_str().unwrap(), history.to_str().unwrap()).unwrap();
+        let rows = gnnmark_report::load_history(&history);
+        assert_eq!(rows.len(), 2, "append-only: one row per record");
+        assert_eq!(rows[0].commit, "cafef00d");
+        assert_eq!(rows[0].source, "bench-check");
+        assert_eq!(rows[0].benches.len(), 2);
+        assert_eq!(rows[0].benches[0].0, "tensor_ops/gemm_256");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report_cli;
+
 use gnnmark::resilience::{run_suite_resilient, ResilienceConfig, SuiteReport};
 use gnnmark::suite::{RunArtifacts, SuiteConfig};
 use gnnmark::{figures, Result, Table, WorkloadKind};
@@ -22,10 +24,10 @@ use gnnmark::{figures, Result, Table, WorkloadKind};
 /// Every figure target the CLI and benches expose, plus one
 /// single-workload target per paper workload (lower-cased label, e.g.
 /// `gnnmark stgcn`) for focused profiling/observability runs.
-pub const TARGETS: [&str; 29] = [
+pub const TARGETS: [&str; 30] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "roofline", "convergence", "summary", "suite", "ablations", "modecmp", "check", "all",
-    "list", "serve", "sweep",
+    "list", "serve", "sweep", "report",
     "psage-mvl", "psage-nwp", "stgcn", "dgcn", "gw", "kgnnl", "kgnnh", "arga", "tlstm",
 ];
 

@@ -19,6 +19,10 @@
 //!                  [--duration SECS] [--error-budget F] [--saturation-probe SECS]
 //!                  [--out FILE] [--csv FILE]
 //!                  [--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]
+//! gnnmark report [STREAM.stream ...] [--out FILE] [--device v100|a100]
+//!                [--scale tiny|test|small|paper] [--epochs N] [--seed S]
+//!                [--precision fp32|fp16|bf16] [--mode fullgraph|minibatch]
+//!                [--threads N] [--history PATH | --no-history] [--max-ratio R]
 //! ```
 //!
 //! `sweep` runs a declarative device-ablation campaign through the
@@ -30,6 +34,10 @@
 //! HTTP API open- or closed-loop and reports p50/p95/p99 latency,
 //! saturation RPS and the error budget; `--chaos` SIGKILLs and restarts
 //! a worker mid-run to measure recovery time. See `docs/SERVING.md`.
+//! `report` renders a deterministic single-file HTML characterization
+//! report (roofline, stalls, caches, per-step timeline, comparison, perf
+//! trend) from captured `.stream` files or a live suite run; see
+//! `docs/OBSERVABILITY.md`.
 //!
 //! `--threads N` (or `GNNMARK_THREADS=N`) sets the CPU thread count of the
 //! tensor kernels. Losses, profiles and figures are bit-identical at every
@@ -109,7 +117,10 @@ const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--
 [--store DIR] [--worker-id ID] [--lease-ttl SECS]
        gnnmark loadtest [--addr HOST:PORT] [--path P] [--rps R] [--concurrency N] \
 [--duration SECS] [--error-budget F] [--saturation-probe SECS] [--out FILE] [--csv FILE] \
-[--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]";
+[--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]
+       gnnmark report [STREAM.stream ...] [--out FILE] [--device v100|a100] \
+[--scale tiny|test|small|paper] [--epochs N] [--seed S] [--precision fp32|fp16|bf16] \
+[--mode fullgraph|minibatch] [--threads N] [--history PATH | --no-history] [--max-ratio R]";
 
 struct Args {
     target: String,
@@ -649,6 +660,10 @@ fn main() {
             Some("sweep") => std::process::exit(run_sweep(argv)),
             Some("serve") => std::process::exit(run_serve(argv)),
             Some("loadtest") => std::process::exit(run_loadtest_cli(argv)),
+            Some("report") => {
+                shutdown::install();
+                std::process::exit(gnnmark_bench::report_cli::run_report(argv));
+            }
             _ => {}
         }
     }

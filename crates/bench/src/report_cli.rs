@@ -1,0 +1,370 @@
+//! `gnnmark report` — render a deterministic single-file HTML
+//! characterization report.
+//!
+//! ```text
+//! gnnmark report [STREAM.stream ...] [--out FILE] [--device v100|a100]
+//!                [--scale tiny|test|small|paper] [--epochs N] [--seed S]
+//!                [--precision fp32|fp16|bf16] [--mode fullgraph|minibatch]
+//!                [--threads N] [--history PATH | --no-history]
+//!                [--max-ratio R]
+//! ```
+//!
+//! Two input paths:
+//!
+//! * **Replay** — positional `.stream` files (replay-cache entries or
+//!   `CapturedRun` dumps) are replayed through the gpusim timing model on
+//!   `--device` without retraining; one report run per file.
+//! * **Live suite** — with no inputs, the full suite trains at the
+//!   requested scale under the resilience layer and every completed
+//!   workload becomes a report run.
+//!
+//! Either way the output is one self-contained HTML file (inline CSS and
+//! SVG, no scripts) whose bytes depend only on the inputs: wall-clock and
+//! scheduling-dependent metrics are filtered out, so two renders of the
+//! same streams — at any `--threads` count — are byte-identical. The perf
+//! history (`results/perf_history.jsonl`) feeds the trend panel when
+//! present; `--no-history` drops it.
+
+use std::path::Path;
+
+use gnnmark::resilience::{run_suite_resilient, ResilienceConfig};
+use gnnmark::suite::{artifacts_from_replay, RunArtifacts, SuiteConfig};
+use gnnmark::Scale;
+use gnnmark_gpusim::stream::CapturedRun;
+use gnnmark_gpusim::DeviceSpec;
+use gnnmark_report::{esc, load_history, Report, ReportRun, DEFAULT_HISTORY_PATH};
+use gnnmark_telemetry::metrics::{self, MetricValue};
+
+/// Metric families whose values are fully determined by the training
+/// inputs (never by wall-clock or thread scheduling). Only these reach
+/// the report, preserving byte-determinism; the live `/dashboard` route
+/// is the place for the rest.
+const DETERMINISTIC_METRIC_PREFIXES: &[&str] = &[
+    "gnnmark_amp_",
+    "gnnmark_activation_",
+    "gnnmark_autograd_",
+    "gnnmark_param_",
+    "gnnmark_workload_modeled_",
+    "gnnmark_kernels_",
+    "gnnmark_transfer_",
+];
+
+/// Parsed `gnnmark report` invocation.
+#[derive(Debug, Clone)]
+pub struct ReportOpts {
+    /// Output HTML path.
+    pub out: String,
+    /// Replay device for `.stream` inputs.
+    pub device: String,
+    /// Suite config for the live-suite path (scale, seed, epochs,
+    /// precision, mode).
+    pub cfg: SuiteConfig,
+    /// Positional `.stream` inputs; empty = run the live suite.
+    pub inputs: Vec<String>,
+    /// Perf-history file; `None` = omit the trend panel.
+    pub history: Option<String>,
+    /// Trend-panel regression threshold.
+    pub max_ratio: f64,
+}
+
+impl Default for ReportOpts {
+    fn default() -> Self {
+        ReportOpts {
+            out: "report.html".to_string(),
+            device: "v100".to_string(),
+            cfg: SuiteConfig::test(),
+            inputs: Vec::new(),
+            history: Some(DEFAULT_HISTORY_PATH.to_string()),
+            max_ratio: 1.5,
+        }
+    }
+}
+
+/// Parses the `gnnmark report` flag set.
+///
+/// # Errors
+/// A human-readable message naming the offending flag.
+pub fn parse_report_args(args: impl Iterator<Item = String>) -> Result<ReportOpts, String> {
+    let mut opts = ReportOpts::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => opts.out = args.next().ok_or("--out needs a file path")?,
+            "--device" => {
+                let v = args.next().ok_or("--device needs a value")?;
+                match v.as_str() {
+                    "v100" | "a100" => opts.device = v,
+                    other => return Err(format!("unknown device `{other}` (v100|a100)")),
+                }
+            }
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.cfg.scale = match v.as_str() {
+                    "test" | "tiny" => Scale::Test,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--epochs" => {
+                opts.cfg.epochs = args
+                    .next()
+                    .ok_or("--epochs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad epoch count: {e}"))?;
+            }
+            "--seed" => {
+                opts.cfg.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--precision" => {
+                let v = args.next().ok_or("--precision needs a value")?;
+                opts.cfg.precision = gnnmark_tensor::half::Precision::parse(&v)
+                    .ok_or_else(|| format!("unknown precision `{v}` (fp32|fp16|bf16)"))?;
+            }
+            "--mode" => {
+                let v = args.next().ok_or("--mode needs a value")?;
+                opts.cfg.mode = match v.as_str() {
+                    "fullgraph" => gnnmark::TrainMode::FullGraph,
+                    "minibatch" => {
+                        gnnmark::TrainMode::Minibatch(gnnmark::MinibatchConfig::default())
+                    }
+                    other => return Err(format!("unknown mode `{other}` (fullgraph|minibatch)")),
+                };
+            }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.cfg.threads = Some(n);
+                gnnmark_tensor::par::set_threads(n);
+            }
+            "--history" => {
+                opts.history = Some(args.next().ok_or("--history needs a file path")?);
+            }
+            "--no-history" => opts.history = None,
+            "--max-ratio" => {
+                let r: f64 = args
+                    .next()
+                    .ok_or("--max-ratio needs a ratio")?
+                    .parse()
+                    .map_err(|e| format!("bad ratio: {e}"))?;
+                if !(r > 0.0 && r.is_finite()) {
+                    return Err("--max-ratio must be a positive number".to_string());
+                }
+                opts.max_ratio = r;
+            }
+            other if !other.starts_with('-') => opts.inputs.push(other.to_string()),
+            other => return Err(format!("unknown report flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn device_spec(name: &str) -> DeviceSpec {
+    match name {
+        "a100" => DeviceSpec::a100(),
+        _ => DeviceSpec::v100(),
+    }
+}
+
+fn run_from_artifacts(label: String, art: RunArtifacts, meta: Vec<(String, String)>) -> ReportRun {
+    let mut run = ReportRun::new(label, art.profile);
+    run.losses = art.losses;
+    run.steps_per_epoch = art.steps_per_epoch;
+    run.quality = art.quality.map(|(n, v)| (n.to_string(), v));
+    run.meta = meta;
+    run
+}
+
+/// The metrics snapshot restricted to the deterministic families.
+fn deterministic_metrics() -> Vec<(String, MetricValue)> {
+    metrics::snapshot()
+        .into_iter()
+        .filter(|(name, _)| {
+            DETERMINISTIC_METRIC_PREFIXES
+                .iter()
+                .any(|p| name.starts_with(p))
+        })
+        .collect()
+}
+
+/// Builds the report (without writing it). Returns the report plus the
+/// number of profiled runs it contains.
+///
+/// # Errors
+/// Unreadable or unparseable `.stream` inputs.
+pub fn build_report(opts: &ReportOpts) -> Result<(Report, usize), String> {
+    let mut report = Report::new("GNNMark characterization report");
+    let mut runs = 0usize;
+    if opts.inputs.is_empty() {
+        report.subtitle(format!(
+            "suite · scale {} · seed {} · {} epoch(s) · {} · {} · {}",
+            opts.cfg.scale.label(),
+            opts.cfg.seed,
+            opts.cfg.epochs,
+            opts.cfg.precision.as_str(),
+            opts.cfg.mode.key(),
+            opts.device,
+        ));
+        let suite = run_suite_resilient(&opts.cfg, &ResilienceConfig::default());
+        gnnmark::observability::collect_run_metrics(&suite);
+        for (kind, art) in suite.artifacts() {
+            runs += 1;
+            report.add_run(run_from_artifacts(
+                kind.label().to_string(),
+                art.clone(),
+                vec![
+                    ("mode".to_string(), opts.cfg.mode.key()),
+                    ("precision".to_string(), opts.cfg.precision.as_str().to_string()),
+                    ("device".to_string(), opts.device.clone()),
+                ],
+            ));
+        }
+        let missing = suite.missing();
+        if !missing.is_empty() {
+            let names: Vec<&str> = missing.iter().map(|k| k.label()).collect();
+            report.add_section(
+                "failures",
+                "Failed workloads",
+                format!(
+                    "<p class=\"fail\">Did not complete: {}.</p>",
+                    esc(&names.join(", "))
+                ),
+            );
+        }
+        report.set_metrics(deterministic_metrics());
+    } else {
+        report.subtitle(format!(
+            "replay · {} stream(s) · device {}",
+            opts.inputs.len(),
+            opts.device,
+        ));
+        let spec = device_spec(&opts.device);
+        for input in &opts.inputs {
+            let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let run = CapturedRun::from_bytes(&bytes)
+                .map_err(|e| format!("{input}: not a captured stream: {e}"))?;
+            let label = format!("{}@{}", run.meta.workload, opts.device);
+            let meta = vec![
+                ("stream".to_string(), input.clone()),
+                ("scale".to_string(), run.meta.scale.clone()),
+                ("mode".to_string(), run.meta.mode.clone()),
+                ("seed".to_string(), run.meta.seed.to_string()),
+                ("epochs".to_string(), run.meta.epochs.to_string()),
+            ];
+            let art = artifacts_from_replay(&run, &spec);
+            runs += 1;
+            report.add_run(run_from_artifacts(label, art, meta));
+        }
+    }
+    if let Some(history) = &opts.history {
+        let rows = load_history(Path::new(history));
+        if !rows.is_empty() {
+            report.set_history(rows, opts.max_ratio);
+        }
+    }
+    Ok((report, runs))
+}
+
+/// CLI entry point for `gnnmark report`; returns the process exit code.
+pub fn run_report(args: impl Iterator<Item = String>) -> i32 {
+    let opts = match parse_report_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match build_report(&opts) {
+        Ok((report, runs)) => {
+            let html = report.render();
+            if let Some(dir) = Path::new(&opts.out).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            if let Err(e) = std::fs::write(&opts.out, &html) {
+                eprintln!("error writing {}: {e}", opts.out);
+                return 1;
+            }
+            eprintln!(
+                "wrote {} ({} run(s), {} section(s), {} bytes)",
+                opts.out,
+                runs,
+                report.digest_lines().len(),
+                html.len(),
+            );
+            i32::from(runs == 0)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> impl Iterator<Item = String> {
+        s.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn flags_parse_and_reject_garbage() {
+        let opts = parse_report_args(argv(&[
+            "a.stream", "--out", "x.html", "--device", "a100", "--scale", "tiny",
+            "--seed", "7", "--no-history", "--max-ratio", "2.0",
+        ]))
+        .unwrap();
+        assert_eq!(opts.inputs, vec!["a.stream"]);
+        assert_eq!(opts.out, "x.html");
+        assert_eq!(opts.device, "a100");
+        assert_eq!(opts.cfg.scale, Scale::Test);
+        assert_eq!(opts.cfg.seed, 7);
+        assert!(opts.history.is_none());
+        assert!(parse_report_args(argv(&["--device", "h100"])).is_err());
+        assert!(parse_report_args(argv(&["--max-ratio", "-1"])).is_err());
+        assert!(parse_report_args(argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn replayed_stream_renders_deterministically() {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnmark_report_cli_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SuiteConfig::test();
+        let (_, captured) =
+            gnnmark::suite::run_workload_captured(gnnmark::WorkloadKind::Tlstm, &cfg).unwrap();
+        let stream_path = dir.join("tlstm.stream");
+        std::fs::write(&stream_path, captured.to_bytes()).unwrap();
+
+        let opts = ReportOpts {
+            inputs: vec![stream_path.to_string_lossy().into_owned()],
+            history: None,
+            ..ReportOpts::default()
+        };
+        let (a, runs_a) = build_report(&opts).unwrap();
+        let (b, runs_b) = build_report(&opts).unwrap();
+        assert_eq!(runs_a, 1);
+        assert_eq!(runs_b, 1);
+        assert_eq!(a.render(), b.render(), "same stream renders byte-identically");
+        let html = a.render();
+        assert!(html.contains("TLSTM@v100"));
+        assert!(html.contains("id=\"sec-roofline\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

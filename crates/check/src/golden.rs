@@ -9,6 +9,11 @@
 //!   deterministic.
 //! * `figures.csv` — an FNV-1a digest of every figure table's CSV
 //!   rendering, one `digest<TAB>title` line per table.
+//! * `report.csv` — an FNV-1a digest of every section of the HTML
+//!   characterization report (`gnnmark report`) rendered from the same
+//!   suite runs, one `digest<TAB>section` line per section. This is what
+//!   makes the report's byte-determinism an enforced property instead of
+//!   a convention.
 //!
 //! `verify_*` compares current output against the checked-in files and
 //! names the first diverging line; `--bless` regenerates the files after
@@ -220,6 +225,34 @@ pub fn check_figures(runs: &[RunArtifacts], dir: &Path, bless: bool) -> Result<G
     check_lines("figures", "table digest", &dir.join("figures.csv"), &current, bless)
 }
 
+/// The runs-only HTML report the golden layer gates: every suite
+/// workload, no metrics snapshot and no perf history — those panels
+/// render live data and are deliberately outside the digest.
+pub fn report_for_runs(runs: &[RunArtifacts]) -> gnnmark_report::Report {
+    let mut report = gnnmark_report::Report::new("GNNMark golden report");
+    for art in runs {
+        let mut run =
+            gnnmark_report::ReportRun::new(art.profile.name.clone(), art.profile.clone());
+        run.losses = art.losses.clone();
+        run.steps_per_epoch = art.steps_per_epoch;
+        run.quality = art.quality.map(|(n, v)| (n.to_string(), v));
+        report.add_run(run);
+    }
+    report
+}
+
+/// Verifies (or blesses) the HTML-report section digests at
+/// `<dir>/report.csv`. On mismatch, the report names the first diverging
+/// section id — so a moved digest points straight at the panel that
+/// changed.
+///
+/// # Errors
+/// Fails only on filesystem errors while blessing.
+pub fn check_report(runs: &[RunArtifacts], dir: &Path, bless: bool) -> Result<GoldenReport> {
+    let current = report_for_runs(runs).digest_lines();
+    check_lines("report", "section digest", &dir.join("report.csv"), &current, bless)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,7 +281,23 @@ mod tests {
         assert!(blessed.ok && blessed.blessed);
         let verified = check_figures(&runs, &dir, false).unwrap();
         assert!(verified.ok, "{}", verified.detail);
+
+        let blessed = check_report(&runs, &dir, true).unwrap();
+        assert!(blessed.ok && blessed.blessed);
+        let verified = check_report(&runs, &dir, false).unwrap();
+        assert!(verified.ok, "{}", verified.detail);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_digest_is_stable_across_renders() {
+        let cfg = SuiteConfig::test();
+        let art = run_workload_full(WorkloadKind::Tlstm, &cfg).unwrap();
+        let runs = [art];
+        let a = report_for_runs(&runs).digest_lines();
+        let b = report_for_runs(&runs).digest_lines();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "report digests must be deterministic");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # gnnmark-check
 //!
 //! The suite's verification subsystem, run as `gnnmark check`. It
-//! validates the stack at three layers:
+//! validates the stack at five layers:
 //!
 //! 1. **Gradient checks** ([`gradcheck`], [`workload`]) — a central
 //!    finite-difference harness compares every differentiable op's
@@ -19,6 +19,10 @@
 //!    the fanout-sampled gather/index-select path, bit-exact
 //!    full-coverage parity against full-graph training, and minibatch
 //!    golden op streams under `results/golden/opstream-minibatch/`.
+//! 5. **Report rendering** ([`golden::check_report`]) — per-section FNV
+//!    digests of the HTML characterization report rendered from the same
+//!    suite runs, gated against `results/golden/report.csv`, which keeps
+//!    `gnnmark report` byte-deterministic.
 //!
 //! See `docs/VERIFICATION.md` for tolerances and workflow.
 
@@ -103,7 +107,7 @@ impl CheckOutcome {
     }
 }
 
-/// Runs all three verification layers and collects the report.
+/// Runs all verification layers and collects the report.
 ///
 /// Golden snapshots are only meaningful at the test (tiny) scale — the
 /// checked-in files are generated there — so the snapshot layer is
@@ -180,6 +184,15 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckOutcome> {
     } else {
         out.lines
             .push("(snapshots skipped: goldens are generated at the tiny scale)".to_string());
+    }
+
+    out.lines.push("== layer 5: report rendering ==".to_string());
+    if cfg.scale == Scale::Test {
+        let r = golden::check_report(&runs, &cfg.golden_dir, cfg.bless)?;
+        out.record(r.ok, r.line());
+    } else {
+        out.lines
+            .push("(skipped: goldens are generated at the tiny scale)".to_string());
     }
 
     Ok(out)

@@ -211,6 +211,12 @@ pub struct WorkloadProfile {
     pub h2d_compressed_bytes: u64,
     /// Training steps profiled.
     pub steps: u64,
+    /// Kernel launches per training step, in step order. Indexing
+    /// [`WorkloadProfile::kernels`] by these counts recovers each step's
+    /// kernel slice (the basis of the report timeline panel). Empty for
+    /// profiles built before per-step tracking, and may not cover a
+    /// trailing aborted step salvaged by `finish_partial`.
+    pub step_kernels: Vec<u32>,
 }
 
 impl WorkloadProfile {
@@ -220,6 +226,7 @@ impl WorkloadProfile {
         kernels: Vec<KernelMetrics>,
         transfers: TransferEngine,
         steps: u64,
+        step_kernels: Vec<u32>,
     ) -> Self {
         let mut per_class: BTreeMap<FigureCategory, ClassStats> = BTreeMap::new();
         let mut instr = InstructionMix::default();
@@ -242,7 +249,22 @@ impl WorkloadProfile {
             h2d_bytes: transfers.total_h2d_bytes(),
             h2d_compressed_bytes: transfers.total_h2d_compressed_bytes(),
             steps,
+            step_kernels,
         }
+    }
+
+    /// Modeled kernel time of each training step, ns, in step order —
+    /// [`WorkloadProfile::kernels`] sliced by [`WorkloadProfile::step_kernels`].
+    /// Empty when per-step counts were not recorded.
+    pub fn step_times_ns(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.step_kernels.len());
+        let mut off = 0usize;
+        for &n in &self.step_kernels {
+            let end = (off + n as usize).min(self.kernels.len());
+            out.push(self.kernels[off..end].iter().map(|k| k.time_ns).sum());
+            off = end;
+        }
+        out
     }
 
     /// Total modeled kernel time, ns.

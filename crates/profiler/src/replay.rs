@@ -35,7 +35,14 @@ pub fn replay_profile(
         };
         transfers.record_raw(direction, t.bytes, t.zeros, t.elements);
     }
-    WorkloadProfile::build(name.into(), spec, kernels, transfers, stream.steps())
+    WorkloadProfile::build(
+        name.into(),
+        spec,
+        kernels,
+        transfers,
+        stream.steps(),
+        stream.per_step.clone(),
+    )
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ pub struct ProfileSession {
     transfers: TransferEngine,
     kernels: Vec<KernelMetrics>,
     steps: u64,
+    step_kernels: Vec<u32>,
     in_step: bool,
     modeled_ns: f64,
     capture: Option<CapturedStream>,
@@ -37,6 +38,7 @@ impl ProfileSession {
             transfers,
             kernels: Vec::new(),
             steps: 0,
+            step_kernels: Vec::new(),
             in_step: false,
             modeled_ns: 0.0,
             capture: None,
@@ -78,6 +80,7 @@ impl ProfileSession {
         self.in_step = false;
         self.steps += 1;
         let events = record::stop_recording();
+        self.step_kernels.push(events.len() as u32);
         if let Some(cap) = self.capture.as_mut() {
             cap.push_step(&events);
         }
@@ -150,6 +153,7 @@ impl ProfileSession {
             self.kernels,
             self.transfers,
             self.steps,
+            self.step_kernels,
         )
     }
 

@@ -1,0 +1,77 @@
+//! HTML building blocks: escaping, tables, and the inline stylesheet.
+//!
+//! Everything the report emits is assembled from these helpers so the
+//! output stays a single self-contained file — no external CSS, JS,
+//! fonts, or images, and nothing non-deterministic.
+
+use std::fmt::Write as _;
+
+/// Escapes text for an HTML body or attribute value.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a plain data table. `rows` cells are escaped; the first column
+/// is rendered as a row header.
+pub fn html_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table>\n<thead><tr>");
+    for h in headers {
+        let _ = write!(out, "<th>{}</th>", esc(h));
+    }
+    out.push_str("</tr></thead>\n<tbody>\n");
+    for row in rows {
+        out.push_str("<tr>");
+        for (i, cell) in row.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, "<th>{}</th>", esc(cell));
+            } else {
+                let _ = write!(out, "<td>{}</td>", esc(cell));
+            }
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</tbody>\n</table>\n");
+    out
+}
+
+/// The report stylesheet, inlined into every page.
+pub(crate) const CSS: &str = "\
+body{font-family:-apple-system,'Segoe UI',Roboto,Helvetica,Arial,sans-serif;\
+margin:0;background:#f6f7f9;color:#1c2733}\
+header{background:#1c2733;color:#fff;padding:14px 28px}\
+header h1{margin:0;font-size:20px;font-weight:600}\
+header p{margin:4px 0 0;color:#9fb0c0;font-size:13px}\
+nav{background:#fff;border-bottom:1px solid #dde3ea;padding:8px 28px;\
+font-size:13px;position:sticky;top:0}\
+nav a{color:#2563a8;text-decoration:none;margin-right:14px}\
+main{padding:18px 28px;max-width:1180px}\
+section{background:#fff;border:1px solid #dde3ea;border-radius:6px;\
+padding:14px 18px;margin-bottom:18px}\
+section h2{margin:0 0 10px;font-size:16px;border-bottom:1px solid #eef1f5;\
+padding-bottom:6px}\
+section h3{margin:12px 0 6px;font-size:13px;color:#44556a}\
+table{border-collapse:collapse;font-size:12.5px;margin:6px 0}\
+th,td{border:1px solid #e2e7ee;padding:3px 9px;text-align:right}\
+th{background:#f0f3f7;font-weight:600}\
+tbody th{text-align:left}\
+svg{display:block}\
+svg text{font-family:inherit}\
+.row{display:flex;flex-wrap:wrap;gap:18px;align-items:flex-start}\
+.note{color:#5b6b7c;font-size:12px;margin:6px 0}\
+.ok{color:#1a7f37;font-weight:600}\
+.fail{color:#b42318;font-weight:600}\
+.legend{font-size:11.5px;color:#44556a;margin:4px 0}\
+.legend span{margin-right:12px}\
+.swatch{display:inline-block;width:9px;height:9px;border-radius:2px;\
+margin-right:4px}";

@@ -13,10 +13,12 @@
 //! |--------|-----------------------------|------------------------------------------|
 //! | GET    | `/healthz`                  | liveness probe (`ok`)                    |
 //! | GET    | `/metrics`                  | Prometheus text exposition               |
+//! | GET    | `/dashboard`                | live HTML fleet dashboard                |
 //! | GET    | `/jobs`                     | all jobs, id-ordered JSON array          |
 //! | POST   | `/jobs`                     | submit one replay job (JSON body)        |
 //! | POST   | `/campaigns`                | submit a campaign spec (JSON body)       |
 //! | GET    | `/jobs/<id>`                | job status JSON                          |
+//! | GET    | `/jobs/<id>/report`         | HTML characterization report             |
 //! | GET    | `/jobs/<id>/artifacts`      | artifact name list JSON                  |
 //! | GET    | `/jobs/<id>/artifacts/<n>`  | one artifact body (CSV or JSON)          |
 //!
@@ -287,6 +289,15 @@ impl Response {
         }
     }
 
+    fn html(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/html; charset=utf-8",
+            body,
+            retry_after: None,
+        }
+    }
+
     fn error(status: u16, msg: &str) -> Response {
         Self::json(
             status,
@@ -369,6 +380,17 @@ fn handle(daemon: &Daemon, method: &str, path: &str, body: &str) -> Response {
             body: metrics_prometheus(&metrics::snapshot()),
             retry_after: None,
         },
+        ("GET", "/dashboard") => {
+            let _ = daemon.store.refresh();
+            Response::html(
+                200,
+                crate::dashboard::dashboard_page(
+                    &daemon.store.jobs(),
+                    daemon.draining(),
+                    daemon.leases.worker_id(),
+                ),
+            )
+        }
         ("GET", "/jobs") => {
             let _ = daemon.store.refresh();
             let rows: Vec<String> = daemon
@@ -416,6 +438,10 @@ fn handle(daemon: &Daemon, method: &str, path: &str, body: &str) -> Response {
             };
             match tail {
                 "" => Response::json(200, job_status_json(&job)),
+                "report" => match crate::dashboard::job_report_page(&job, &daemon.cache) {
+                    Ok(html) => Response::html(200, html),
+                    Err(e) => Response::error(500, &e),
+                },
                 "artifacts" => {
                     let names: Vec<String> = job
                         .artifacts
@@ -452,6 +478,30 @@ fn handle(daemon: &Daemon, method: &str, path: &str, body: &str) -> Response {
             }
         }
         _ => Response::error(404, "unknown route"),
+    }
+}
+
+/// Collapses a request path onto a fixed route label so the per-route
+/// latency histograms stay bounded-cardinality no matter what ids or
+/// artifact names clients ask for.
+fn route_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "GET /healthz",
+        ("GET", "/metrics") => "GET /metrics",
+        ("GET", "/dashboard") => "GET /dashboard",
+        ("GET", "/jobs") => "GET /jobs",
+        ("POST", "/jobs") => "POST /jobs",
+        ("POST", "/campaigns") => "POST /campaigns",
+        ("GET", p) if p.starts_with("/jobs/") => {
+            let rest = &p["/jobs/".len()..];
+            match rest.find('/').map(|i| &rest[i + 1..]) {
+                None => "GET /jobs/:id",
+                Some("report") => "GET /jobs/:id/report",
+                Some("artifacts") => "GET /jobs/:id/artifacts",
+                Some(_) => "GET /jobs/:id/artifacts/:name",
+            }
+        }
+        _ => "other",
     }
 }
 
@@ -494,6 +544,7 @@ fn write_response(stream: &mut TcpStream, r: &Response) -> std::io::Result<()> {
         400 => "Bad Request",
         404 => "Not Found",
         408 => "Request Timeout",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Error",
     };
@@ -520,14 +571,17 @@ fn handle_connection(daemon: &Daemon, stream: &mut TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let started = Instant::now();
-    let resp = match read_request(stream) {
-        Ok((method, path, body)) => handle(daemon, &method, &path, &body),
+    let (route, resp) = match read_request(stream) {
+        Ok((method, path, body)) => (
+            route_label(&method, &path),
+            handle(daemon, &method, &path, &body),
+        ),
         Err(e)
             if e.kind() == std::io::ErrorKind::WouldBlock
                 || e.kind() == std::io::ErrorKind::TimedOut =>
         {
             metrics::counter_add("gnnmark_serve_read_timeouts_total", 1);
-            Response::error(408, "timed out reading request")
+            ("timeout", Response::error(408, "timed out reading request"))
         }
         Err(_) => return, // client went away mid-request
     };
@@ -541,6 +595,13 @@ fn handle_connection(daemon: &Daemon, stream: &mut TcpStream) {
     metrics::observe(
         "gnnmark_serve_request_seconds",
         started.elapsed().as_secs_f64(),
+    );
+    // Fixed-boundary per-route histogram: the dashboard's SLO panel and
+    // `gnnmark loadtest` quantiles both read these exact buckets.
+    metrics::observe_bucketed(
+        &format!("gnnmark_serve_route_seconds{{route=\"{route}\"}}"),
+        started.elapsed().as_secs_f64(),
+        metrics::LATENCY_BUCKETS_S,
     );
     let _ = write_response(stream, &resp);
 }
@@ -733,7 +794,66 @@ mod tests {
         assert_eq!(handle(&daemon, "GET", "/jobs/0", "").status, 200);
         assert_eq!(handle(&daemon, "GET", "/jobs", "").status, 200);
         assert_eq!(handle(&daemon, "GET", "/metrics", "").status, 200);
+        // The dashboard keeps serving too, and shows the drain state.
+        let dash = handle(&daemon, "GET", "/dashboard", "");
+        assert_eq!(dash.status, 200);
+        assert!(dash.body.contains("draining"), "dashboard surfaces drain state");
+        assert_eq!(handle(&daemon, "GET", "/jobs/0/report", "").status, 200);
         let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
+    }
+
+    #[test]
+    fn dashboard_and_job_report_routes_serve_html() {
+        let daemon = test_daemon("dash");
+        let dash = handle(&daemon, "GET", "/dashboard", "");
+        assert_eq!(dash.status, 200);
+        assert_eq!(dash.content_type, "text/html; charset=utf-8");
+        assert!(dash.body.starts_with("<!DOCTYPE html>"));
+        assert!(dash.body.contains("No jobs submitted yet"));
+        // A report on a job that does not exist is a 404, not a blank page.
+        assert_eq!(handle(&daemon, "GET", "/jobs/0/report", "").status, 404);
+        assert_eq!(handle(&daemon, "POST", "/jobs", r#"{"workload":"TLSTM"}"#).status, 202);
+        let rep = handle(&daemon, "GET", "/jobs/0/report", "");
+        assert_eq!(rep.status, 200);
+        assert_eq!(rep.content_type, "text/html; charset=utf-8");
+        assert!(rep.body.contains("id=\"sec-job\""), "{}", rep.body);
+        // The fleet table now links to the job's report.
+        let dash = handle(&daemon, "GET", "/dashboard", "");
+        assert!(dash.body.contains("href=\"/jobs/0/report\""));
+        let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
+    }
+
+    #[test]
+    fn content_types_match_bodies() {
+        let daemon = test_daemon("ctype");
+        let expect = [
+            ("/healthz", "text/plain; charset=utf-8"),
+            ("/metrics", "text/plain; version=0.0.4"),
+            ("/jobs", "application/json"),
+            ("/dashboard", "text/html; charset=utf-8"),
+        ];
+        for (path, ctype) in expect {
+            assert_eq!(handle(&daemon, "GET", path, "").content_type, ctype, "{path}");
+        }
+        // Errors are JSON envelopes.
+        assert_eq!(
+            handle(&daemon, "GET", "/nope", "").content_type,
+            "application/json"
+        );
+        let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
+    }
+
+    #[test]
+    fn route_labels_collapse_ids_and_names() {
+        assert_eq!(route_label("GET", "/jobs/17"), "GET /jobs/:id");
+        assert_eq!(route_label("GET", "/jobs/17/report"), "GET /jobs/:id/report");
+        assert_eq!(route_label("GET", "/jobs/17/artifacts"), "GET /jobs/:id/artifacts");
+        assert_eq!(
+            route_label("GET", "/jobs/17/artifacts/v100/figure7.csv"),
+            "GET /jobs/:id/artifacts/:name"
+        );
+        assert_eq!(route_label("GET", "/dashboard"), "GET /dashboard");
+        assert_eq!(route_label("DELETE", "/jobs/17"), "other");
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //! * [`http`] — a dependency-free HTTP/1.1 daemon on
 //!   `std::net::TcpListener` (`gnnmark serve --addr`): submit jobs and
 //!   campaigns, poll status, fetch figure-CSV artifacts, scrape
-//!   `/metrics` in Prometheus format. On SIGINT/SIGTERM it drains:
+//!   `/metrics` in Prometheus format, watch the live HTML fleet
+//!   dashboard at `/dashboard`, and read per-job characterization
+//!   reports at `/jobs/<id>/report` (both rendered by
+//!   `gnnmark-report`). On SIGINT/SIGTERM it drains:
 //!   reads keep working, new submissions get `503 Retry-After`, and the
 //!   WAL is compacted on exit.
 //! * [`loadtest`] — an open/closed-loop SLO load harness
@@ -43,6 +46,7 @@
 
 pub mod cache;
 pub mod campaign;
+mod dashboard;
 pub mod http;
 pub mod lease;
 pub mod loadtest;

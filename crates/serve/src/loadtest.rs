@@ -203,6 +203,14 @@ impl Tally {
             metrics::counter_add("gnnmark_loadtest_errors_total", 1);
         }
         metrics::observe("gnnmark_loadtest_latency_seconds", latency_ms / 1e3);
+        // Same fixed boundaries as the server-side per-route histograms,
+        // so client-observed and server-observed quantiles line up on the
+        // dashboard's SLO panel.
+        metrics::observe_bucketed(
+            "gnnmark_loadtest_latency_bucketed_seconds",
+            latency_ms / 1e3,
+            metrics::LATENCY_BUCKETS_S,
+        );
     }
 }
 

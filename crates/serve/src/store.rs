@@ -208,7 +208,7 @@ pub struct StoredJob {
 }
 
 impl StoredJob {
-    fn new(id: u64, name: String, spec_json: String) -> StoredJob {
+    pub(crate) fn new(id: u64, name: String, spec_json: String) -> StoredJob {
         StoredJob {
             id,
             name,

@@ -59,6 +59,18 @@ pub fn metrics_json(snapshot: &[(String, MetricValue)]) -> String {
                     json_number(*max)
                 );
             }
+            MetricValue::Buckets { .. } => {
+                let (bounds, counts, count, sum) = value.as_buckets().expect("buckets variant");
+                let _ = write!(out, "{{\"count\": {count}, \"sum\": {}, \"le\": [", json_number(sum));
+                for (i, b) in bounds.iter().enumerate() {
+                    let _ = write!(out, "{}{}", if i > 0 { ", " } else { "" }, json_number(*b));
+                }
+                out.push_str("], \"buckets\": [");
+                for (i, c) in counts.iter().enumerate() {
+                    let _ = write!(out, "{}{c}", if i > 0 { ", " } else { "" });
+                }
+                out.push_str("]}");
+            }
         }
         out.push_str(if i + 1 < snapshot.len() { ",\n" } else { "\n" });
     }
@@ -108,9 +120,40 @@ pub fn metrics_prometheus(snapshot: &[(String, MetricValue)]) -> String {
                 let _ = writeln!(out, "{base}_min{labels} {min}");
                 let _ = writeln!(out, "{base}_max{labels} {max}");
             }
+            MetricValue::Buckets { .. } => {
+                let (bounds, counts, count, sum) = value.as_buckets().expect("buckets variant");
+                if base != last_typed {
+                    let _ = writeln!(out, "# TYPE {base} histogram");
+                    last_typed = base.to_string();
+                }
+                let mut cumulative = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cumulative += c;
+                    let le = if i < bounds.len() {
+                        format!("{}", bounds[i])
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    let le_labels = merge_le_label(labels, &le);
+                    let _ = writeln!(out, "{base}_bucket{le_labels} {cumulative}");
+                }
+                let _ = writeln!(out, "{base}_sum{labels} {sum}");
+                let _ = writeln!(out, "{base}_count{labels} {count}");
+            }
         }
     }
     out
+}
+
+/// Splices an `le="…"` label into an existing (possibly empty) label set:
+/// `` + `0.5` → `{le="0.5"}`, `{route="/jobs"}` + `0.5` →
+/// `{route="/jobs",le="0.5"}`.
+fn merge_le_label(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
 }
 
 /// One workload's row in the run manifest.
@@ -663,6 +706,45 @@ mod tests {
         assert!(text.contains("gnnmark_par_worker_busy_ms{worker=\"0\"} 12.5"));
         assert!(text.contains("gnnmark_epoch_wall_ms_count 2"));
         assert!(text.contains("gnnmark_epoch_wall_ms_sum 30"));
+    }
+
+    fn bucket_value() -> MetricValue {
+        static BOUNDS: &[f64] = &[0.1, 0.5];
+        let mut counts = [0u64; crate::metrics::MAX_BUCKETS + 1];
+        counts[0] = 3;
+        counts[1] = 1;
+        counts[2] = 2;
+        MetricValue::Buckets { bounds: BOUNDS, counts, count: 6, sum: 11.0 }
+    }
+
+    #[test]
+    fn prometheus_renders_cumulative_buckets() {
+        let snap = vec![(
+            "gnnmark_serve_route_seconds{route=\"/jobs\"}".to_string(),
+            bucket_value(),
+        )];
+        let text = metrics_prometheus(&snap);
+        assert!(text.contains("# TYPE gnnmark_serve_route_seconds histogram"));
+        assert!(
+            text.contains("gnnmark_serve_route_seconds_bucket{route=\"/jobs\",le=\"0.1\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("gnnmark_serve_route_seconds_bucket{route=\"/jobs\",le=\"0.5\"} 4"));
+        assert!(text.contains("gnnmark_serve_route_seconds_bucket{route=\"/jobs\",le=\"+Inf\"} 6"));
+        assert!(text.contains("gnnmark_serve_route_seconds_sum{route=\"/jobs\"} 11"));
+        assert!(text.contains("gnnmark_serve_route_seconds_count{route=\"/jobs\"} 6"));
+        // Unlabelled series get a bare {le="…"} set.
+        let text = metrics_prometheus(&[("plain_seconds".to_string(), bucket_value())]);
+        assert!(text.contains("plain_seconds_bucket{le=\"+Inf\"} 6"), "{text}");
+    }
+
+    #[test]
+    fn json_renders_buckets_validly() {
+        let snap = vec![("plain_seconds".to_string(), bucket_value())];
+        let json = metrics_json(&snap);
+        validate_json(&json).expect("bucket JSON parses");
+        assert!(json.contains("\"le\": [0.1, 0.5]"), "{json}");
+        assert!(json.contains("\"buckets\": [3, 1, 2"), "{json}");
     }
 
     #[test]

@@ -15,6 +15,19 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+/// Maximum number of *finite* bucket bounds a bucketed histogram holds
+/// (the implicit `+Inf` bucket rides in one extra slot). Fixed so
+/// [`MetricValue`] stays `Copy`.
+pub const MAX_BUCKETS: usize = 16;
+
+/// The shared request-latency bucket boundaries, seconds. Both the serve
+/// daemon's per-route histograms and `gnnmark loadtest` observe into
+/// these, so dashboard and SLO-harness quantiles come from one counter
+/// family.
+pub const LATENCY_BUCKETS_S: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
 /// One metric's current value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MetricValue {
@@ -32,6 +45,20 @@ pub enum MetricValue {
         min: f64,
         /// Largest sample.
         max: f64,
+    },
+    /// Fixed-boundary bucketed histogram (Prometheus `histogram` type).
+    Buckets {
+        /// Ascending finite upper bounds; samples ≤ `bounds[i]` land in
+        /// bucket `i`, the rest in the implicit `+Inf` bucket at
+        /// `counts[bounds.len()]`.
+        bounds: &'static [f64],
+        /// Per-bucket (non-cumulative) sample counts; only the first
+        /// `bounds.len() + 1` slots are meaningful.
+        counts: [u64; MAX_BUCKETS + 1],
+        /// Number of samples observed.
+        count: u64,
+        /// Sum of all samples.
+        sum: f64,
     },
 }
 
@@ -62,6 +89,47 @@ impl MetricValue {
             }
             _ => None,
         }
+    }
+
+    /// Bucketed histogram as `(bounds, per-bucket counts, count, sum)`
+    /// where `counts.len() == bounds.len() + 1` (last slot is `+Inf`), or
+    /// `None` for other variants.
+    pub fn as_buckets(&self) -> Option<(&'static [f64], &[u64], u64, f64)> {
+        match self {
+            MetricValue::Buckets { bounds, counts, count, sum } => {
+                Some((bounds, &counts[..bounds.len() + 1], *count, *sum))
+            }
+            _ => None,
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) of a bucketed histogram:
+    /// nearest-rank bucket selection with linear interpolation inside the
+    /// bucket, the same estimate Prometheus' `histogram_quantile` makes.
+    /// Samples in the `+Inf` bucket clamp to the largest finite bound.
+    /// `None` for non-bucketed variants or when no samples were observed.
+    pub fn bucket_quantile(&self, q: f64) -> Option<f64> {
+        let (bounds, counts, count, _) = self.as_buckets()?;
+        if count == 0 || bounds.is_empty() {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let prev_seen = seen;
+            seen += c;
+            if seen >= rank {
+                let upper = if i < bounds.len() {
+                    bounds[i]
+                } else {
+                    return Some(bounds[bounds.len() - 1]);
+                };
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let into = (rank - prev_seen) as f64 / c as f64;
+                return Some(lower + (upper - lower) * into);
+            }
+        }
+        Some(bounds[bounds.len() - 1])
     }
 }
 
@@ -109,6 +177,41 @@ pub fn observe(name: &str, sample: f64) {
             reg.insert(
                 name.to_string(),
                 MetricValue::Histogram { count: 1, sum: sample, min: sample, max: sample },
+            );
+        }
+    }
+}
+
+/// Folds one sample into the named fixed-bucket histogram. `bounds` must
+/// be ascending, non-empty, and at most [`MAX_BUCKETS`] long (the shared
+/// [`LATENCY_BUCKETS_S`] set satisfies all three); the first observation
+/// pins the bucket layout and later calls reuse it.
+pub fn observe_bucketed(name: &str, sample: f64, bounds: &'static [f64]) {
+    assert!(
+        !bounds.is_empty() && bounds.len() <= MAX_BUCKETS,
+        "observe_bucketed: 1..={MAX_BUCKETS} bounds required"
+    );
+    let mut reg = REGISTRY.lock().unwrap();
+    match reg.get_mut(name) {
+        Some(MetricValue::Buckets { bounds, counts, count, sum }) => {
+            let idx = bounds
+                .iter()
+                .position(|&b| sample <= b)
+                .unwrap_or(bounds.len());
+            counts[idx] += 1;
+            *count += 1;
+            *sum += sample;
+        }
+        _ => {
+            let mut counts = [0u64; MAX_BUCKETS + 1];
+            let idx = bounds
+                .iter()
+                .position(|&b| sample <= b)
+                .unwrap_or(bounds.len());
+            counts[idx] = 1;
+            reg.insert(
+                name.to_string(),
+                MetricValue::Buckets { bounds, counts, count: 1, sum: sample },
             );
         }
     }
@@ -188,6 +291,46 @@ mod tests {
         // Accessors on the wrong variant degrade to defaults, not panics.
         assert_eq!(get("t5_g").unwrap().as_counter(), 0);
         assert!(get("t5_c").unwrap().as_histogram().is_none());
+    }
+
+    #[test]
+    fn bucketed_histograms_count_per_bucket() {
+        let bounds: &[f64] = &[0.1, 1.0, 10.0];
+        observe_bucketed("t6_lat", 0.05, bounds);
+        observe_bucketed("t6_lat", 0.5, bounds);
+        observe_bucketed("t6_lat", 0.7, bounds);
+        observe_bucketed("t6_lat", 99.0, bounds);
+        let v = get("t6_lat").unwrap();
+        let (b, counts, count, sum) = v.as_buckets().unwrap();
+        assert_eq!(b, bounds);
+        assert_eq!(counts, [1, 2, 0, 1]);
+        assert_eq!(count, 4);
+        assert!((sum - 100.25).abs() < 1e-9);
+        // Non-bucket variants return None.
+        observe("t6_plain", 1.0);
+        assert!(get("t6_plain").unwrap().as_buckets().is_none());
+    }
+
+    #[test]
+    fn bucket_quantiles_interpolate() {
+        let bounds: &[f64] = &[0.1, 1.0];
+        for _ in 0..9 {
+            observe_bucketed("t7_lat", 0.05, bounds);
+        }
+        observe_bucketed("t7_lat", 0.5, bounds);
+        let v = get("t7_lat").unwrap();
+        // p50 lands mid-way through the first bucket (rank 5 of 9 samples).
+        let p50 = v.bucket_quantile(0.5).unwrap();
+        assert!(p50 > 0.0 && p50 <= 0.1, "p50 {p50}");
+        // p99 → rank 10, the lone sample in (0.1, 1.0].
+        let p99 = v.bucket_quantile(0.99).unwrap();
+        assert!(p99 > 0.1 && p99 <= 1.0, "p99 {p99}");
+        // +Inf samples clamp to the top finite bound.
+        observe_bucketed("t7_inf", 5.0, bounds);
+        assert_eq!(get("t7_inf").unwrap().bucket_quantile(0.5), Some(1.0));
+        // Empty / wrong-variant → None.
+        observe("t7_plain", 1.0);
+        assert!(get("t7_plain").unwrap().bucket_quantile(0.5).is_none());
     }
 
     #[test]
