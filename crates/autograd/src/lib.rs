@@ -33,11 +33,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod amp;
+pub mod nograd;
 mod optim;
 mod param;
 mod tape;
 mod var_ops;
 
+pub use nograd::NoGradGuard;
 pub use optim::{set_thread_grad_clip, thread_grad_clip, Adam, Optimizer, Sgd};
 pub use param::{Param, ParamSet};
 pub use tape::{

@@ -1,0 +1,121 @@
+//! Inference-mode guard: a thread-local flag that turns any autograd tape
+//! activity into a hard error.
+//!
+//! Forward-only inference (`gnnmark infer`) must never allocate tape nodes
+//! — the whole point of the fast path is that no activation is retained and
+//! no backward graph exists. A silent `Tape::push` (via a stray `Var` op or
+//! `tape.constant`) would quietly re-grow the tape and invalidate the
+//! zero-allocation accounting the inference metrics assert on. With a
+//! [`NoGradGuard`] installed, [`crate::Tape`] panics on any push or
+//! backward instead.
+//!
+//! The flag is thread-local, matching the tape itself (tapes are `!Send`
+//! and the suite runs one workload per thread), and the guard is RAII with
+//! panic-safe restore, like `PrecisionGuard`.
+
+use std::cell::Cell;
+
+thread_local! {
+    static INFERENCE_MODE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` while a [`NoGradGuard`] is alive on this thread.
+pub fn active() -> bool {
+    INFERENCE_MODE.with(Cell::get)
+}
+
+/// RAII guard enabling inference mode on the current thread for its
+/// lifetime. Nesting is allowed; the previous state is restored on drop
+/// (including during unwinding, so a panicking inference run cannot leak
+/// the mode into the next workload on a pooled thread).
+#[derive(Debug)]
+pub struct NoGradGuard {
+    prev: bool,
+}
+
+impl NoGradGuard {
+    /// Enters inference mode on this thread.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let prev = INFERENCE_MODE.with(|f| f.replace(true));
+        NoGradGuard { prev }
+    }
+}
+
+impl Drop for NoGradGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        INFERENCE_MODE.with(|f| f.set(prev));
+    }
+}
+
+/// Panics when inference mode is active — the choke point [`crate::Tape`]
+/// calls from `push` and `backward`.
+pub(crate) fn forbid(what: &str) {
+    assert!(
+        !active(),
+        "autograd {what} inside inference mode (NoGradGuard active): \
+         forward-only execution must use tensor-level ops, not the tape"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+    use gnnmark_tensor::Tensor;
+
+    #[test]
+    fn guard_toggles_and_restores() {
+        assert!(!active());
+        {
+            let _g = NoGradGuard::new();
+            assert!(active());
+            {
+                let _inner = NoGradGuard::new();
+                assert!(active());
+            }
+            assert!(active(), "nested drop restores the outer guard's state");
+        }
+        assert!(!active());
+    }
+
+    #[test]
+    fn tape_works_again_after_guard_drops() {
+        {
+            let _g = NoGradGuard::new();
+        }
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2]));
+        let s = x.sum_all();
+        tape.backward(&s).unwrap();
+        assert_eq!(x.grad().unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inference mode")]
+    fn tape_push_is_a_hard_error_under_guard() {
+        let _g = NoGradGuard::new();
+        let tape = Tape::new();
+        let _ = tape.constant(Tensor::ones(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inference mode")]
+    fn var_op_is_a_hard_error_under_guard() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2]));
+        let _g = NoGradGuard::new();
+        let _ = x.square();
+    }
+
+    #[test]
+    #[should_panic(expected = "inference mode")]
+    fn backward_is_a_hard_error_under_guard() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2]));
+        let s = x.sum_all();
+        let _g = NoGradGuard::new();
+        let _ = tape.backward(&s);
+    }
+}

@@ -115,6 +115,7 @@ impl Tape {
         backward: Option<BackwardFn>,
         param: Option<Param>,
     ) -> Var {
+        crate::nograd::forbid("tape push");
         NODES_RECORDED.fetch_add(1, Ordering::Relaxed);
         // Under reduced thread precision every activation is rounded through
         // 16-bit storage as it lands on the tape ("round-on-store"): the
@@ -172,6 +173,7 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` belongs to a different tape.
     pub fn backward(&self, loss: &Var) -> Result<()> {
+        crate::nograd::forbid("backward");
         assert!(
             Rc::ptr_eq(&self.inner, &loss.tape),
             "loss Var belongs to a different tape"

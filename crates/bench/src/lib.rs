@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod infer_cli;
 pub mod report_cli;
 
 use gnnmark::resilience::{run_suite_resilient, ResilienceConfig, SuiteReport};
@@ -24,10 +25,10 @@ use gnnmark::{figures, Result, Table, WorkloadKind};
 /// Every figure target the CLI and benches expose, plus one
 /// single-workload target per paper workload (lower-cased label, e.g.
 /// `gnnmark stgcn`) for focused profiling/observability runs.
-pub const TARGETS: [&str; 30] = [
+pub const TARGETS: [&str; 31] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "roofline", "convergence", "summary", "suite", "ablations", "modecmp", "check", "all",
-    "list", "serve", "sweep", "report",
+    "list", "serve", "sweep", "report", "infer",
     "psage-mvl", "psage-nwp", "stgcn", "dgcn", "gw", "kgnnl", "kgnnh", "arga", "tlstm",
 ];
 

@@ -17,8 +17,15 @@
 //!               [--store DIR] [--worker-id ID] [--lease-ttl SECS]
 //! gnnmark loadtest [--addr HOST:PORT] [--path P] [--rps R] [--concurrency N]
 //!                  [--duration SECS] [--error-budget F] [--saturation-probe SECS]
-//!                  [--out FILE] [--csv FILE]
+//!                  [--out FILE] [--csv FILE] [--submit JSON]
 //!                  [--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]
+//! gnnmark loadtest --kind infer [--workload LABEL[,LABEL]|all] [--scale S]
+//!                  [--seed S] [--precision P] [--mode M] [--requests N]
+//!                  [--batched-steps N] [--out FILE] [--csv FILE]
+//! gnnmark infer [--target LABEL[,LABEL]|all] [--scale S] [--seed S] [--epochs N]
+//!               [--threads N] [--precision P] [--mode M] [--batch-size N]
+//!               [--fanout F1,F2,...] [--requests N] [--batched-steps N]
+//!               [--no-figures] [--out FILE] [--csv DIR]
 //! gnnmark report [STREAM.stream ...] [--out FILE] [--device v100|a100]
 //!                [--scale tiny|test|small|paper] [--epochs N] [--seed S]
 //!                [--precision fp32|fp16|bf16] [--mode fullgraph|minibatch]
@@ -33,7 +40,17 @@
 //! claims and exactly-once completion. `loadtest` drives the daemon's
 //! HTTP API open- or closed-loop and reports p50/p95/p99 latency,
 //! saturation RPS and the error budget; `--chaos` SIGKILLs and restarts
-//! a worker mid-run to measure recovery time. See `docs/SERVING.md`.
+//! a worker mid-run to measure recovery time; `--submit JSON` first
+//! POSTs a job (e.g. `{"workload":"TLSTM","kind":"infer"}`) and then
+//! drives its status endpoint, passing only if the job completes;
+//! `--kind infer` measures the modeled inference SLO surface itself
+//! (batch-1 latency percentiles, batched-throughput saturation rate)
+//! without a daemon. See `docs/SERVING.md` and `docs/INFERENCE.md`.
+//!
+//! `infer` is the forward-only characterization suite: every workload
+//! runs tape-free under a `NoGradGuard` (zero autograd allocations,
+//! asserted), emitting batch-1 latency / batched-throughput JSON and the
+//! measured inference-vs-training figures. See `docs/INFERENCE.md`.
 //! `report` renders a deterministic single-file HTML characterization
 //! report (roofline, stalls, caches, per-step timeline, comparison, perf
 //! trend) from captured `.stream` files or a live suite run; see
@@ -103,7 +120,8 @@ use gnnmark_bench::{render_ablations, render_target_resilient, TARGETS};
 use gnnmark_serve::campaign::CampaignOptions;
 use gnnmark_serve::loadtest::ChaosOptions;
 use gnnmark_serve::{
-    run_campaign, run_loadtest, serve, CampaignSpec, LoadtestOptions, ServeConfig, StreamCache,
+    run_campaign, run_infer_loadtest, run_loadtest, serve, CampaignSpec, InferLoadOptions,
+    LoadtestOptions, ServeConfig, StreamCache,
 };
 
 const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--epochs N] \
@@ -117,7 +135,14 @@ const USAGE: &str = "usage: gnnmark <target> [--scale tiny|test|small|paper] [--
 [--store DIR] [--worker-id ID] [--lease-ttl SECS]
        gnnmark loadtest [--addr HOST:PORT] [--path P] [--rps R] [--concurrency N] \
 [--duration SECS] [--error-budget F] [--saturation-probe SECS] [--out FILE] [--csv FILE] \
-[--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]
+[--submit JSON] [--chaos [--store DIR] [--cache DIR] [--kill-after SECS]]
+       gnnmark loadtest --kind infer [--workload LABEL[,LABEL]|all] \
+[--scale tiny|test|small|paper] [--seed S] [--precision fp32|fp16|bf16] \
+[--mode fullgraph|minibatch] [--requests N] [--batched-steps N] [--out FILE] [--csv FILE]
+       gnnmark infer [--target LABEL[,LABEL]|all] [--scale tiny|test|small|paper] \
+[--seed S] [--epochs N] [--threads N] [--precision fp32|fp16|bf16] \
+[--mode fullgraph|minibatch] [--batch-size N] [--fanout F1,F2,...] \
+[--requests N] [--batched-steps N] [--no-figures] [--out FILE] [--csv DIR]
        gnnmark report [STREAM.stream ...] [--out FILE] [--device v100|a100] \
 [--scale tiny|test|small|paper] [--epochs N] [--seed S] [--precision fp32|fp16|bf16] \
 [--mode fullgraph|minibatch] [--threads N] [--history PATH | --no-history] [--max-ratio R]";
@@ -527,8 +552,72 @@ fn run_loadtest_cli(mut args: std::env::Args) -> i32 {
     let mut kill_after = 3.0f64;
     let mut store_dir = "results/serve/chaos/store".to_string();
     let mut cache_dir = "results/serve/cache".to_string();
+    let mut infer_kind = false;
+    let mut infer_opts = InferLoadOptions::default();
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--kind" => match args.next().as_deref() {
+                Some("train") => infer_kind = false,
+                Some("infer") => infer_kind = true,
+                _ => return usage_err("--kind needs train|infer"),
+            },
+            "--submit" => match args.next() {
+                Some(v) => opts.submit = Some(v),
+                None => return usage_err("--submit needs a JSON job body"),
+            },
+            "--workload" => match args.next() {
+                Some(v) if v == "all" => {
+                    infer_opts.workloads = gnnmark::WorkloadKind::ALL.to_vec();
+                }
+                Some(v) => {
+                    let mut kinds = Vec::new();
+                    for label in v.split(',') {
+                        match gnnmark::WorkloadKind::parse(label.trim()) {
+                            Some(k) => kinds.push(k),
+                            None => {
+                                return usage_err(&format!("unknown workload `{label}`"))
+                            }
+                        }
+                    }
+                    infer_opts.workloads = kinds;
+                }
+                None => return usage_err("--workload needs a label list or `all`"),
+            },
+            "--scale" => match args.next().as_deref() {
+                Some("test" | "tiny") => infer_opts.cfg.suite.scale = Scale::Test,
+                Some("small") => infer_opts.cfg.suite.scale = Scale::Small,
+                Some("paper") => infer_opts.cfg.suite.scale = Scale::Paper,
+                _ => return usage_err("--scale needs tiny|test|small|paper"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => infer_opts.cfg.suite.seed = s,
+                None => return usage_err("--seed needs a number"),
+            },
+            "--precision" => match args
+                .next()
+                .and_then(|v| gnnmark_tensor::half::Precision::parse(&v))
+            {
+                Some(p) => infer_opts.cfg.suite.precision = p,
+                None => return usage_err("--precision needs fp32|fp16|bf16"),
+            },
+            "--mode" => match args.next().as_deref() {
+                Some("fullgraph") => {
+                    infer_opts.cfg.suite.mode = gnnmark::TrainMode::FullGraph;
+                }
+                Some("minibatch") => {
+                    infer_opts.cfg.suite.mode =
+                        gnnmark::TrainMode::Minibatch(gnnmark::MinibatchConfig::default());
+                }
+                _ => return usage_err("--mode needs fullgraph|minibatch"),
+            },
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => infer_opts.cfg.batch1_steps = n,
+                _ => return usage_err("--requests needs a count >= 1"),
+            },
+            "--batched-steps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => infer_opts.cfg.batched_steps = n,
+                _ => return usage_err("--batched-steps needs a count >= 1"),
+            },
             "--addr" => match args.next() {
                 Some(v) => opts.addr = v,
                 None => return usage_err("--addr needs host:port"),
@@ -584,6 +673,42 @@ fn run_loadtest_cli(mut args: std::env::Args) -> i32 {
             },
             other => return usage_err(&format!("unknown loadtest flag `{other}`")),
         }
+    }
+    if infer_kind {
+        // Modeled inference SLO surface: no daemon involved, deterministic,
+        // so the output is committed as a baseline.
+        return match run_infer_loadtest(&infer_opts) {
+            Ok(report) => {
+                // A pure-inference process must never record a tape node.
+                if report.total_tape_nodes() != 0 {
+                    eprintln!(
+                        "error: inference loadtest recorded {} autograd tape node(s)",
+                        report.total_tape_nodes()
+                    );
+                    return 1;
+                }
+                let json = report.to_json();
+                println!("{json}");
+                for (path, body) in [(&out_file, &json), (&csv_file, &report.to_figure_csv())]
+                {
+                    if let Some(path) = path {
+                        if let Some(dir) = std::path::Path::new(path).parent() {
+                            let _ = std::fs::create_dir_all(dir);
+                        }
+                        if let Err(e) = std::fs::write(path, body) {
+                            eprintln!("error writing {path}: {e}");
+                            return 1;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        };
     }
     if chaos {
         let exe = match std::env::current_exe() {
@@ -660,6 +785,10 @@ fn main() {
             Some("sweep") => std::process::exit(run_sweep(argv)),
             Some("serve") => std::process::exit(run_serve(argv)),
             Some("loadtest") => std::process::exit(run_loadtest_cli(argv)),
+            Some("infer") => {
+                shutdown::install();
+                std::process::exit(gnnmark_bench::infer_cli::run_infer_cli(argv));
+            }
             Some("report") => {
                 shutdown::install();
                 std::process::exit(gnnmark_bench::report_cli::run_report(argv));

@@ -258,12 +258,27 @@ pub fn build_report(opts: &ReportOpts) -> Result<(Report, usize), String> {
                 ("stream".to_string(), input.clone()),
                 ("scale".to_string(), run.meta.scale.clone()),
                 ("mode".to_string(), run.meta.mode.clone()),
+                ("phase".to_string(), run.meta.phase.clone()),
                 ("seed".to_string(), run.meta.seed.to_string()),
                 ("epochs".to_string(), run.meta.epochs.to_string()),
             ];
             let art = artifacts_from_replay(&run, &spec);
             runs += 1;
-            report.add_run(run_from_artifacts(label, art, meta));
+            let mut rr = run_from_artifacts(label, art, meta);
+            if run.meta.phase == "infer" {
+                // Inference stream layout: `epochs` carries the batched
+                // step count, the leading steps are batch-1 latency
+                // samples (see gnnmark::infer::run_infer_captured).
+                rr.infer = Some(gnnmark_report::InferStats {
+                    batch1_steps: run
+                        .meta
+                        .steps_per_epoch
+                        .saturating_sub(u64::from(run.meta.epochs))
+                        as usize,
+                    items_per_step: 0,
+                });
+            }
+            report.add_run(rr);
         }
     }
     if let Some(history) = &opts.history {

@@ -193,6 +193,10 @@ pub fn check_opstream(profile: &WorkloadProfile, dir: &Path, bless: bool) -> Res
 /// snapshots (the sampled-training counterpart of `opstream/`).
 pub const MINIBATCH_OPSTREAM_DIR: &str = "opstream-minibatch";
 
+/// Subdirectory under the golden root holding forward-only inference
+/// op-stream snapshots (see `crate::infer`).
+pub const INFER_OPSTREAM_DIR: &str = "opstream-infer";
+
 /// Verifies (or blesses) one workload's op-stream snapshot under an
 /// explicit snapshot family `<dir>/<subdir>/<LABEL>.csv`, so alternate
 /// training modes keep their own goldens (see [`MINIBATCH_OPSTREAM_DIR`]).

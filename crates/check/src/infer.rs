@@ -1,0 +1,136 @@
+//! Inference verification (check layer 6).
+//!
+//! Three check families cover the forward-only inference path:
+//!
+//! * **Train-eval parity** — for every workload, the tape-free
+//!   [`Workload::infer`] forward over the full probe batch must
+//!   bit-equal the forward loss of [`Workload::probe`] at fp32. The
+//!   inference mirrors are hand-written tensor-level twins of the
+//!   autograd forward passes, so a single reordered reduction or dropped
+//!   term anywhere in a mirror surfaces as a bit mismatch here.
+//! * **Thread parity** — the inference loss is bit-identical at 1 and 4
+//!   tensor-kernel threads, extending the suite's thread-count
+//!   determinism guarantee to the inference path.
+//! * **Golden op streams** — forward-only kernel streams of every
+//!   workload are snapshotted under `results/golden/opstream-infer/`;
+//!   shape-derived, so identical across SIMD lanes.
+//!
+//! All checks run under a [`NoGradGuard`], so a stray tape push inside
+//! any inference mirror is a panic, not a silently-different stream.
+
+use gnnmark::infer::{run_infer_workload, InferConfig};
+use gnnmark::suite::SuiteConfig;
+use gnnmark_autograd::NoGradGuard;
+use gnnmark_profiler::WorkloadProfile;
+use gnnmark_workloads::{InferBatch, Scale, TrainMode, Workload, WorkloadKind};
+
+use crate::minibatch::ParityReport;
+use crate::Result;
+
+/// Builds one workload in full-graph mode at fp32.
+fn build(kind: WorkloadKind, scale: Scale, seed: u64) -> Result<Box<dyn Workload>> {
+    kind.build_mode(scale, seed, &TrainMode::FullGraph)
+}
+
+/// Train-eval vs inference parity: for every workload, the forward loss
+/// of the tape-free inference path over the full probe batch bit-equals
+/// the training-eval (`probe`) forward loss.
+///
+/// # Errors
+/// Propagates workload construction or forward errors.
+pub fn parity_reports(scale: Scale, seed: u64) -> Result<Vec<ParityReport>> {
+    let mut out = Vec::with_capacity(WorkloadKind::ALL.len());
+    for kind in WorkloadKind::ALL {
+        let probe_loss = build(kind, scale, seed)?.probe()?;
+        let infer_loss = {
+            let mut w = build(kind, scale, seed)?;
+            let _guard = NoGradGuard::new();
+            w.infer(InferBatch::Full)?
+        };
+        let ok = probe_loss.to_bits() == infer_loss.to_bits();
+        out.push(ParityReport {
+            name: format!("infer-forward/{}", kind.label()),
+            ok,
+            detail: if ok {
+                String::new()
+            } else {
+                format!("probe loss {probe_loss:?} != infer loss {infer_loss:?}")
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Thread-count parity: the inference loss is bit-identical at 1 and 4
+/// tensor-kernel threads. Restores the entering thread count.
+///
+/// # Errors
+/// Propagates workload construction or forward errors.
+pub fn thread_parity_reports(scale: Scale, seed: u64) -> Result<Vec<ParityReport>> {
+    let entering = gnnmark_tensor::par::threads();
+    let run_at = |threads: usize, kind: WorkloadKind| -> Result<f64> {
+        gnnmark_tensor::par::set_threads(threads);
+        let mut w = build(kind, scale, seed)?;
+        let _guard = NoGradGuard::new();
+        w.infer(InferBatch::Full)
+    };
+    let inner = || -> Result<Vec<ParityReport>> {
+        let mut out = Vec::with_capacity(WorkloadKind::ALL.len());
+        for kind in WorkloadKind::ALL {
+            let one = run_at(1, kind)?;
+            let four = run_at(4, kind)?;
+            let ok = one.to_bits() == four.to_bits();
+            out.push(ParityReport {
+                name: format!("infer-threads/{}", kind.label()),
+                ok,
+                detail: if ok {
+                    String::new()
+                } else {
+                    format!("loss at 1 thread {one:?} != at 4 threads {four:?}")
+                },
+            });
+        }
+        Ok(out)
+    };
+    let out = inner();
+    gnnmark_tensor::par::set_threads(entering);
+    out
+}
+
+/// Forward-only profiles of every workload for the inference golden
+/// op-stream gate (snapshot family `opstream-infer/`).
+///
+/// # Errors
+/// Propagates workload construction or forward errors.
+pub fn golden_profiles(seed: u64) -> Result<Vec<WorkloadProfile>> {
+    let mut suite = SuiteConfig::test();
+    suite.seed = seed;
+    let mut cfg = InferConfig::new(suite);
+    cfg.batch1_steps = 1;
+    cfg.batched_steps = 1;
+    WorkloadKind::ALL
+        .iter()
+        .map(|&k| Ok(run_infer_workload(k, &cfg)?.profile))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_passes_forward_parity() {
+        for r in parity_reports(Scale::Test, 42).unwrap() {
+            assert!(r.ok, "{}", r.line());
+        }
+    }
+
+    #[test]
+    fn golden_profiles_cover_every_workload() {
+        let profiles = golden_profiles(42).unwrap();
+        assert_eq!(profiles.len(), WorkloadKind::ALL.len());
+        for p in &profiles {
+            assert!(!p.kernels.is_empty(), "{}: empty inference stream", p.name);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! # gnnmark-check
 //!
 //! The suite's verification subsystem, run as `gnnmark check`. It
-//! validates the stack at five layers:
+//! validates the stack at six layers:
 //!
 //! 1. **Gradient checks** ([`gradcheck`], [`workload`]) — a central
 //!    finite-difference harness compares every differentiable op's
@@ -23,6 +23,10 @@
 //!    digests of the HTML characterization report rendered from the same
 //!    suite runs, gated against `results/golden/report.csv`, which keeps
 //!    `gnnmark report` byte-deterministic.
+//! 6. **Inference** ([`infer`]) — bit-exact train-eval vs forward-only
+//!    parity for every workload, thread-count (1 vs 4) parity of the
+//!    inference loss, and inference golden op streams under
+//!    `results/golden/opstream-infer/`.
 //!
 //! See `docs/VERIFICATION.md` for tolerances and workflow.
 
@@ -31,6 +35,7 @@
 
 pub mod gradcheck;
 pub mod golden;
+pub mod infer;
 pub mod invariants;
 pub mod minibatch;
 pub mod workload;
@@ -193,6 +198,28 @@ pub fn run_check(cfg: &CheckConfig) -> Result<CheckOutcome> {
     } else {
         out.lines
             .push("(skipped: goldens are generated at the tiny scale)".to_string());
+    }
+
+    out.lines.push("== layer 6: inference ==".to_string());
+    for r in infer::parity_reports(cfg.scale, cfg.seed)? {
+        out.record(r.ok, r.line());
+    }
+    for r in infer::thread_parity_reports(cfg.scale, cfg.seed)? {
+        out.record(r.ok, r.line());
+    }
+    if cfg.scale == Scale::Test {
+        for profile in infer::golden_profiles(cfg.seed)? {
+            let r = golden::check_opstream_in(
+                &profile,
+                &cfg.golden_dir,
+                golden::INFER_OPSTREAM_DIR,
+                cfg.bless,
+            )?;
+            out.record(r.ok, r.line());
+        }
+    } else {
+        out.lines
+            .push("(snapshots skipped: goldens are generated at the tiny scale)".to_string());
     }
 
     Ok(out)

@@ -171,6 +171,12 @@ pub fn ablation_half_precision(kind: WorkloadKind, cfg: &SuiteConfig) -> Result<
 /// work measured >50 %) while training is not, because backward passes
 /// and optimizers add irregular and element-wise kernels.
 ///
+/// The inference arm is *measured*, not modeled: it runs the tape-free
+/// tensor-level forward ([`gnnmark_nn::GcnConv::infer`]) under a
+/// [`gnnmark_autograd::NoGradGuard`], so it records exactly the kernels a
+/// forward-only deployment executes and any autograd activity would be a
+/// hard error.
+///
 /// # Errors
 /// Propagates training failures.
 pub fn ablation_inference_vs_training(seed: u64) -> Result<Table> {
@@ -188,34 +194,34 @@ pub fn ablation_inference_vs_training(seed: u64) -> Result<Table> {
     params.extend(&conv2.params());
     let mut opt = Adam::new(5e-3);
 
-    let mut run = |train: bool| -> Result<gnnmark_profiler::WorkloadProfile> {
-        let mut session = ProfileSession::new(
-            if train { "gcn-train" } else { "gcn-infer" },
-            DeviceSpec::v100(),
-        );
+    let infer = {
+        let _guard = gnnmark_autograd::NoGradGuard::new();
+        let mut session = ProfileSession::new("gcn-infer", DeviceSpec::v100());
         for _ in 0..4 {
-            if train {
-                params.zero_grad();
-            }
+            session.begin_step();
+            let h = conv1.infer(&adj, graph.features())?.relu();
+            let logits = conv2.infer(&adj, &h)?;
+            let _ = logits.argmax_rows()?;
+            session.end_step();
+        }
+        session.finish()
+    };
+    let train = {
+        let mut session = ProfileSession::new("gcn-train", DeviceSpec::v100());
+        for _ in 0..4 {
+            params.zero_grad();
             session.begin_step();
             let tape = Tape::new();
             let x = tape.constant(graph.features().clone());
             let h = conv1.forward(&tape, &adj, &x)?.relu();
             let logits = conv2.forward(&tape, &adj, &h)?;
-            if train {
-                let loss = losses::cross_entropy(&logits, &labels)?;
-                tape.backward(&loss)?;
-                opt.step(&params)?;
-            } else {
-                let _ = logits.value().argmax_rows()?;
-            }
+            let loss = losses::cross_entropy(&logits, &labels)?;
+            tape.backward(&loss)?;
+            opt.step(&params)?;
             session.end_step();
         }
-        Ok(session.finish())
+        session.finish()
     };
-
-    let infer = run(false)?;
-    let train = run(true)?;
     let mut t = Table::new("Ablation — Inference vs training operation mix (2-layer GCN)");
     t.header(["Phase", "GEMM+SpMM (%)", "ElemWise (%)", "Irregular (%)", "Kernels"]);
     for p in [&infer, &train] {

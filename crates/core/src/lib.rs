@@ -13,6 +13,8 @@
 //! * [`figures`] — Table I and Figures 2–9 as text tables / CSV.
 //! * [`ablations`] — the design-space sweeps DESIGN.md calls out
 //!   (L1 capacity, feature width, NVLink bandwidth, half precision).
+//! * [`infer`] — forward-only inference characterization: batch-1 latency,
+//!   batched throughput, and measured inference-vs-training contrasts.
 //! * [`shutdown`] — cooperative SIGINT/SIGTERM handling so long runs
 //!   flush checkpoints, metrics and manifests instead of losing them.
 //!
@@ -33,6 +35,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod infer;
 pub mod observability;
 pub mod resilience;
 pub mod shutdown;

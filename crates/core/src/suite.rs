@@ -156,6 +156,7 @@ pub fn run_workload_captured(
             workload: kind.label().to_string(),
             scale: cfg.scale.label().to_string(),
             mode: cfg.mode.key(),
+            phase: "train".to_string(),
             seed: cfg.seed,
             epochs: cfg.epochs as u32,
             steps_per_epoch: artifacts.steps_per_epoch,

@@ -21,8 +21,10 @@ use gnnmark_tensor::instrument::{AccessDesc, OpClass, OpEvent};
 use crate::multigpu::ScalingBehavior;
 
 /// Version tag embedded in serialized streams. Readers reject mismatches.
-/// v2 added the training-mode key to [`ReplayMeta`].
-pub const FORMAT_VERSION: u32 = 2;
+/// v2 added the training-mode key to [`ReplayMeta`]; v3 added the
+/// execution-phase field (`"train"` vs `"infer"`) so forward-only
+/// inference streams can never be misread as training streams.
+pub const FORMAT_VERSION: u32 = 3;
 
 const MAGIC: &[u8; 8] = b"GNMKSTRM";
 
@@ -105,6 +107,10 @@ pub struct ReplayMeta {
     pub scale: String,
     /// Training-mode key, e.g. `"fullgraph"` or `"minibatch-b32-f10x5"`.
     pub mode: String,
+    /// Execution phase: `"train"` (epoch loop with backward + optimizer)
+    /// or `"infer"` (tape-free forward-only). Streams from different
+    /// phases have disjoint op mixes and must never collide in the cache.
+    pub phase: String,
     /// Training seed.
     pub seed: u64,
     /// Epochs trained.
@@ -328,6 +334,7 @@ impl CapturedRun {
         w.str(&self.meta.workload);
         w.str(&self.meta.scale);
         w.str(&self.meta.mode);
+        w.str(&self.meta.phase);
         w.u64(self.meta.seed);
         w.u32(self.meta.epochs);
         w.u64(self.meta.steps_per_epoch);
@@ -406,6 +413,7 @@ impl CapturedRun {
         let workload = r.str()?;
         let scale = r.str()?;
         let mode = r.str()?;
+        let phase = r.str()?;
         let seed = r.u64()?;
         let epochs = r.u32()?;
         let steps_per_epoch = r.u64()?;
@@ -466,6 +474,7 @@ impl CapturedRun {
                 workload,
                 scale,
                 mode,
+                phase,
                 seed,
                 epochs,
                 steps_per_epoch,
@@ -546,6 +555,7 @@ mod tests {
                 workload: "STGCN".to_string(),
                 scale: "tiny".to_string(),
                 mode: "minibatch-b4-f10x5".to_string(),
+                phase: "train".to_string(),
                 seed: 42,
                 epochs: 3,
                 steps_per_epoch: 7,

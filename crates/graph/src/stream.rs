@@ -900,7 +900,7 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-5, "mean-normalized row sums to 1");
         }
         let labels = sg.gather_labels(&[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
-        assert!(labels.as_slice().iter().all(|&l| l >= 0 && l < 4));
+        assert!(labels.as_slice().iter().all(|&l| (0..4).contains(&l)));
         assert!(meta.full_graph_bytes() > StreamGraph::open(&path, 1 << 10).unwrap().resident_bytes());
     }
 }

@@ -36,6 +36,7 @@ fn seed_set(n: usize, count: usize) -> Vec<i64> {
 
 /// Flattens a batch into a comparable structure: per block, the local CSR
 /// triplets plus both global id maps.
+#[allow(clippy::type_complexity)]
 fn fingerprint(b: &SampledBatch) -> Vec<(Vec<(usize, usize, u32)>, Vec<i64>, Vec<i64>)> {
     b.blocks
         .iter()

@@ -107,6 +107,7 @@ mod tests {
                 workload: "replay-test".to_string(),
                 scale: "tiny".to_string(),
                 mode: "fullgraph".to_string(),
+                phase: "train".to_string(),
                 seed: 1,
                 epochs: 1,
                 steps_per_epoch: 2,

@@ -61,6 +61,22 @@ pub struct ReportRun {
     /// Free-form configuration pairs shown in the overview (`mode`,
     /// `precision`, `device`, …).
     pub meta: Vec<(String, String)>,
+    /// Inference shape of the profile, when this run is a forward-only
+    /// stream (fills the inference panel; `None` for training runs).
+    pub infer: Option<InferStats>,
+}
+
+/// How to read a forward-only profile's steps: the first
+/// [`InferStats::batch1_steps`] steps are batch-1 latency samples, the
+/// rest are batched-throughput steps.
+#[derive(Debug, Clone)]
+pub struct InferStats {
+    /// Leading batch-1 latency steps in the profile.
+    pub batch1_steps: usize,
+    /// Items scored per batched step (`0` = unknown, e.g. a replayed
+    /// stream whose metadata predates the field — the panel then reports
+    /// steps/s instead of items/s).
+    pub items_per_step: u64,
 }
 
 impl ReportRun {
@@ -73,6 +89,7 @@ impl ReportRun {
             steps_per_epoch: 0,
             quality: None,
             meta: Vec::new(),
+            infer: None,
         }
     }
 }
@@ -154,7 +171,7 @@ impl Report {
     /// All non-empty sections as `(id, title, body)` in render order.
     fn sections(&self) -> Vec<(String, String, String)> {
         let mut out: Vec<(String, String, String)> = self.custom.clone();
-        let builtin: [(&str, &str, String); 11] = [
+        let builtin: [(&str, &str, String); 12] = [
             ("overview", "Overview", panels::overview(&self.runs)),
             ("roofline", "Roofline", panels::roofline_panel(&self.runs)),
             ("stalls", "Stall breakdown", panels::stalls_panel(&self.runs)),
@@ -167,6 +184,11 @@ impl Report {
                 "minibatch",
                 "Mini-batch & streaming caches",
                 panels::minibatch_panel(&self.runs, &self.metrics),
+            ),
+            (
+                "inference",
+                "Inference latency & throughput",
+                panels::inference_panel(&self.runs),
             ),
             ("comparison", "Side-by-side comparison", panels::comparison_panel(&self.runs)),
             ("slo", "Request latency (SLO)", panels::slo_panel(&self.metrics)),

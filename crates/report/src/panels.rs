@@ -761,6 +761,68 @@ pub(crate) fn comparison_panel(runs: &[ReportRun]) -> String {
 /// Quantile table of every fixed-bucket histogram in the snapshot — the
 /// dashboard's SLO view, fed by the same counters `gnnmark loadtest`
 /// observes into.
+/// Nearest-rank percentile (matching `gnnmark::infer::percentile`).
+fn nearest_rank(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Forward-only runs: batch-1 modeled latency percentiles and the
+/// batched-throughput saturation rate, read off the profile's per-step
+/// times using each run's [`crate::InferStats`] shape.
+pub(crate) fn inference_panel(runs: &[ReportRun]) -> String {
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .filter_map(|r| r.infer.as_ref().map(|s| (r, s)))
+        .map(|(r, stats)| {
+            let step_ms: Vec<f64> =
+                r.profile.step_times_ns().iter().map(|ns| ns / 1e6).collect();
+            let split = stats.batch1_steps.min(step_ms.len());
+            let (batch1, batched) = step_ms.split_at(split);
+            let q = |p: f64| format!("{} ms", fmt_sig(nearest_rank(batch1, p)));
+            let batched_ms: f64 = batched.iter().sum();
+            let throughput = if batched_ms <= 0.0 {
+                "—".to_string()
+            } else if stats.items_per_step > 0 {
+                let items = stats.items_per_step * batched.len() as u64;
+                format!("{} items/s", fmt_sig(items as f64 / (batched_ms / 1e3)))
+            } else {
+                format!("{} steps/s", fmt_sig(batched.len() as f64 / (batched_ms / 1e3)))
+            };
+            vec![
+                r.label.clone(),
+                batch1.len().to_string(),
+                q(0.5),
+                q(0.95),
+                q(0.99),
+                format!("{} ms", fmt_sig(nearest_rank(batch1, 1.0))),
+                batched.len().to_string(),
+                throughput,
+            ]
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let table = html_table(
+        &[
+            "run", "batch-1 requests", "p50", "p95", "p99", "max",
+            "batched steps", "saturation",
+        ],
+        &rows,
+    );
+    format!(
+        "{table}<div class=\"note\">modeled-time latency of forward-only (tape-free) \
+         streams; batch-1 steps score one item, batched steps the training batch \
+         size — see docs/INFERENCE.md</div>"
+    )
+}
+
 pub(crate) fn slo_panel(metrics: &[(String, MetricValue)]) -> String {
     let rows: Vec<Vec<String>> = metrics
         .iter()

@@ -19,6 +19,7 @@
 
 use std::path::{Path, PathBuf};
 
+use gnnmark::infer::{run_infer_captured, ExecPhase, InferConfig};
 use gnnmark::suite::{run_workload_captured, SuiteConfig};
 use gnnmark::Result;
 use gnnmark_tensor::half::Precision;
@@ -56,6 +57,11 @@ pub struct CacheKey {
     /// (sampled blocks, gathers) than a full-graph one, so the mode key is
     /// digest material.
     pub mode: TrainMode,
+    /// Execution phase. An inference stream is forward-only (no backward,
+    /// no optimizer) and must never collide with the training stream of
+    /// the same workload/scale/seed, so the phase is digest material and
+    /// is cross-checked against the entry's [`ReplayMeta`] on load.
+    pub phase: ExecPhase,
 }
 
 impl CacheKey {
@@ -63,13 +69,14 @@ impl CacheKey {
     /// FNV-1a digest of the full key material (including the salt).
     pub fn id(&self) -> String {
         let material = format!(
-            "{}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}|{}",
             self.workload.label(),
             self.scale.label(),
             self.seed,
             self.epochs,
             self.precision.as_str(),
             self.mode.key(),
+            self.phase.as_str(),
             cache_salt(),
         );
         format!(
@@ -101,6 +108,7 @@ impl CacheKey {
         run.meta.workload == self.workload.label()
             && run.meta.scale == self.scale.label()
             && run.meta.mode == self.mode.key()
+            && run.meta.phase == self.phase.as_str()
             && run.meta.seed == self.seed
             && run.meta.epochs as usize == self.epochs
     }
@@ -167,7 +175,16 @@ impl StreamCache {
             format!("train:{}", key.id()),
             "serve-cache",
         );
-        let (_artifacts, run) = run_workload_captured(key.workload, &key.suite_config())?;
+        let run = match key.phase {
+            ExecPhase::Train => run_workload_captured(key.workload, &key.suite_config())?.1,
+            ExecPhase::Infer => {
+                let mut icfg = InferConfig::new(key.suite_config());
+                // `epochs` doubles as the batched-step count for inference
+                // jobs (there is no epoch loop to repeat).
+                icfg.batched_steps = key.epochs.max(1);
+                run_infer_captured(key.workload, &icfg)?.1
+            }
+        };
         gnnmark_telemetry::metrics::counter_add("gnnmark_serve_trainings_total", 1);
         // A write failure only costs a retrain next time; the run is good.
         let _ = self.store(key, &run);
@@ -197,6 +214,7 @@ mod tests {
             epochs: 1,
             precision: Precision::Fp32,
             mode: TrainMode::FullGraph,
+            phase: ExecPhase::Train,
         };
         assert_eq!(a.id(), a.id());
         assert!(a.id().starts_with("TLSTM-test-s42-e1-"));
@@ -225,6 +243,7 @@ mod tests {
             epochs: 1,
             precision: Precision::Fp32,
             mode: TrainMode::FullGraph,
+            phase: ExecPhase::Train,
         };
         let t0 = gnnmark_telemetry::metrics::get("gnnmark_serve_trainings_total")
             .map_or(0, |m| m.as_counter());
@@ -242,6 +261,34 @@ mod tests {
     }
 
     #[test]
+    fn infer_and_train_streams_never_collide() {
+        let cache = tmp_cache("phase");
+        let train = CacheKey {
+            workload: WorkloadKind::Tlstm,
+            scale: Scale::Test,
+            seed: 5,
+            epochs: 1,
+            precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
+            phase: ExecPhase::Train,
+        };
+        let infer = CacheKey { phase: ExecPhase::Infer, ..train.clone() };
+        // Phase is digest material: disjoint ids, disjoint paths.
+        assert_ne!(train.id(), infer.id());
+        assert_ne!(cache.path_for(&train), cache.path_for(&infer));
+        // An infer miss captures a forward-only stream with the phase
+        // recorded in its metadata and no gradient payload.
+        let run = cache.get_or_train(&infer).unwrap();
+        assert_eq!(run.meta.phase, "infer");
+        assert_eq!(run.meta.grad_bytes, 0);
+        // Even a hand-planted phase crossover is rejected on load.
+        std::fs::write(cache.path_for(&train), run.to_bytes()).unwrap();
+        assert!(cache.load(&train).is_none());
+        assert!(cache.load(&infer).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn corrupted_entry_is_a_miss() {
         let cache = tmp_cache("corrupt");
         let key = CacheKey {
@@ -251,6 +298,7 @@ mod tests {
             epochs: 1,
             precision: Precision::Fp32,
             mode: TrainMode::FullGraph,
+            phase: ExecPhase::Train,
         };
         std::fs::create_dir_all(cache.dir()).unwrap();
         std::fs::write(cache.path_for(&key), b"definitely not a stream").unwrap();
@@ -268,6 +316,7 @@ mod tests {
             epochs: 1,
             precision: Precision::Fp32,
             mode: TrainMode::FullGraph,
+            phase: ExecPhase::Train,
         };
         let key_b = CacheKey { seed: 2, ..key_a.clone() };
         let run = cache.get_or_train(&key_a).unwrap();

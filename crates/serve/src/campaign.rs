@@ -399,6 +399,7 @@ pub fn run_campaign(
             epochs: spec.epochs,
             precision: spec.precision,
             mode: spec.mode.clone(),
+            phase: spec.phase,
         })
         .collect();
     let pre_cached: Vec<bool> = keys.iter().map(|k| cache.path_for(k).exists()).collect();

@@ -150,6 +150,7 @@ pub(crate) fn job_report_page(job: &StoredJob, cache: &StreamCache) -> Result<St
             epochs: spec.epochs,
             precision: spec.precision,
             mode: spec.mode.clone(),
+            phase: spec.phase,
         };
         let Some(run) = cache.load(&key) else {
             pending.push(workload.label());
@@ -174,8 +175,18 @@ pub(crate) fn job_report_page(job: &StoredJob, cache: &StreamCache) -> Result<St
                 ("device".to_string(), cfg.base.clone()),
                 ("gpus".to_string(), cfg.gpus.to_string()),
                 ("mode".to_string(), spec.mode.key()),
+                ("phase".to_string(), spec.phase.to_string()),
                 ("precision".to_string(), spec.precision.as_str().to_string()),
             ];
+            if spec.phase == gnnmark::infer::ExecPhase::Infer {
+                // Infer-job stream layout: the key's `epochs` is the
+                // batched-step count, leading steps are batch-1 samples.
+                rr.infer = Some(gnnmark_report::InferStats {
+                    batch1_steps: (rr.steps_per_epoch as usize)
+                        .saturating_sub(spec.epochs),
+                    items_per_step: 0,
+                });
+            }
             report.add_run(rr);
         }
     }
@@ -197,6 +208,7 @@ pub(crate) fn job_report_page(job: &StoredJob, cache: &StreamCache) -> Result<St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gnnmark::infer::ExecPhase;
     use gnnmark_tensor::half::Precision;
     use gnnmark_workloads::{Scale, TrainMode, WorkloadKind};
 
@@ -246,6 +258,36 @@ mod tests {
     }
 
     #[test]
+    fn infer_job_report_renders_the_inference_panel() {
+        let dir = std::env::temp_dir().join(format!(
+            "gnnmark_dash_infer_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = StreamCache::new(&dir);
+        let key = CacheKey {
+            workload: WorkloadKind::Tlstm,
+            scale: Scale::Test,
+            seed: 42,
+            epochs: 1,
+            precision: Precision::Fp32,
+            mode: TrainMode::FullGraph,
+            phase: ExecPhase::Infer,
+        };
+        cache.get_or_train(&key).unwrap();
+        let mut job = stored_job(JobState::Done);
+        job.spec_json = r#"{"name":"unit","scale":"test","seed":42,"epochs":1,
+            "kind":"infer","workloads":["TLSTM"],
+            "configs":[{"name":"v100","device":"v100"}]}"#
+            .to_string();
+        let html = job_report_page(&job, &cache).unwrap();
+        assert!(html.contains("id=\"sec-inference\""), "inference panel present");
+        assert!(html.contains("TLSTM@v100"));
+        assert!(!html.contains("id=\"sec-pending\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn job_report_replays_cached_streams_per_config() {
         let dir = std::env::temp_dir().join(format!(
             "gnnmark_dash_cache_{}",
@@ -260,6 +302,7 @@ mod tests {
             epochs: 1,
             precision: Precision::Fp32,
             mode: TrainMode::FullGraph,
+            phase: ExecPhase::Train,
         };
         cache.get_or_train(&key).unwrap();
         let html = job_report_page(&stored_job(JobState::Done), &cache).unwrap();

@@ -321,6 +321,14 @@ fn single_job_spec_json(v: &JsonValue, id: u64) -> String {
     let scale = v.get("scale").and_then(|x| x.as_str()).unwrap_or("test");
     let seed = v.get("seed").and_then(|x| x.as_u64()).unwrap_or(42);
     let epochs = v.get("epochs").and_then(|x| x.as_u64()).unwrap_or(1);
+    // Execution phase: `"kind":"infer"` submits a forward-only inference
+    // job (the spec parser validates the value; `epochs` then doubles as
+    // the batched-step count).
+    let kind = v
+        .get("kind")
+        .and_then(|x| x.as_str())
+        .map(|k| format!(",\"kind\":\"{k}\""))
+        .unwrap_or_default();
     let device = v.get("device").and_then(|x| x.as_str()).unwrap_or("v100");
     let mut cfg = format!("{{\"name\":\"{device}\",\"device\":\"{device}\"");
     for key in ["l1_kb", "nvlink_gbps", "gpus"] {
@@ -333,7 +341,7 @@ fn single_job_spec_json(v: &JsonValue, id: u64) -> String {
     }
     cfg.push('}');
     format!(
-        r#"{{"name":"job-{id}","scale":"{scale}","seed":{seed},"epochs":{epochs},
+        r#"{{"name":"job-{id}","scale":"{scale}","seed":{seed},"epochs":{epochs}{kind},
             "workloads":["{workload}"],"configs":[{cfg}]}}"#
     )
 }
@@ -753,6 +761,29 @@ mod tests {
         let listing = handle(&daemon, "GET", "/jobs", "");
         assert_eq!(listing.status, 200);
         assert!(listing.body.contains("\"id\":0"), "{}", listing.body);
+        let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
+    }
+
+    #[test]
+    fn job_kind_field_selects_the_inference_phase() {
+        let daemon = test_daemon("kind");
+        // Unknown kinds are rejected at submission, not at run time.
+        assert_eq!(
+            handle(&daemon, "POST", "/jobs", r#"{"workload":"TLSTM","kind":"predict"}"#)
+                .status,
+            400
+        );
+        let r = handle(
+            &daemon,
+            "POST",
+            "/jobs",
+            r#"{"workload":"TLSTM","kind":"infer"}"#,
+        );
+        assert_eq!(r.status, 202);
+        let job = daemon.store.job(0).unwrap();
+        assert!(job.spec_json.contains("\"kind\":\"infer\""), "{}", job.spec_json);
+        let spec = CampaignSpec::parse(&job.spec_json).unwrap();
+        assert_eq!(spec.phase, gnnmark::infer::ExecPhase::Infer);
         let _ = std::fs::remove_dir_all(daemon.store.dir().parent().unwrap());
     }
 

@@ -28,6 +28,7 @@
 //! the dependency-free JSON parser from `gnnmark-telemetry`; every error
 //! is a human-readable string naming the offending field.
 
+use gnnmark::infer::ExecPhase;
 use gnnmark_gpusim::DeviceSpec;
 use gnnmark_telemetry::export::{parse_json, JsonValue};
 use gnnmark_tensor::half::Precision;
@@ -95,6 +96,11 @@ pub struct CampaignSpec {
     /// a different op stream than a full-graph run. Set via `"mode":
     /// "minibatch"` plus optional `"batch_size"` and `"fanouts"` fields.
     pub mode: TrainMode,
+    /// Job kind (optional `"kind"` field; defaults to `"train"`). An
+    /// `"infer"` campaign captures and replays forward-only inference
+    /// streams instead of training streams; for infer jobs `epochs`
+    /// doubles as the batched-step count.
+    pub phase: ExecPhase,
     /// Workloads swept (defaults to the full suite).
     pub workloads: Vec<WorkloadKind>,
     /// Device configurations replayed against each captured stream.
@@ -207,6 +213,15 @@ impl CampaignSpec {
             }
         };
 
+        let phase = match v.get("kind") {
+            None => ExecPhase::Train,
+            Some(x) => {
+                let s = x.as_str().ok_or("field \"kind\" must be a string")?;
+                ExecPhase::parse(s)
+                    .ok_or_else(|| format!("unknown kind \"{s}\" (train|infer)"))?
+            }
+        };
+
         let workloads = match v.get("workloads") {
             None => WorkloadKind::ALL.to_vec(),
             Some(w) => {
@@ -262,6 +277,7 @@ impl CampaignSpec {
             epochs,
             precision,
             mode,
+            phase,
             workloads,
             configs,
         })
@@ -405,6 +421,26 @@ mod tests {
             let err = CampaignSpec::parse(frag).unwrap_err();
             assert!(err.contains(what), "expected {what} error, got: {err}");
         }
+    }
+
+    #[test]
+    fn parses_job_kind() {
+        // Default is a training campaign.
+        let s = CampaignSpec::parse(GOOD).unwrap();
+        assert_eq!(s.phase, ExecPhase::Train);
+        let i = CampaignSpec::parse(
+            r#"{"name":"inf","scale":"test","seed":1,"epochs":1,"kind":"infer",
+                "workloads":["TLSTM"],
+                "configs":[{"name":"v100","device":"v100"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(i.phase, ExecPhase::Infer);
+        let err = CampaignSpec::parse(
+            r#"{"name":"x","scale":"test","seed":1,"epochs":1,"kind":"predict",
+                "configs":[{"name":"v100","device":"v100"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("kind"), "got: {err}");
     }
 
     #[test]

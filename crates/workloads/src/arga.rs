@@ -302,6 +302,37 @@ impl Arga {
         let adv = losses::bce_with_logits(&d_on_fake, &ones)?;
         recon.add(&adv.mul_scalar(0.1))
     }
+
+    /// Tape-free mirror of [`Arga::encode`].
+    fn encode_infer(&self, x: &Tensor) -> Result<Tensor> {
+        let h = self.enc1.infer(&self.adj, x)?;
+        let h = h.prelu(self.prelu_alpha.value().item()?);
+        self.enc2.infer(&self.adj, &h)
+    }
+
+    /// Tape-free mirror of [`Arga::encode_blocks`].
+    fn encode_blocks_infer(&self, batch: &SampledBatch, x: &Tensor) -> Result<Tensor> {
+        let h = self.enc1.infer_block(&batch.blocks[0], x)?;
+        let h = h.prelu(self.prelu_alpha.value().item()?);
+        self.enc2.infer_block(&batch.blocks[1], &h)
+    }
+
+    /// Tape-free mirror of [`Arga::generator_loss_sampled`].
+    fn generator_loss_sampled_infer(
+        &self,
+        batch: &SampledBatch,
+        x: &Tensor,
+        target: &Tensor,
+    ) -> Result<Tensor> {
+        let b = batch.seeds.len();
+        let z = self.encode_blocks_infer(batch, x)?;
+        let logits = z.matmul_nt(&z)?;
+        let recon = losses::bce_with_logits_infer(&logits, target)?;
+        let d_on_fake = self.discriminator.infer(&z)?;
+        let ones = Tensor::ones(&[b, 1]);
+        let adv = losses::bce_with_logits_infer(&d_on_fake, &ones)?;
+        recon.add(&adv.mul_scalar(0.1))
+    }
 }
 
 impl Workload for Arga {
@@ -409,6 +440,52 @@ impl Workload for Arga {
         let g_loss = recon.add(&adv.mul_scalar(0.1))?;
         tape.backward(&g_loss)?;
         Ok(g_loss.value().item()? as f64)
+    }
+
+    fn infer(&mut self, batch: crate::InferBatch) -> Result<f64> {
+        let n = self.graph.num_nodes();
+        if let Some((fanout, _)) = &self.sampler {
+            // Same deterministic sampling as `probe` (pure function of the
+            // batch id, no RNG advance), over one seed or the probe batch.
+            let batch_size = match batch {
+                crate::InferBatch::Single => 1,
+                crate::InferBatch::Full => match self.mode.minibatch() {
+                    Some(cfg) => cfg.batch_size.min(n).max(1),
+                    None => n,
+                },
+            };
+            let seeds: Vec<i64> = (0..batch_size as i64).collect();
+            let sampled = fanout.sample(self.adj.matrix().as_ref(), &seeds, PROBE_BATCH_ID)?;
+            let target = self.dense_sub_target(&seeds);
+            let feats = {
+                let idx = sampled.input_index()?;
+                self.graph.features().gather_rows(&idx)?
+            };
+            let g_loss = self.generator_loss_sampled_infer(&sampled, &feats, &target)?;
+            return Ok(g_loss.item()? as f64);
+        }
+        // Full-graph mode: the forward is inherently whole-graph, so
+        // `Single` scores the same graph-sized batch as `Full`.
+        let z = self.encode_infer(self.graph.features())?;
+        let logits = z.matmul_nt(&z)?;
+        let target = self.adj_dense.as_ref().expect("full-graph mode has dense target");
+        let recon = losses::bce_with_logits_infer(&logits, target)?;
+        let d_on_fake = self.discriminator.infer(&z)?;
+        let ones = Tensor::ones(&[n, 1]);
+        let adv = losses::bce_with_logits_infer(&d_on_fake, &ones)?;
+        let g_loss = recon.add(&adv.mul_scalar(0.1))?;
+        Ok(g_loss.item()? as f64)
+    }
+
+    fn infer_items(&self, batch: crate::InferBatch) -> u64 {
+        let n = self.graph.num_nodes();
+        match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => match self.mode.minibatch() {
+                Some(cfg) => cfg.batch_size.min(n).max(1) as u64,
+                None => n as u64,
+            },
+        }
     }
 
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {

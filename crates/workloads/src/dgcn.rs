@@ -166,6 +166,41 @@ impl Workload for Dgcn {
         Ok(loss.value().item()? as f64)
     }
 
+    fn infer(&mut self, batch: crate::InferBatch) -> Result<f64> {
+        // Tensor-level mirror of `probe`'s forward: full molecule set for
+        // `Full`, the first molecule alone for `Single`.
+        let graphs: Vec<Graph> = match batch {
+            crate::InferBatch::Single => vec![self.molecules[0].clone()],
+            crate::InferBatch::Full => self.molecules.clone(),
+        };
+        let batched = BatchedGraph::from_graphs(&graphs)?;
+        let edges = EdgeList::from_graph(batched.graph())?;
+        let labels = batched.graph_labels().expect("labels").clone();
+        let mut h = self.embed.infer(batched.graph().features())?.relu();
+        for block in &self.blocks {
+            h = block.infer(&edges, &h)?;
+        }
+        let sums = h.scatter_add_rows(batched.graph_ids(), batched.num_graphs())?;
+        let inv: Vec<f32> = (0..batched.num_graphs())
+            .map(|i| {
+                let (s, e) = batched.node_range(i);
+                1.0 / (e - s).max(1) as f32
+            })
+            .collect();
+        let n_graphs = batched.num_graphs();
+        let inv = gnnmark_tensor::Tensor::from_vec(&[n_graphs], inv)?;
+        let logits = self.head.infer(&sums.scale_rows(&inv)?)?;
+        let loss = losses::cross_entropy_infer(&logits, &labels)?;
+        Ok(loss.item()? as f64)
+    }
+
+    fn infer_items(&self, batch: crate::InferBatch) -> u64 {
+        match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => self.molecules.len() as u64,
+        }
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let mut order: Vec<usize> = (0..self.molecules.len()).collect();
         order.shuffle(&mut self.rng);

@@ -170,6 +170,24 @@ impl Kgnn {
         let inv = tape.constant(Tensor::from_vec(&[n_graphs], inv)?);
         sums.scale_rows(&inv)
     }
+
+    /// Tape-free mirror of [`Kgnn::stage`] (no session: inference runs
+    /// with weights and structure already resident).
+    fn stage_infer(conv: &GcnConv, graphs: &[Graph]) -> Result<Tensor> {
+        let batch = BatchedGraph::from_graphs(graphs)?;
+        let adj = NormAdj::new_symmetric(batch.graph().normalized_adjacency()?);
+        let h = conv.infer(&adj, batch.graph().features())?.relu();
+        let sums = h.scatter_add_rows(batch.graph_ids(), batch.num_graphs())?;
+        let inv: Vec<f32> = (0..batch.num_graphs())
+            .map(|i| {
+                let (s, e) = batch.node_range(i);
+                1.0 / (e - s).max(1) as f32
+            })
+            .collect();
+        let n_graphs = batch.num_graphs();
+        let inv = Tensor::from_vec(&[n_graphs], inv)?;
+        sums.scale_rows(&inv)
+    }
 }
 
 impl Workload for Kgnn {
@@ -271,6 +289,42 @@ impl Workload for Kgnn {
         let loss = losses::cross_entropy(&logits, &labels)?;
         tape.backward(&loss)?;
         Ok(loss.value().item()? as f64)
+    }
+
+    fn infer(&mut self, batch: crate::InferBatch) -> Result<f64> {
+        let count = match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => self.batch_size,
+        };
+        let picked: Vec<Sample> = self.samples.iter().take(count).cloned().collect();
+        let labels: Vec<i64> = picked.iter().map(|s| s.label).collect();
+        let n_labels = labels.len();
+        let labels = IntTensor::from_vec(&[n_labels], labels)?;
+        let base: Vec<Graph> = picked.iter().map(|s| s.base.clone()).collect();
+        let two: Vec<Graph> = picked.iter().map(|s| s.two_set.clone()).collect();
+        let mut pooled = vec![
+            Self::stage_infer(&self.conv1, &base)?,
+            Self::stage_infer(&self.conv2_set, &two)?,
+        ];
+        if let Some(conv3) = &self.conv3_set {
+            let three: Vec<Graph> = picked
+                .iter()
+                .map(|s| s.three_set.clone().expect("high order has 3-sets"))
+                .collect();
+            pooled.push(Self::stage_infer(conv3, &three)?);
+        }
+        let refs: Vec<&Tensor> = pooled.iter().collect();
+        let cat = Tensor::concat_cols(&refs)?;
+        let logits = self.head.infer(&cat)?;
+        let loss = losses::cross_entropy_infer(&logits, &labels)?;
+        Ok(loss.item()? as f64)
+    }
+
+    fn infer_items(&self, batch: crate::InferBatch) -> u64 {
+        match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => self.batch_size as u64,
+        }
     }
 
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {

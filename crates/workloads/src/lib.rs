@@ -214,6 +214,46 @@ pub trait Workload {
     /// # Errors
     /// Propagates tensor-engine errors.
     fn probe(&mut self) -> Result<f64>;
+
+    /// Runs one forward-only inference pass over the same fixed batch as
+    /// [`Workload::probe`] (for [`InferBatch::Full`]) or a single item
+    /// ([`InferBatch::Single`]), built entirely from tensor-level ops: no
+    /// autograd tape node is allocated and no RNG advances. Callers run
+    /// this under a [`gnnmark_autograd::NoGradGuard`] so any stray tape
+    /// activity is a hard error. For `InferBatch::Full` the returned loss
+    /// must bit-equal the forward loss of [`Workload::probe`] at fp32 —
+    /// the parity layer in `gnnmark-check` relies on this.
+    ///
+    /// # Errors
+    /// Propagates tensor-engine errors.
+    fn infer(&mut self, batch: InferBatch) -> Result<f64>;
+
+    /// Number of items (seeds, molecules, windows, documents, trees…)
+    /// scored by one [`Workload::infer`] call — the denominator for
+    /// batched-throughput metrics. `Single` is always `1`.
+    fn infer_items(&self, batch: InferBatch) -> u64;
+}
+
+/// Batch shape of one forward-only inference call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferBatch {
+    /// One item — the serving batch-1 latency case. Workloads whose
+    /// forward is inherently whole-graph (ARGA in full-graph mode) score
+    /// the full graph here too; their `infer_items` still reports `1`
+    /// request.
+    Single,
+    /// The workload's full probe batch — the batched-throughput case.
+    Full,
+}
+
+impl InferBatch {
+    /// Lower-case label used in metrics JSON and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            InferBatch::Single => "single",
+            InferBatch::Full => "full",
+        }
+    }
 }
 
 /// Identifier of every workload instance used in the paper's figures.

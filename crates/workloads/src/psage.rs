@@ -327,6 +327,46 @@ impl Psage {
         Ok(hinge.mean_all())
     }
 
+    /// Tape-free mirror of [`Psage::batch_forward`] with `train = false`
+    /// (no dropout), op-for-op.
+    fn batch_forward_infer(&self, batch: &Minibatch) -> Result<gnnmark_tensor::Tensor> {
+        let m = batch.touched.numel();
+        let remap: HashMap<i64, i64> = batch
+            .touched
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(local, &global)| (global, local as i64))
+            .collect();
+        let seeds_l = Self::localize(&batch.seeds, &remap);
+        let pos_l = Self::localize(&batch.positives, &remap);
+        let neg_l = Self::localize(&batch.negatives, &remap);
+
+        let (sorted_trace, _) = batch.walk_trace.sort_with_indices()?;
+        let (_, _) = sorted_trace.sort_with_indices()?;
+        let (_, _) = batch.touched.sort_with_indices()?;
+
+        let feats = self
+            .data
+            .item_item
+            .features()
+            .gather_rows(&batch.touched)?;
+        let norm = feats.square().sum_rows()?.add_scalar(1e-12).sqrt().recip();
+        let feats = feats.scale_rows(&norm)?;
+
+        let (a_s, _a_s_t, i_s) = PinSageConv::build_batch(&seeds_l, m)?;
+        let (a_p, _a_p_t, i_p) = PinSageConv::build_batch(&pos_l, m)?;
+        let (a_n, _a_n_t, i_n) = PinSageConv::build_batch(&neg_l, m)?;
+        let emb_s = self.conv.infer(&feats, &a_s, &i_s)?;
+        let emb_p = self.conv.infer(&feats, &a_p, &i_p)?;
+        let emb_n = self.conv.infer(&feats, &a_n, &i_n)?;
+
+        let pos_score = emb_s.mul(&emb_p)?.sum_rows()?;
+        let neg_score = emb_s.mul(&emb_n)?.sum_rows()?;
+        let hinge = neg_score.sub(&pos_score)?.add_scalar(self.margin).relu();
+        Ok(hinge.mean_all())
+    }
+
     /// Margin loss on a fixed, deterministic probe batch — a noise-free
     /// progress measure for tests and convergence tracking.
     ///
@@ -376,6 +416,27 @@ impl Workload for Psage {
         let loss = self.batch_forward(&batch, &tape, false)?;
         tape.backward(&loss)?;
         Ok(loss.value().item()? as f64)
+    }
+
+    fn infer(&mut self, batch: crate::InferBatch) -> Result<f64> {
+        // Same deterministic probe sampling (reserved batch id, local RNG
+        // stream — no state advances); `Single` shrinks the seed set to one
+        // item for the batch-1 latency case.
+        let saved = self.batch_size;
+        if batch == crate::InferBatch::Single {
+            self.batch_size = 1;
+        }
+        let sampled = self.sample_minibatch(Some(0xea71));
+        self.batch_size = saved;
+        let loss = self.batch_forward_infer(&sampled?)?;
+        Ok(loss.item()? as f64)
+    }
+
+    fn infer_items(&self, batch: crate::InferBatch) -> u64 {
+        match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => self.batch_size.min(self.num_items()) as u64,
+        }
     }
 
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {

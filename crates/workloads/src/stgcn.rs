@@ -185,6 +185,48 @@ impl Workload for Stgcn {
         Ok(loss.value().item()? as f64)
     }
 
+    fn infer(&mut self, batch: crate::InferBatch) -> Result<f64> {
+        // Same fixed windows as `probe` (`Full` = both probe windows,
+        // `Single` = the first), mirrored through the tensor-level path.
+        let n = self.num_nodes();
+        let horizon = 1usize;
+        let max_start = self.data.num_windows(self.history, horizon);
+        let count = match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => 2,
+        };
+        let probe_windows: Vec<usize> = (0..count).map(|i| i * max_start / 2).collect();
+        let b = probe_windows.len();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &start in &probe_windows {
+            let (x, y) = self.data.window(start, self.history, horizon)?;
+            xs.extend_from_slice(x.as_slice());
+            ys.extend_from_slice(y.as_slice());
+        }
+        let x = Tensor::from_vec(&[b, 1, self.history, n], xs)?
+            .add_scalar(-50.0)
+            .mul_scalar(1.0 / 20.0);
+        let y = Tensor::from_vec(&[b, n], ys)?
+            .add_scalar(-50.0)
+            .mul_scalar(1.0 / 20.0);
+        let h = self.block1.infer(&self.adj, &x)?;
+        let h = self.block2.infer(&self.adj, &h)?;
+        let h = self.out_conv.infer(&h)?;
+        let c2 = self.out_conv.c_out();
+        let h2 = reorder_bc1n_to_bn_c_infer(&h, b, c2, n)?;
+        let pred = self.head.infer(&h2)?.reshape(&[b, n])?;
+        let loss = losses::mse_infer(&pred, &y)?;
+        Ok(loss.item()? as f64)
+    }
+
+    fn infer_items(&self, batch: crate::InferBatch) -> u64 {
+        match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => 2,
+        }
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let n = self.num_nodes();
         let horizon = 1usize;
@@ -245,6 +287,21 @@ impl Workload for Stgcn {
 /// Rearranges `[b, c, 1, n]` activations into `[b·n, c]` rows for the
 /// linear head (an explicit permute-gather, like a real NCHW→NHWC kernel).
 fn reorder_bc1n_to_bn_c(h: &Var, b: usize, c: usize, n: usize) -> Result<Var> {
+    let mut idx = Vec::with_capacity(b * n * c);
+    for bi in 0..b {
+        for ni in 0..n {
+            for ci in 0..c {
+                idx.push(((bi * c + ci) * n + ni) as i64);
+            }
+        }
+    }
+    let len = idx.len();
+    let idx = gnnmark_tensor::IntTensor::from_vec(&[len], idx)?;
+    h.reshape(&[b * c * n, 1])?.gather_rows(&idx)?.reshape(&[b * n, c])
+}
+
+/// Tape-free mirror of [`reorder_bc1n_to_bn_c`].
+fn reorder_bc1n_to_bn_c_infer(h: &Tensor, b: usize, c: usize, n: usize) -> Result<Tensor> {
     let mut idx = Vec::with_capacity(b * n * c);
     for bi in 0..b {
         for ni in 0..n {

@@ -281,6 +281,60 @@ impl Workload for TreeLstm {
         Ok(loss.value().item()? as f64)
     }
 
+    fn infer(&mut self, batch: crate::InferBatch) -> Result<f64> {
+        // Tensor-level mirror of `probe`'s forward: the first tree alone
+        // for `Single`, the first `batch_size` trees for `Full`.
+        let count = match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => self.batch_size,
+        };
+        let subset: Vec<Tree> = self.trees.iter().take(count).cloned().collect();
+        let batch = TreeBatch::from_trees(&subset)?;
+        let total = batch.total_nodes();
+        let hdim = self.hidden;
+        let table = self.embed.value().clone();
+        let word_ids: Vec<i64> = batch
+            .words()
+            .as_slice()
+            .iter()
+            .map(|&w| if w < 0 { self.vocab as i64 } else { w })
+            .collect();
+        let word_ids = IntTensor::from_vec(&[total], word_ids)?;
+        let x_all = table.embedding_lookup(&word_ids)?;
+        let mut h_all = Tensor::zeros(&[total + 1, hdim]);
+        let mut c_all = Tensor::zeros(&[total + 1, hdim]);
+        for level in batch.levels() {
+            let n_level = level.nodes.numel();
+            let x = x_all.gather_rows(&level.nodes)?;
+            let mut child_h = Vec::new();
+            let mut child_c = Vec::new();
+            for k in 0..level.max_children {
+                let ids: Vec<i64> = (0..n_level)
+                    .map(|i| {
+                        let v = level.child_ids.as_slice()[i * level.max_children + k];
+                        if v < 0 { total as i64 } else { v }
+                    })
+                    .collect();
+                let ids = IntTensor::from_vec(&[n_level], ids)?;
+                child_h.push(h_all.gather_rows(&ids)?);
+                child_c.push(c_all.gather_rows(&ids)?);
+            }
+            let (h, c) = self.cell.step_infer(&x, &child_h, &child_c)?;
+            h_all = h_all.add(&h.scatter_add_rows(&level.nodes, total + 1)?)?;
+            c_all = c_all.add(&c.scatter_add_rows(&level.nodes, total + 1)?)?;
+        }
+        let logits = self.head.infer(&h_all.slice_rows(0, total)?)?;
+        let loss = losses::cross_entropy_infer(&logits, batch.labels())?;
+        Ok(loss.item()? as f64)
+    }
+
+    fn infer_items(&self, batch: crate::InferBatch) -> u64 {
+        match batch {
+            crate::InferBatch::Single => 1,
+            crate::InferBatch::Full => self.batch_size.min(self.trees.len()) as u64,
+        }
+    }
+
     fn run_epoch(&mut self, session: &mut ProfileSession) -> Result<f64> {
         let mut order: Vec<usize> = (0..self.trees.len()).collect();
         order.shuffle(&mut self.rng);

@@ -134,6 +134,7 @@ fn replay_cache_keys_fullgraph_and_minibatch_separately() {
         epochs: 2,
         precision: gnnmark_tensor::half::Precision::Fp32,
         mode: TrainMode::FullGraph,
+        phase: gnnmark::infer::ExecPhase::Train,
     };
     let mini = CacheKey {
         mode: minibatch_mode(),
